@@ -1,0 +1,126 @@
+"""Ablation — exit-signal choice: entropy (paper) vs max-probability vs margin.
+
+The paper selects normalized entropy (Eq. 7) as the exit signal.  This
+ablation compares it against two standard confidence signals at matched
+accuracy: for each policy the threshold is calibrated to preserve the static
+full-horizon accuracy, and the resulting average timestep count (and thus
+energy) is compared.  It also includes the ANN early-exit baseline discussed
+in Sec. III-A(c).
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit, print_section
+from repro.core import (
+    ConfidenceExitPolicy,
+    EarlyExitInference,
+    EntropyExitPolicy,
+    MarginExitPolicy,
+    build_early_exit_ann,
+    calibrate_threshold,
+)
+from repro.data import DataLoader
+from repro.imc import format_table
+from repro.training import SGD
+from repro.utils import seed_everything
+
+POLICY_GRIDS = {
+    "entropy": (EntropyExitPolicy, np.geomspace(0.005, 0.95, 25)),
+    "confidence": (ConfidenceExitPolicy, 1.0 - np.geomspace(0.002, 0.6, 25)[::-1]),
+    "margin": (MarginExitPolicy, np.linspace(0.05, 0.95, 25)),
+}
+
+
+def test_ablation_exit_policy_choice(benchmark, suite):
+    experiment = suite.get("vgg", "cifar10")
+
+    def run():
+        rows = {}
+        for name, (policy_cls, grid) in POLICY_GRIDS.items():
+            point = calibrate_threshold(
+                experiment.cumulative_logits,
+                experiment.labels,
+                tolerance=0.005,
+                thresholds=grid,
+                policy_cls=policy_cls,
+            )
+            rows[name] = (point.threshold, point.accuracy, point.average_timesteps)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_section("Ablation — exit-signal choice at iso-accuracy (spiking VGG)")
+    table = [
+        [name, threshold, 100.0 * accuracy, avg_t]
+        for name, (threshold, accuracy, avg_t) in rows.items()
+    ]
+    emit(format_table(["exit signal", "calibrated threshold", "accuracy (%)", "avg timesteps"],
+                      table, float_format="{:.3f}"))
+
+    static_accuracy = experiment.static_accuracy
+    for name, (_, accuracy, avg_t) in rows.items():
+        assert accuracy >= static_accuracy - 0.005
+        assert avg_t <= experiment.timesteps
+    # All three confidence signals deliver early exits; entropy is competitive
+    # (within half a timestep of the best alternative).
+    best = min(avg for _, _, avg in rows.values())
+    assert rows["entropy"][2] <= best + 0.5
+
+
+def test_ablation_ann_early_exit_comparison(benchmark, suite):
+    """Sec. III-A(c): the first SNN timestep exits far more samples than the
+    first ANN exit branch does at a comparable confidence threshold, and the
+    ANN pays a parameter overhead for its extra classifier heads."""
+    experiment = suite.get("vgg", "cifar10")
+    train, test = experiment.train_dataset, experiment.test_dataset
+
+    seed_everything(404)
+    ann = build_early_exit_ann(
+        num_classes=train.num_classes,
+        in_channels=train.sample_shape[0],
+        input_size=train.sample_shape[-1],
+        widths=(12, 16, 24),
+    )
+
+    def run():
+        optimizer = SGD(ann.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4)
+        loader = DataLoader(train, batch_size=36, seed=8)
+        for _ in range(4):
+            for inputs, labels in loader:
+                optimizer.zero_grad()
+                loss = ann.loss(inputs, labels)
+                loss.backward()
+                optimizer.step()
+        ann_result = EarlyExitInference(ann, EntropyExitPolicy(threshold=0.2)).infer(
+            test.inputs, test.labels
+        )
+        snn_point = experiment.calibrated_point(tolerance=0.01)
+        return ann_result, snn_point
+
+    ann_result, snn_point = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_section("Ablation — DT-SNN vs ANN early exit (Sec. III-A(c))")
+    rows = [
+        [
+            "DT-SNN (time dimension)",
+            100.0 * snn_point.timestep_fractions[0],
+            100.0 * snn_point.accuracy,
+            0.0,
+        ],
+        [
+            "ANN early exit (extra heads)",
+            100.0 * ann_result.timestep_fractions()[0],
+            100.0 * ann_result.accuracy(),
+            100.0 * ann.exit_parameter_overhead(),
+        ],
+    ]
+    emit(format_table(
+        ["method", "share exiting at first decision (%)", "accuracy (%)", "extra exit params (%)"],
+        rows, float_format="{:.2f}"))
+
+    # DT-SNN needs no additional parameters for its exits.
+    assert ann.exit_parameter_overhead() > 0.0
+    # Both pipelines produce valid exit distributions.
+    assert snn_point.timestep_fractions.sum() == pytest.approx(1.0)
+    assert ann_result.timestep_fractions().sum() == pytest.approx(1.0)

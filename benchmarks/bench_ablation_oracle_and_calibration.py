@@ -1,0 +1,90 @@
+"""Extension analysis — oracle exit bound and temperature-calibrated entropy.
+
+Two analyses that go beyond the paper's figures but directly quantify its
+central mechanism:
+
+1. **Oracle bound** — exit each sample at the earliest timestep whose
+   prediction is already correct (requires labels, not deployable).  The gap
+   between the entropy policy and the oracle measures how much input-aware
+   potential the Eq. 8 rule leaves on the table.
+2. **Temperature scaling** — calibrating the logits on held-out data (Guo et
+   al. 2017, cited by the paper as the justification for entropy-based
+   confidence) before applying the entropy threshold.  The comparison is run
+   at iso-accuracy, reporting whether calibration lets the same accuracy be
+   reached with fewer average timesteps.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit, print_section
+from repro.core import (
+    EntropyExitPolicy,
+    TemperatureScaler,
+    calibrate_threshold,
+    exit_policy_efficiency,
+    expected_calibration_error,
+    oracle_exit_result,
+    softmax_probabilities,
+)
+from repro.imc import format_table
+
+
+def test_ablation_oracle_bound_and_temperature_calibration(benchmark, suite):
+    experiment = suite.get("vgg", "cifar10")
+    logits = experiment.cumulative_logits
+    labels = experiment.labels
+
+    def run():
+        # Split the test set into a calibration half and an evaluation half.
+        num_samples = labels.shape[0]
+        half = num_samples // 2
+        calib_slice = slice(0, half)
+        eval_slice = slice(half, num_samples)
+
+        oracle = oracle_exit_result(logits[:, eval_slice], labels[eval_slice])
+        entropy_point = calibrate_threshold(
+            logits[:, eval_slice], labels[eval_slice], tolerance=0.005
+        )
+        efficiency = exit_policy_efficiency(entropy_point.result, oracle)
+
+        scaler = TemperatureScaler.fit(logits[-1, calib_slice], labels[calib_slice])
+        scaled_logits = scaler.calibrate_cumulative_logits(logits[:, eval_slice])
+        calibrated_point = calibrate_threshold(
+            scaled_logits, labels[eval_slice], tolerance=0.005
+        )
+        ece_before = expected_calibration_error(
+            softmax_probabilities(logits[-1, eval_slice]), labels[eval_slice]
+        )
+        ece_after = expected_calibration_error(
+            softmax_probabilities(scaled_logits[-1]), labels[eval_slice]
+        )
+        return oracle, entropy_point, calibrated_point, efficiency, scaler, ece_before, ece_after
+
+    oracle, entropy_point, calibrated_point, efficiency, scaler, ece_before, ece_after = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    print_section("Extension — oracle exit bound and temperature-calibrated entropy")
+    rows = [
+        ["oracle (labels required)", 100.0 * oracle.accuracy(), oracle.average_timesteps],
+        ["entropy threshold (paper)", 100.0 * entropy_point.accuracy,
+         entropy_point.average_timesteps],
+        [f"entropy + temperature T={scaler.temperature:.2f}",
+         100.0 * calibrated_point.accuracy, calibrated_point.average_timesteps],
+    ]
+    emit(format_table(["policy", "accuracy (%)", "avg timesteps"], rows, float_format="{:.2f}"))
+    emit(f"\ntimestep-saving efficiency of the entropy rule vs the oracle: "
+         f"{efficiency['timestep_saving_efficiency']:.2f}")
+    emit(f"expected calibration error before/after temperature scaling: "
+         f"{ece_before:.3f} -> {ece_after:.3f}")
+
+    # The oracle's accuracy upper-bounds every deployable policy and it never
+    # needs the full horizon on average for this (mostly easy) dataset.
+    assert oracle.accuracy() >= entropy_point.accuracy - 1e-9
+    assert oracle.accuracy() >= calibrated_point.accuracy - 1e-9
+    assert oracle.average_timesteps < 4.0
+    # The entropy rule realizes a meaningful fraction of the oracle's saving.
+    assert efficiency["timestep_saving_efficiency"] > 0.3
+    # Both deployable variants preserve iso-accuracy by construction.
+    assert entropy_point.accuracy >= calibrated_point.accuracy - 0.05

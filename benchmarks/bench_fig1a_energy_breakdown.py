@@ -1,0 +1,51 @@
+"""Fig. 1(A) — component-wise energy breakdown of the IMC chip running spiking VGG.
+
+The paper reports, for CIFAR10-trained VGG-16 on the 64x64 4-bit RRAM chip:
+digital peripherals 45%, crossbar + ADC 25%, H-Tree 17%, NoC 9%, LIF 1%.
+This benchmark maps the benchmark-scale spiking VGG onto the chip, calibrates
+the per-event energy constants once (DESIGN.md §7), and regenerates the
+component share table.
+"""
+
+import pytest
+
+from _bench_utils import emit, print_section
+from repro.imc import ENERGY_BREAKDOWN_TARGETS, format_table
+
+
+PAPER_SHARES = {
+    "digital_peripherals": 0.45,
+    "crossbar_adc": 0.25,
+    "htree": 0.17,
+    "noc": 0.09,
+    "lif": 0.01,
+}
+
+
+def test_fig1a_component_energy_breakdown(benchmark, suite):
+    experiment = suite.get("vgg", "cifar10")
+    chip = experiment.chip()
+
+    shares = benchmark(chip.energy_breakdown_shares)
+
+    normalizer = sum(PAPER_SHARES.values())
+    rows = []
+    for component, paper_share in sorted(PAPER_SHARES.items(), key=lambda kv: -kv[1]):
+        rows.append(
+            [
+                component,
+                100.0 * shares[component],
+                100.0 * paper_share,
+            ]
+        )
+    print_section("Fig. 1(A) — Energy cost ratio per component (spiking VGG on IMC)")
+    emit(format_table(["component", "this repo (%)", "paper (%)"], rows, float_format="{:.1f}"))
+    emit(f"(total crossbars mapped: {chip.mapping.total_crossbars}, "
+         f"tiles: {chip.mapping.total_tiles})")
+
+    # Shape check: ordering of components and closeness to the calibrated targets.
+    assert shares["digital_peripherals"] > shares["crossbar_adc"] > shares["htree"]
+    assert shares["htree"] > shares["noc"] > shares["lif"]
+    for component, paper_share in PAPER_SHARES.items():
+        assert shares[component] == pytest.approx(paper_share / normalizer, abs=0.02)
+    assert ENERGY_BREAKDOWN_TARGETS["digital_peripherals"] == pytest.approx(0.45)

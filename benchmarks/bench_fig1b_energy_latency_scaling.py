@@ -1,0 +1,50 @@
+"""Fig. 1(B) — normalized energy and latency versus the number of timesteps.
+
+The paper measures (normalized to T=1): energy 1.0, 1.4, 2.0, 2.6, 3.2, 3.8,
+4.4, 4.9 and latency 1..8 for T = 1..8, i.e. both scale linearly with the
+number of timesteps with the energy curve having a ~40% static offset.
+"""
+
+import pytest
+
+from _bench_utils import emit, print_section
+from repro.imc import format_table
+
+
+PAPER_ENERGY = {1: 1.0, 2: 1.4, 3: 2.0, 4: 2.6, 5: 3.2, 6: 3.8, 7: 4.4, 8: 4.9}
+PAPER_LATENCY = {t: float(t) for t in range(1, 9)}
+
+
+def test_fig1b_energy_latency_vs_timesteps(benchmark, suite):
+    experiment = suite.get("vgg", "cifar10")
+    chip = experiment.chip()
+
+    def compute_curves():
+        return chip.normalized_energy_curve(8), chip.normalized_latency_curve(8)
+
+    energy_curve, latency_curve = benchmark(compute_curves)
+
+    rows = [
+        [t, energy_curve[t], PAPER_ENERGY[t], latency_curve[t], PAPER_LATENCY[t]]
+        for t in range(1, 9)
+    ]
+    print_section("Fig. 1(B) — Normalized energy / latency vs #timesteps")
+    emit(
+        format_table(
+            ["T", "energy (repo)", "energy (paper)", "latency (repo)", "latency (paper)"],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+
+    # Shape checks: monotone increase, linearity, endpoint magnitudes.
+    for t in range(2, 9):
+        assert energy_curve[t] > energy_curve[t - 1]
+        assert latency_curve[t] > latency_curve[t - 1]
+    # Latency is proportional to T (sequential, non-pipelined timesteps).
+    assert latency_curve[8] == pytest.approx(8.0, rel=0.02)
+    # Energy at T=8 lands near the paper's 4.9x (within ~10%).
+    assert energy_curve[8] == pytest.approx(PAPER_ENERGY[8], rel=0.12)
+    # Energy increments are constant (affine law), mirroring Fig. 1(B).
+    increments = [energy_curve[t + 1] - energy_curve[t] for t in range(1, 8)]
+    assert max(increments) - min(increments) < 1e-6

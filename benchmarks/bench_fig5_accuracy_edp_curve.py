@@ -1,0 +1,82 @@
+"""Fig. 5 — accuracy-vs-EDP trade-off curves and exit-time distributions.
+
+The paper draws, for each model/dataset, the static SNN evaluated at
+T = 1, 2, 3, 4 and DT-SNN evaluated at three thresholds; DT-SNN sits in the
+top-left corner (better accuracy at lower EDP) and its pie charts show most
+samples exiting at T = 1 or 2.  EDP is normalized to the 1-timestep static
+SNN, as in the paper.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit, print_section
+from repro.core import account_result
+from repro.imc import format_table
+from repro.training import accuracy_from_logits
+
+
+THRESHOLDS = [0.05, 0.2, 0.6]
+
+
+@pytest.mark.parametrize("architecture", ["vgg", "resnet"])
+def test_fig5_accuracy_edp_tradeoff(benchmark, suite, architecture):
+    experiment = suite.get(architecture, "cifar10")
+    chip = experiment.chip()
+    baseline_edp = chip.edp(1)
+
+    def run():
+        static_points = []
+        for t in range(1, experiment.timesteps + 1):
+            accuracy = accuracy_from_logits(experiment.cumulative_logits[t - 1], experiment.labels)
+            static_points.append((t, accuracy, chip.edp(t) / baseline_edp))
+        dynamic_points = []
+        for point in experiment.threshold_sweep(THRESHOLDS):
+            report = account_result(point.result, chip)
+            dynamic_points.append(
+                (
+                    point.threshold,
+                    point.accuracy,
+                    report.mean_edp / baseline_edp,
+                    point.timestep_fractions,
+                )
+            )
+        return static_points, dynamic_points
+
+    static_points, dynamic_points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_section(f"Fig. 5 — Accuracy vs EDP ({architecture.upper()}, CIFAR-10-like)")
+    rows = [["static", f"T={t}", 100.0 * acc, edp] for t, acc, edp in static_points]
+    rows += [
+        ["DT-SNN", f"theta={thr}", 100.0 * acc, edp] for thr, acc, edp, _ in dynamic_points
+    ]
+    emit(format_table(["method", "operating point", "accuracy (%)", "EDP (x of static T=1)"],
+                      rows, float_format="{:.2f}"))
+
+    emit("\nExit-time distributions (pie-chart data):")
+    pie_rows = []
+    for thr, _, _, fractions in dynamic_points:
+        pie_rows.append([f"theta={thr}"] + [100.0 * f for f in fractions])
+    emit(
+        format_table(
+            ["threshold"] + [f"T={t} (%)" for t in range(1, experiment.timesteps + 1)],
+            pie_rows,
+            float_format="{:.1f}",
+        )
+    )
+
+    # Static EDP grows super-linearly with T while accuracy saturates.
+    assert static_points[-1][2] > static_points[0][2]
+    # DT-SNN dominates: for the loosest threshold the EDP is below the static
+    # full-horizon EDP while accuracy stays within a few points of it.
+    static_full = static_points[-1]
+    best_dynamic = min(dynamic_points, key=lambda p: p[2])
+    assert best_dynamic[2] < static_full[2]
+    assert best_dynamic[1] >= static_points[0][1]  # better than the 1-timestep static model
+    # Pie charts: a loose threshold exits a large share of samples in the first
+    # two timesteps (the paper's pies put most mass on T=1/T=2).
+    loosest = max(dynamic_points, key=lambda p: p[0])
+    assert loosest[3][:2].sum() > 0.3
+    # Lower thresholds shift mass toward later exits.
+    tightest = min(dynamic_points, key=lambda p: p[0])
+    assert tightest[3][0] <= loosest[3][0] + 1e-9

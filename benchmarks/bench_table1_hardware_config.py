@@ -1,0 +1,68 @@
+"""Table I — hardware implementation parameters.
+
+Regenerates the configuration table of the IMC architecture and checks that
+the defaults used throughout the benchmark harness are exactly the paper's
+Table I values.
+"""
+
+import pytest
+
+from _bench_utils import emit, print_section
+from repro.imc import HardwareConfig, format_table
+
+
+PAPER_TABLE_I = {
+    "Technology": "32nm CMOS",
+    "Crossbar size & crossbars/tile": "64 & 64",
+    "Device & weight precision": "4-bit RRAM (sigma/mu=20%) & 8-bit",
+    "Roff/Ron": "10 at Ron=20kOhm",
+    "GB, Tile & PE buffer size": "20KB, 10KB & 5KB",
+    "VDD & Vread": "0.9V & 0.1V",
+    "sigma & E LUT size": "3KB & 3KB",
+}
+
+
+def test_table1_hardware_configuration(benchmark):
+    config = benchmark(HardwareConfig.paper_default)
+
+    rows = [
+        ["Technology", f"{config.technology_nm}nm CMOS", PAPER_TABLE_I["Technology"]],
+        [
+            "Crossbar size & crossbars/tile",
+            f"{config.crossbar_size} & {config.crossbars_per_tile}",
+            PAPER_TABLE_I["Crossbar size & crossbars/tile"],
+        ],
+        [
+            "Device & weight precision",
+            f"{config.device_bits}-bit RRAM (sigma/mu={config.device_variation_sigma:.0%}) & "
+            f"{config.weight_bits}-bit",
+            PAPER_TABLE_I["Device & weight precision"],
+        ],
+        [
+            "Roff/Ron",
+            f"{config.r_off_on_ratio:.0f} at Ron={config.r_on_ohm / 1e3:.0f}kOhm",
+            PAPER_TABLE_I["Roff/Ron"],
+        ],
+        [
+            "GB, Tile & PE buffer size",
+            f"{config.global_buffer_kb:.0f}KB, {config.tile_buffer_kb:.0f}KB & "
+            f"{config.pe_buffer_kb:.0f}KB",
+            PAPER_TABLE_I["GB, Tile & PE buffer size"],
+        ],
+        [
+            "VDD & Vread",
+            f"{config.vdd}V & {config.v_read}V",
+            PAPER_TABLE_I["VDD & Vread"],
+        ],
+        [
+            "sigma & E LUT size",
+            f"{config.sigma_lut_kb:.0f}KB & {config.entropy_lut_kb:.0f}KB",
+            PAPER_TABLE_I["sigma & E LUT size"],
+        ],
+    ]
+    print_section("Table I — Hardware implementation parameters")
+    emit(format_table(["parameter", "this repo", "paper"], rows))
+
+    # The reproduction must use exactly the paper's parameters.
+    for _, ours, paper in rows:
+        assert ours.replace(" ", "") == paper.replace(" ", "")

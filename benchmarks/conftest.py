@@ -1,0 +1,28 @@
+"""Pytest fixtures for the benchmark harness.
+
+The heavy lifting (dataset synthesis, model training, chip calibration) lives
+in :mod:`_bench_utils`; this conftest only wires it into pytest as a
+session-scoped fixture and makes ``src/`` importable when the package is not
+installed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from _bench_utils import ExperimentSuite  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    """Session-wide cache of trained benchmark experiments."""
+    return ExperimentSuite()

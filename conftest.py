@@ -1,0 +1,18 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(the offline CI environment lacks the ``wheel`` package that modern editable
+installs require, see README "Installation"), and registers the shared
+fixtures used by both the test suite and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+

@@ -1,0 +1,91 @@
+"""Device-variation study: DT-SNN accuracy on non-ideal RRAM crossbars (Fig. 6B).
+
+Trains one spiking network and evaluates it under increasing RRAM conductance
+variation (0%, 10%, 20%, 30%), reporting for each noise level the static
+accuracy per horizon and the DT-SNN iso-accuracy operating point.  The paper's
+Fig. 6(B) corresponds to the 20% column.
+
+Run with:  python examples/device_variation_study.py [--sigmas 0 0.1 0.2 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DataLoader,
+    Trainer,
+    TrainingConfig,
+    calibrate_threshold,
+    make_cifar10_like,
+    seed_everything,
+    spiking_vgg,
+    train_test_split,
+    with_device_variation,
+)
+from repro.imc import format_table
+from repro.training import collect_cumulative_logits
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--samples", type=int, default=400)
+    parser.add_argument("--image-size", type=int, default=10)
+    parser.add_argument("--timesteps", type=int, default=4)
+    parser.add_argument("--sigmas", type=float, nargs="+", default=[0.0, 0.1, 0.2, 0.3],
+                        help="conductance variation levels (sigma/mu)")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="noise draws averaged per sigma")
+    parser.add_argument("--seed", type=int, default=9)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    seed_everything(args.seed)
+
+    dataset = make_cifar10_like(num_samples=args.samples, image_size=args.image_size)
+    train, test = train_test_split(dataset, 0.25, seed=1)
+    model = spiking_vgg("tiny", num_classes=dataset.num_classes,
+                        input_size=args.image_size, default_timesteps=args.timesteps)
+    Trainer(
+        model,
+        TrainingConfig(epochs=args.epochs, timesteps=args.timesteps,
+                       learning_rate=0.15, loss="per_timestep"),
+    ).fit(DataLoader(train, batch_size=32, seed=2))
+    loader = DataLoader(test, batch_size=64, shuffle=False)
+
+    rows = []
+    for sigma in args.sigmas:
+        static_accuracies = []
+        dynamic_accuracies = []
+        dynamic_timesteps = []
+        for trial in range(args.trials if sigma > 0 else 1):
+            with with_device_variation(model, sigma=sigma, seed=100 + trial):
+                collected = collect_cumulative_logits(model, loader, timesteps=args.timesteps)
+            logits, labels = collected["logits"], collected["labels"]
+            static_accuracies.append(float(np.mean(np.argmax(logits[-1], -1) == labels)))
+            point = calibrate_threshold(logits, labels, tolerance=0.01)
+            dynamic_accuracies.append(point.accuracy)
+            dynamic_timesteps.append(point.average_timesteps)
+        rows.append([
+            f"{sigma:.0%}",
+            100 * float(np.mean(static_accuracies)),
+            100 * float(np.mean(dynamic_accuracies)),
+            float(np.mean(dynamic_timesteps)),
+        ])
+
+    print()
+    print(format_table(
+        ["conductance variation", f"static acc @T={args.timesteps} (%)",
+         "DT-SNN acc (%)", "DT-SNN avg T"],
+        rows, title="Accuracy under RRAM device variation (Fig. 6B)", float_format="{:.2f}"))
+    print("\nExpected shape: accuracy degrades gracefully as variation grows, and "
+          "DT-SNN keeps matching the static accuracy with fewer average timesteps.")
+
+
+if __name__ == "__main__":
+    main()

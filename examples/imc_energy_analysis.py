@@ -1,0 +1,115 @@
+"""IMC energy analysis: map a spiking network onto the RRAM chip and study costs.
+
+This example reproduces the hardware-side analysis of the paper interactively:
+
+* map a spiking VGG onto the tiled 64x64 4-bit RRAM architecture (Table I),
+* print the crossbar/PE/tile occupancy of every layer,
+* print the Fig. 1(A) component-wise energy breakdown,
+* print the Fig. 1(B) energy/latency scaling with the number of timesteps,
+* quantify the sigma-E exit-module overhead (Sec. III-B),
+* sweep the entropy threshold and print the accuracy-vs-EDP trade-off curve
+  of Fig. 5 for a freshly trained model.
+
+Run with:  python examples/imc_energy_analysis.py [--epochs 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DataLoader,
+    IMCChip,
+    Trainer,
+    TrainingConfig,
+    account_result,
+    make_cifar10_like,
+    seed_everything,
+    spiking_vgg,
+    sweep_thresholds,
+    train_test_split,
+)
+from repro.imc import format_breakdown, format_table
+from repro.training import collect_cumulative_logits
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--samples", type=int, default=360)
+    parser.add_argument("--image-size", type=int, default=10)
+    parser.add_argument("--timesteps", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=3)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    seed_everything(args.seed)
+
+    dataset = make_cifar10_like(num_samples=args.samples, image_size=args.image_size)
+    train, test = train_test_split(dataset, 0.25, seed=1)
+    model = spiking_vgg(
+        "tiny", num_classes=dataset.num_classes, input_size=args.image_size,
+        default_timesteps=args.timesteps,
+    )
+    Trainer(
+        model,
+        TrainingConfig(epochs=args.epochs, timesteps=args.timesteps, learning_rate=0.15,
+                       loss="per_timestep"),
+    ).fit(DataLoader(train, batch_size=32, seed=2))
+
+    # ---- mapping -------------------------------------------------------- #
+    chip = IMCChip.from_network(model, test.inputs[:4], num_classes=dataset.num_classes)
+    print("\nLayer-by-layer mapping onto the IMC chip")
+    rows = []
+    for layer in chip.mapping.layers:
+        geometry = layer.geometry
+        rows.append([
+            geometry.name, geometry.kind, geometry.weight_rows, geometry.weight_cols,
+            layer.num_crossbars, layer.num_pes, layer.num_tiles,
+            f"{geometry.input_activity:.2f}",
+        ])
+    print(format_table(
+        ["layer", "kind", "rows", "cols", "crossbars", "PEs", "tiles", "input activity"], rows))
+    print(f"\ntotal crossbars: {chip.mapping.total_crossbars}, "
+          f"PEs: {chip.mapping.total_pes}, tiles: {chip.mapping.total_tiles}")
+
+    # ---- Fig. 1(A): component breakdown --------------------------------- #
+    print()
+    print(format_breakdown(chip.energy_breakdown_shares(),
+                           title="Per-timestep dynamic energy breakdown (Fig. 1A)"))
+
+    # ---- Fig. 1(B): scaling with timesteps ------------------------------ #
+    energy_curve = chip.normalized_energy_curve(8)
+    latency_curve = chip.normalized_latency_curve(8)
+    rows = [[t, energy_curve[t], latency_curve[t]] for t in range(1, 9)]
+    print()
+    print(format_table(["T", "normalized energy", "normalized latency"], rows,
+                       title="Energy/latency vs timesteps (Fig. 1B)", float_format="{:.2f}"))
+
+    # ---- sigma-E overhead (Sec. III-B) ----------------------------------- #
+    print(f"\nsigma-E module energy per exit check: {chip.sigma_e.energy_per_check():.2f} pJ "
+          f"({chip.sigma_e_overhead():.2e} of one timestep)")
+
+    # ---- Fig. 5: accuracy-EDP trade-off ---------------------------------- #
+    loader = DataLoader(test, batch_size=64, shuffle=False)
+    collected = collect_cumulative_logits(model, loader, timesteps=args.timesteps)
+    baseline_edp = chip.edp(1)
+    rows = []
+    for t in range(1, args.timesteps + 1):
+        accuracy = float(np.mean(np.argmax(collected["logits"][t - 1], -1) == collected["labels"]))
+        rows.append(["static", f"T={t}", 100 * accuracy, chip.edp(t) / baseline_edp])
+    for point in sweep_thresholds(collected["logits"], collected["labels"], [0.05, 0.2, 0.5]):
+        report = account_result(point.result, chip)
+        rows.append(["DT-SNN", f"theta={point.threshold}", 100 * point.accuracy,
+                     report.mean_edp / baseline_edp])
+    print()
+    print(format_table(["method", "point", "accuracy (%)", "EDP (x of static T=1)"], rows,
+                       title="Accuracy vs EDP (Fig. 5)", float_format="{:.2f}"))
+
+
+if __name__ == "__main__":
+    main()

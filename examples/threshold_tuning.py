@@ -1,0 +1,112 @@
+"""Threshold tuning: how the entropy threshold theta trades accuracy for efficiency.
+
+DT-SNN has a single inference-time knob: the entropy threshold of Eq. 8.
+This example trains one model and then explores that knob without any
+retraining:
+
+* sweep theta over a grid and print accuracy / average-T / exit distribution,
+* calibrate theta automatically to hit (a) iso-accuracy with the static SNN
+  and (b) a user-specified accuracy target,
+* compare the entropy signal against max-probability and margin exit signals
+  at matched accuracy (the DESIGN.md exit-policy ablation).
+
+Run with:  python examples/threshold_tuning.py [--target-accuracy 0.9]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DataLoader,
+    Trainer,
+    TrainingConfig,
+    calibrate_threshold,
+    make_cifar10_like,
+    seed_everything,
+    spiking_vgg,
+    sweep_thresholds,
+    train_test_split,
+)
+from repro.core import ConfidenceExitPolicy, MarginExitPolicy, default_threshold_grid
+from repro.imc import format_table
+from repro.training import collect_cumulative_logits
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--samples", type=int, default=400)
+    parser.add_argument("--image-size", type=int, default=10)
+    parser.add_argument("--timesteps", type=int, default=4)
+    parser.add_argument("--target-accuracy", type=float, default=None,
+                        help="optional explicit accuracy target for calibration")
+    parser.add_argument("--seed", type=int, default=5)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    seed_everything(args.seed)
+
+    dataset = make_cifar10_like(num_samples=args.samples, image_size=args.image_size)
+    train, test = train_test_split(dataset, 0.25, seed=1)
+    model = spiking_vgg("tiny", num_classes=dataset.num_classes,
+                        input_size=args.image_size, default_timesteps=args.timesteps)
+    Trainer(
+        model,
+        TrainingConfig(epochs=args.epochs, timesteps=args.timesteps,
+                       learning_rate=0.15, loss="per_timestep"),
+    ).fit(DataLoader(train, batch_size=32, seed=2))
+
+    loader = DataLoader(test, batch_size=64, shuffle=False)
+    collected = collect_cumulative_logits(model, loader, timesteps=args.timesteps)
+    logits, labels = collected["logits"], collected["labels"]
+    static_accuracy = float(np.mean(np.argmax(logits[-1], -1) == labels))
+    print(f"static SNN accuracy at T={args.timesteps}: {static_accuracy:.3f}")
+
+    # ---- threshold sweep ------------------------------------------------- #
+    grid = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9]
+    rows = []
+    for point in sweep_thresholds(logits, labels, grid):
+        rows.append([point.threshold, 100 * point.accuracy, point.average_timesteps]
+                    + [f"{100 * f:.0f}%" for f in point.timestep_fractions])
+    print()
+    print(format_table(
+        ["theta", "accuracy (%)", "avg T"] + [f"T={t}" for t in range(1, args.timesteps + 1)],
+        rows, title="Entropy-threshold sweep", float_format="{:.2f}"))
+
+    # ---- automatic calibration ------------------------------------------- #
+    iso = calibrate_threshold(logits, labels, tolerance=0.0)
+    print(f"\niso-accuracy calibration: theta={iso.threshold:.3f} "
+          f"-> accuracy {iso.accuracy:.3f}, avg T {iso.average_timesteps:.2f}")
+    if args.target_accuracy is not None:
+        targeted = calibrate_threshold(logits, labels, target_accuracy=args.target_accuracy)
+        print(f"target-accuracy {args.target_accuracy:.3f} calibration: "
+              f"theta={targeted.threshold:.3f} -> accuracy {targeted.accuracy:.3f}, "
+              f"avg T {targeted.average_timesteps:.2f}")
+
+    # ---- alternative exit signals ----------------------------------------- #
+    print("\nalternative exit signals at iso-accuracy:")
+    rows = [["entropy (paper)", iso.threshold, 100 * iso.accuracy, iso.average_timesteps]]
+    confidence = calibrate_threshold(
+        logits, labels, tolerance=0.0,
+        thresholds=1.0 - default_threshold_grid(25, 0.002, 0.6)[::-1],
+        policy_cls=ConfidenceExitPolicy,
+    )
+    margin = calibrate_threshold(
+        logits, labels, tolerance=0.0,
+        thresholds=np.linspace(0.05, 0.95, 25), policy_cls=MarginExitPolicy,
+    )
+    rows.append(["max probability", confidence.threshold, 100 * confidence.accuracy,
+                 confidence.average_timesteps])
+    rows.append(["top-1/top-2 margin", margin.threshold, 100 * margin.accuracy,
+                 margin.average_timesteps])
+    print(format_table(["exit signal", "threshold", "accuracy (%)", "avg T"], rows,
+                       float_format="{:.3f}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools but not the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This ``setup.py`` lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on fully-provisioned machines) work either way.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Input-Aware Dynamic Timestep Spiking Neural Networks
+for Efficient In-Memory Computing" (DAC 2023).
+
+The package is organized as a stack of substrates with the paper's
+contribution (DT-SNN) on top:
+
+* :mod:`repro.autograd` — NumPy reverse-mode autodiff (the tensor backend).
+* :mod:`repro.nn` — neural-network module system and layers.
+* :mod:`repro.snn` — spiking substrate: LIF neurons, surrogate gradients,
+  encoders, temporally-unrolled networks, spiking VGG/ResNet builders.
+* :mod:`repro.data` — synthetic image and event-stream datasets with graded
+  per-sample difficulty.
+* :mod:`repro.training` — optimizers, schedules, the Eq. 9 / Eq. 10 losses
+  and the trainer.
+* :mod:`repro.core` — DT-SNN: entropy-thresholded dynamic-timestep inference,
+  threshold calibration, exit statistics and per-sample cost accounting.
+* :mod:`repro.imc` — the tiled RRAM in-memory-computing chip model: mapping,
+  energy/latency/area, sigma-E module, device variation.
+* :mod:`repro.processors` — general digital processor throughput models.
+
+The most common entry points are re-exported here for convenience::
+
+    from repro import spiking_vgg, Trainer, TrainingConfig
+    from repro import DynamicTimestepInference, EntropyExitPolicy, IMCChip
+"""
+
+from .core import (
+    CostReport,
+    DynamicInferenceResult,
+    DynamicTimestepInference,
+    EntropyExitPolicy,
+    account_result,
+    calibrate_threshold,
+    compare_to_static,
+    normalized_entropy,
+    softmax_probabilities,
+    sweep_thresholds,
+)
+from .data import (
+    ArrayDataset,
+    DataLoader,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dvs_like,
+    make_tinyimagenet_like,
+    train_test_split,
+)
+from .imc import HardwareConfig, IMCChip, with_device_variation
+from .processors import DigitalProcessorModel, WallClockProfiler
+from .snn import SpikingNetwork, spiking_resnet, spiking_vgg
+from .training import Trainer, TrainingConfig, evaluate_per_timestep_accuracy, train_model
+from .utils import seed_everything
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "seed_everything",
+    "spiking_vgg",
+    "spiking_resnet",
+    "SpikingNetwork",
+    "Trainer",
+    "TrainingConfig",
+    "train_model",
+    "evaluate_per_timestep_accuracy",
+    "DynamicTimestepInference",
+    "DynamicInferenceResult",
+    "EntropyExitPolicy",
+    "normalized_entropy",
+    "softmax_probabilities",
+    "sweep_thresholds",
+    "calibrate_threshold",
+    "account_result",
+    "compare_to_static",
+    "CostReport",
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_tinyimagenet_like",
+    "make_dvs_like",
+    "HardwareConfig",
+    "IMCChip",
+    "with_device_variation",
+    "DigitalProcessorModel",
+    "WallClockProfiler",
+]

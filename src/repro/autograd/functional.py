@@ -1,0 +1,188 @@
+"""Differentiable functional operators built on :class:`~repro.autograd.tensor.Tensor`.
+
+These functions are the NumPy-autograd equivalents of ``torch.nn.functional``
+used by the original DT-SNN implementation: 2D convolution (via im2col),
+average/max pooling, linear layers, softmax / log-softmax, cross-entropy, and
+one-hot encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .ops import col2im, im2col
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "avg_pool2d",
+    "max_pool2d",
+    "adaptive_avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "one_hot",
+    "dropout",
+]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``.
+
+    ``x`` has shape ``(N, in_features)`` and ``weight`` has shape
+    ``(out_features, in_features)`` following the PyTorch convention.
+    """
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution over ``(N, C, H, W)`` input using im2col + matmul.
+
+    ``weight`` has shape ``(out_channels, in_channels, k, k)``.  The
+    computation graph is recorded through a custom backward closure so both
+    the input and the weight receive exact gradients.
+    """
+    n, c, h, w = x.shape
+    out_channels, in_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if in_channels != c:
+        raise ValueError(f"input has {c} channels but weight expects {in_channels}")
+
+    cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    flat_weight = weight.data.reshape(out_channels, -1)
+    # (N, P, CKK) @ (CKK, O) -> (N, P, O)
+    out_data = cols @ flat_weight.T
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, 1, -1)
+    out_data = out_data.transpose(0, 2, 1).reshape(n, out_channels, out_h, out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (N, O, out_h, out_w) -> (N, P, O)
+        grad_flat = grad.reshape(n, out_channels, out_h * out_w).transpose(0, 2, 1)
+        if weight.requires_grad:
+            # (O, P, N) x (N, P, CKK) summed over N and P.
+            grad_weight = np.einsum("npo,npk->ok", grad_flat, cols, optimize=True)
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=(0, 1)))
+        if x.requires_grad:
+            grad_cols = grad_flat @ flat_weight  # (N, P, CKK)
+            grad_x = col2im(grad_cols, (n, c, h, w), kernel, stride, padding)
+            x._accumulate(grad_x)
+
+    return Tensor._make(out_data.astype(x.data.dtype), parents, backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, out_h, out_w = im2col(x.data, kernel, stride, 0)
+    cols = cols.reshape(n, out_h * out_w, c, kernel * kernel)
+    out_data = cols.mean(axis=3).transpose(0, 2, 1).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_flat = grad.reshape(n, c, out_h * out_w).transpose(0, 2, 1)
+        grad_cols = np.repeat(grad_flat[:, :, :, None], kernel * kernel, axis=3)
+        grad_cols = grad_cols / float(kernel * kernel)
+        grad_cols = grad_cols.reshape(n, out_h * out_w, c * kernel * kernel)
+        x._accumulate(col2im(grad_cols, (n, c, h, w), kernel, stride, 0))
+
+    return Tensor._make(out_data.astype(x.data.dtype), (x,), backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over windows; gradient flows to the argmax element."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, out_h, out_w = im2col(x.data, kernel, stride, 0)
+    cols = cols.reshape(n, out_h * out_w, c, kernel * kernel)
+    argmax = cols.argmax(axis=3)
+    out_data = np.take_along_axis(cols, argmax[..., None], axis=3).squeeze(3)
+    out_data = out_data.transpose(0, 2, 1).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_flat = grad.reshape(n, c, out_h * out_w).transpose(0, 2, 1)
+        grad_cols = np.zeros((n, out_h * out_w, c, kernel * kernel), dtype=grad.dtype)
+        np.put_along_axis(grad_cols, argmax[..., None], grad_flat[..., None], axis=3)
+        grad_cols = grad_cols.reshape(n, out_h * out_w, c * kernel * kernel)
+        x._accumulate(col2im(grad_cols, (n, c, h, w), kernel, stride, 0))
+
+    return Tensor._make(out_data.astype(x.data.dtype), (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only integer-divisible geometries supported."""
+    _, _, h, w = x.shape
+    if h % output_size or w % output_size:
+        raise ValueError("adaptive_avg_pool2d requires divisible spatial dims")
+    kernel = h // output_size
+    return avg_pool2d(x, kernel, kernel)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (Eq. 6 of the paper)."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to one-hot ``(N, num_classes)`` float32."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D integer array")
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError("label out of range for one_hot")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Negative log-likelihood of ``labels`` under ``log_probs`` (mean over batch)."""
+    num_classes = log_probs.shape[-1]
+    target = Tensor(one_hot(labels, num_classes))
+    return -(log_probs * target).sum(axis=-1).mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy (Eq. 9 of the paper), averaged over the batch."""
+    return nll_loss(log_softmax(logits, axis=-1), labels)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by 1/(1-p) during training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,111 @@
+"""Low-level NumPy kernels used by the autograd functional layer.
+
+These are pure ``numpy`` routines (no :class:`~repro.autograd.tensor.Tensor`
+involvement) implementing the im2col/col2im transforms that turn 2D
+convolution and pooling into matrix multiplication.  Keeping them separate
+from the autograd layer makes them independently testable and reusable by the
+IMC crossbar mapper, which needs the same unrolled (rows = k*k*C_in) view of a
+convolution that the hardware sees.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "pool_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"Invalid convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pool_output_size(size: int, kernel: int, stride: int) -> int:
+    """Spatial output size of a pooling window without padding."""
+    return conv_output_size(size, kernel, stride, 0)
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unroll image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)``.
+    kernel, stride, padding:
+        Convolution geometry (square kernels).
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, out_h * out_w, C * kernel * kernel)``.
+    out_h, out_w:
+        Output spatial dimensions.
+    """
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    if padding > 0:
+        images = np.pad(
+            images, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    strides = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> (N, out_h*out_w, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kernel * kernel)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into image space.
+
+    ``cols`` has shape ``(N, out_h * out_w, C * kernel * kernel)`` and the
+    result has shape ``image_shape`` (the original, unpadded shape).  Overlapping
+    patches are summed, which is exactly the gradient of im2col.
+    """
+    n, c, h, w = image_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel)
+    for i in range(kernel):
+        for j in range(kernel):
+            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

@@ -1,0 +1,270 @@
+"""Command-line interface for the DT-SNN reproduction.
+
+Four subcommands cover the day-to-day workflow a user of the library needs
+without writing Python:
+
+* ``train``      — train a spiking VGG/ResNet on one of the synthetic datasets
+                   and save the checkpoint (+ a JSON training report).
+* ``evaluate``   — load a checkpoint, report static per-timestep accuracy and
+                   the DT-SNN iso-accuracy operating point.
+* ``sweep``      — threshold sweep: accuracy / average-T / (optionally) EDP
+                   for a grid of entropy thresholds.
+* ``chip-report``— map a checkpoint onto the Table-I IMC chip and print the
+                   energy/latency/area breakdowns.
+
+Example
+-------
+    python -m repro.cli train --dataset cifar10 --arch vgg --epochs 6 \
+        --checkpoint /tmp/dtsnn.npz
+    python -m repro.cli evaluate --checkpoint /tmp/dtsnn.npz --dataset cifar10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+import numpy as np
+
+from .core import account_result, calibrate_threshold, compare_to_static, sweep_thresholds
+from .data import (
+    DataLoader,
+    SyntheticDVSConfig,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dvs_like,
+    make_tinyimagenet_like,
+    train_test_split,
+)
+from .imc import IMCChip, format_breakdown, format_table
+from .snn import EventFrameEncoder, spiking_resnet, spiking_vgg
+from .training import (
+    Trainer,
+    TrainingConfig,
+    collect_cumulative_logits,
+    evaluate_per_timestep_accuracy,
+)
+from .utils import load_state_dict, save_json, save_state_dict, seed_everything
+
+__all__ = ["main", "build_parser"]
+
+DATASETS = {
+    "cifar10": make_cifar10_like,
+    "cifar100": make_cifar100_like,
+    "tinyimagenet": make_tinyimagenet_like,
+}
+
+
+def _build_dataset(args: argparse.Namespace):
+    if args.dataset == "cifar10dvs":
+        dataset = make_dvs_like(
+            SyntheticDVSConfig(
+                num_classes=10,
+                num_samples=args.samples,
+                num_frames=args.timesteps,
+                image_size=args.image_size,
+                seed=args.seed,
+            )
+        )
+    else:
+        dataset = DATASETS[args.dataset](
+            num_samples=args.samples, image_size=args.image_size, seed=args.seed
+        )
+    return train_test_split(dataset, test_fraction=0.25, seed=args.seed + 1)
+
+
+def _build_model(args: argparse.Namespace, num_classes: int, in_channels: int):
+    builder = spiking_vgg if args.arch == "vgg" else spiking_resnet
+    encoder = EventFrameEncoder() if args.dataset == "cifar10dvs" else None
+    return builder(
+        args.preset,
+        num_classes=num_classes,
+        in_channels=in_channels,
+        input_size=args.image_size,
+        width_multiplier=args.width_multiplier,
+        default_timesteps=args.timesteps,
+        encoder=encoder,
+    )
+
+
+def _load_model(args: argparse.Namespace, num_classes: int, in_channels: int):
+    model = _build_model(args, num_classes, in_channels)
+    model.load_state_dict(load_state_dict(args.checkpoint))
+    return model
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=[*DATASETS, "cifar10dvs"], default="cifar10")
+    parser.add_argument("--arch", choices=["vgg", "resnet"], default="vgg")
+    parser.add_argument("--preset", default="tiny",
+                        help="architecture preset (tiny/vgg5/.../vgg16, tiny/resnet11/resnet19)")
+    parser.add_argument("--width-multiplier", type=float, default=1.0)
+    parser.add_argument("--samples", type=int, default=400)
+    parser.add_argument("--image-size", type=int, default=10)
+    parser.add_argument("--timesteps", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="train a spiking network")
+    _add_common_arguments(train)
+    train.add_argument("--epochs", type=int, default=6)
+    train.add_argument("--learning-rate", type=float, default=0.15)
+    train.add_argument("--loss", choices=["final", "per_timestep", "tet"], default="per_timestep")
+    train.add_argument("--checkpoint", required=True, help="path for the saved .npz checkpoint")
+    train.add_argument("--report", default=None, help="optional JSON training report path")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint statically and dynamically")
+    _add_common_arguments(evaluate)
+    evaluate.add_argument("--checkpoint", required=True)
+    evaluate.add_argument("--tolerance", type=float, default=0.005,
+                          help="allowed accuracy drop for the DT-SNN calibration")
+
+    sweep = subparsers.add_parser("sweep", help="entropy-threshold sweep for a checkpoint")
+    _add_common_arguments(sweep)
+    sweep.add_argument("--checkpoint", required=True)
+    sweep.add_argument("--thresholds", type=float, nargs="+",
+                       default=[0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9])
+    sweep.add_argument("--with-edp", action="store_true",
+                       help="also price every sweep point on the IMC chip")
+
+    chip = subparsers.add_parser("chip-report", help="map a checkpoint onto the IMC chip")
+    _add_common_arguments(chip)
+    chip.add_argument("--checkpoint", required=True)
+    chip.add_argument("--max-timesteps", type=int, default=8,
+                      help="horizon for the energy/latency scaling table")
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _command_train(args: argparse.Namespace) -> int:
+    seed_everything(args.seed)
+    train, test = _build_dataset(args)
+    in_channels = train.sample_shape[-3]
+    model = _build_model(args, train.num_classes, in_channels)
+    trainer = Trainer(
+        model,
+        TrainingConfig(
+            epochs=args.epochs,
+            timesteps=args.timesteps,
+            learning_rate=args.learning_rate,
+            loss=args.loss,
+        ),
+    )
+    result = trainer.fit(
+        DataLoader(train, batch_size=32, seed=args.seed),
+        DataLoader(test, batch_size=64, shuffle=False),
+    )
+    save_state_dict(args.checkpoint, model.state_dict())
+    print(f"saved checkpoint to {args.checkpoint}")
+    print(f"final eval accuracy: {result.final_eval_accuracy:.4f}")
+    if args.report:
+        save_json(
+            args.report,
+            {
+                "dataset": args.dataset,
+                "architecture": args.arch,
+                "epochs": result.epochs_run,
+                "train_loss": result.train_loss_history,
+                "eval_accuracy": result.eval_accuracy_history,
+                "final_eval_accuracy": result.final_eval_accuracy,
+            },
+        )
+        print(f"wrote training report to {args.report}")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    seed_everything(args.seed)
+    train, test = _build_dataset(args)
+    model = _load_model(args, train.num_classes, train.sample_shape[-3])
+    loader = DataLoader(test, batch_size=64, shuffle=False)
+
+    per_timestep = evaluate_per_timestep_accuracy(model, loader, timesteps=args.timesteps)
+    rows = [[f"T={t}", 100.0 * acc] for t, acc in enumerate(per_timestep, start=1)]
+    print(format_table(["horizon", "accuracy (%)"], rows, title="Static SNN accuracy"))
+
+    collected = collect_cumulative_logits(model, loader, timesteps=args.timesteps)
+    point = calibrate_threshold(collected["logits"], collected["labels"], tolerance=args.tolerance)
+    print(f"\nDT-SNN: threshold={point.threshold:.4f} accuracy={point.accuracy:.4f} "
+          f"average timesteps={point.average_timesteps:.2f}")
+    for t, fraction in enumerate(point.timestep_fractions, start=1):
+        print(f"  exits at T={t}: {100 * fraction:.1f}%")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    seed_everything(args.seed)
+    train, test = _build_dataset(args)
+    model = _load_model(args, train.num_classes, train.sample_shape[-3])
+    loader = DataLoader(test, batch_size=64, shuffle=False)
+    collected = collect_cumulative_logits(model, loader, timesteps=args.timesteps)
+
+    chip: Optional[IMCChip] = None
+    if args.with_edp:
+        chip = IMCChip.from_network(model, test.inputs[:4], num_classes=train.num_classes)
+
+    rows = []
+    for point in sweep_thresholds(collected["logits"], collected["labels"], args.thresholds):
+        row = [point.threshold, 100.0 * point.accuracy, point.average_timesteps]
+        if chip is not None:
+            report = account_result(point.result, chip)
+            comparison = compare_to_static(report, chip, static_timesteps=args.timesteps)
+            row.extend([comparison["normalized_energy"], comparison["normalized_edp"]])
+        rows.append(row)
+    headers = ["threshold", "accuracy (%)", "avg T"]
+    if chip is not None:
+        headers += ["energy (x static)", "EDP (x static)"]
+    print(format_table(headers, rows, title="Entropy-threshold sweep", float_format="{:.3f}"))
+    return 0
+
+
+def _command_chip_report(args: argparse.Namespace) -> int:
+    seed_everything(args.seed)
+    train, test = _build_dataset(args)
+    model = _load_model(args, train.num_classes, train.sample_shape[-3])
+    chip = IMCChip.from_network(model, test.inputs[:4], num_classes=train.num_classes)
+
+    summary = chip.summary()
+    rows = [[key, value] for key, value in summary.items()]
+    print(format_table(["quantity", "value"], rows, title="Chip summary", float_format="{:.4g}"))
+    print()
+    print(format_breakdown(chip.energy_breakdown_shares(),
+                           title="Per-timestep energy breakdown (Fig. 1A)"))
+    energy = chip.normalized_energy_curve(args.max_timesteps)
+    latency = chip.normalized_latency_curve(args.max_timesteps)
+    rows = [[t, energy[t], latency[t]] for t in sorted(energy)]
+    print()
+    print(format_table(["T", "normalized energy", "normalized latency"], rows,
+                       title="Scaling with timesteps (Fig. 1B)", float_format="{:.2f}"))
+    print()
+    print(format_breakdown(
+        {k: v / chip.area_breakdown()["total"] for k, v in chip.area_breakdown().items() if k != "total"},
+        title="Area breakdown"))
+    return 0
+
+
+_COMMANDS = {
+    "train": _command_train,
+    "evaluate": _command_evaluate,
+    "sweep": _command_sweep,
+    "chip-report": _command_chip_report,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point for ``python -m repro.cli`` (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""DT-SNN core: entropy-thresholded dynamic-timestep inference and its analysis tools."""
+
+from .accounting import CostReport, InferenceCostModel, account_result, compare_to_static
+from .calibration import TemperatureScaler, expected_calibration_error, reliability_curve
+from .dynamic_inference import DynamicInferenceResult, DynamicTimestepInference
+from .oracle import exit_policy_efficiency, oracle_exit_result
+from .early_exit import EarlyExitANN, EarlyExitInference, build_early_exit_ann
+from .entropy import (
+    normalized_entropy,
+    prediction_confidence,
+    prediction_margin,
+    softmax_probabilities,
+)
+from .policies import (
+    EXIT_POLICIES,
+    ConfidenceExitPolicy,
+    EntropyExitPolicy,
+    ExitPolicy,
+    MarginExitPolicy,
+    StaticExitPolicy,
+    build_policy,
+)
+from .statistics import (
+    ExitGroupSummary,
+    ascii_thumbnail,
+    difficulty_by_exit_time,
+    exit_distribution_table,
+    stratify_by_exit_time,
+    summarize_exit_groups,
+)
+from .threshold import (
+    ThresholdSweepPoint,
+    calibrate_threshold,
+    default_threshold_grid,
+    sweep_thresholds,
+)
+
+__all__ = [
+    "softmax_probabilities",
+    "normalized_entropy",
+    "prediction_confidence",
+    "prediction_margin",
+    "ExitPolicy",
+    "EntropyExitPolicy",
+    "ConfidenceExitPolicy",
+    "MarginExitPolicy",
+    "StaticExitPolicy",
+    "EXIT_POLICIES",
+    "build_policy",
+    "DynamicTimestepInference",
+    "DynamicInferenceResult",
+    "ThresholdSweepPoint",
+    "sweep_thresholds",
+    "calibrate_threshold",
+    "default_threshold_grid",
+    "exit_distribution_table",
+    "stratify_by_exit_time",
+    "difficulty_by_exit_time",
+    "summarize_exit_groups",
+    "ExitGroupSummary",
+    "ascii_thumbnail",
+    "EarlyExitANN",
+    "EarlyExitInference",
+    "build_early_exit_ann",
+    "InferenceCostModel",
+    "CostReport",
+    "account_result",
+    "compare_to_static",
+    "TemperatureScaler",
+    "expected_calibration_error",
+    "reliability_curve",
+    "oracle_exit_result",
+    "exit_policy_efficiency",
+]

@@ -1,0 +1,114 @@
+"""Per-sample energy / latency / EDP accounting for dynamic-timestep inference.
+
+The paper reports three hardware metrics for every model/dataset pair:
+average timesteps, normalized energy (Table II), and normalized EDP (Fig. 4 /
+Fig. 5).  Crucially these are averaged **per sample**: a sample exiting at
+timestep 1 costs E(1) and D(1), and the dataset-level number is the mean over
+samples — not the cost evaluated at the mean timestep.  EDP in particular is
+convex in T, so getting this wrong understates DT-SNN's reported savings; the
+per-sample accounting here reproduces the paper's arithmetic exactly.
+
+The cost model is abstract (:class:`InferenceCostModel`) so the same
+accounting runs against the IMC chip model (:mod:`repro.imc`) and the general
+digital processor model (:mod:`repro.processors`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol
+
+import numpy as np
+
+from .dynamic_inference import DynamicInferenceResult
+
+__all__ = ["InferenceCostModel", "CostReport", "account_result", "compare_to_static"]
+
+
+class InferenceCostModel(Protocol):
+    """Anything that prices a single-sample inference at a given horizon."""
+
+    def energy(self, timesteps: int) -> float:
+        """Energy for one inference using ``timesteps`` timesteps."""
+        ...
+
+    def latency(self, timesteps: int) -> float:
+        """Latency for one inference using ``timesteps`` timesteps."""
+        ...
+
+
+@dataclass
+class CostReport:
+    """Aggregate hardware cost of an inference run."""
+
+    average_timesteps: float
+    mean_energy: float
+    mean_latency: float
+    mean_edp: float
+    total_energy: float
+    num_samples: int
+    accuracy: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        row = {
+            "average_timesteps": self.average_timesteps,
+            "mean_energy": self.mean_energy,
+            "mean_latency": self.mean_latency,
+            "mean_edp": self.mean_edp,
+            "total_energy": self.total_energy,
+            "num_samples": float(self.num_samples),
+        }
+        if self.accuracy is not None:
+            row["accuracy"] = self.accuracy
+        return row
+
+
+def account_result(result: DynamicInferenceResult, cost_model: InferenceCostModel) -> CostReport:
+    """Price every sample at its own exit timestep and aggregate."""
+    timesteps = np.asarray(result.exit_timesteps, dtype=np.int64)
+    if timesteps.size == 0:
+        raise ValueError("cannot account an empty inference result")
+    unique_t = np.unique(timesteps)
+    energy_lut = {int(t): float(cost_model.energy(int(t))) for t in unique_t}
+    latency_lut = {int(t): float(cost_model.latency(int(t))) for t in unique_t}
+    energies = np.array([energy_lut[int(t)] for t in timesteps])
+    latencies = np.array([latency_lut[int(t)] for t in timesteps])
+    edp = energies * latencies
+    accuracy = result.accuracy() if result.labels is not None else None
+    return CostReport(
+        average_timesteps=float(timesteps.mean()),
+        mean_energy=float(energies.mean()),
+        mean_latency=float(latencies.mean()),
+        mean_edp=float(edp.mean()),
+        total_energy=float(energies.sum()),
+        num_samples=int(timesteps.size),
+        accuracy=accuracy,
+    )
+
+
+def compare_to_static(
+    dynamic_report: CostReport,
+    cost_model: InferenceCostModel,
+    static_timesteps: int,
+    static_accuracy: Optional[float] = None,
+) -> Dict[str, float]:
+    """Normalize a DT-SNN cost report against a static-T baseline (Table II, Fig. 4)."""
+    static_energy = float(cost_model.energy(static_timesteps))
+    static_latency = float(cost_model.latency(static_timesteps))
+    static_edp = static_energy * static_latency
+    comparison = {
+        "static_timesteps": float(static_timesteps),
+        "dynamic_average_timesteps": dynamic_report.average_timesteps,
+        "normalized_energy": dynamic_report.mean_energy / static_energy,
+        "normalized_latency": dynamic_report.mean_latency / static_latency,
+        "normalized_edp": dynamic_report.mean_edp / static_edp,
+        "edp_reduction_percent": 100.0 * (1.0 - dynamic_report.mean_edp / static_edp),
+        "energy_reduction_percent": 100.0 * (1.0 - dynamic_report.mean_energy / static_energy),
+    }
+    if dynamic_report.accuracy is not None:
+        comparison["dynamic_accuracy"] = dynamic_report.accuracy
+    if static_accuracy is not None:
+        comparison["static_accuracy"] = static_accuracy
+        if dynamic_report.accuracy is not None:
+            comparison["accuracy_delta"] = dynamic_report.accuracy - static_accuracy
+    return comparison

@@ -1,0 +1,158 @@
+"""Confidence calibration for the entropy-based exit decision.
+
+DT-SNN's exit rule assumes that low entropy implies a probably-correct
+prediction; the paper justifies this with the calibration literature (Guo et
+al., ICML 2017).  This module provides the standard tools to *measure* and
+*improve* that assumption:
+
+* :func:`expected_calibration_error` — the ECE of a probability/label set,
+  computed with equal-width confidence bins.
+* :func:`reliability_curve` — per-bin confidence vs accuracy (the reliability
+  diagram's data).
+* :class:`TemperatureScaler` — single-parameter temperature scaling fitted on
+  held-out data by minimizing the negative log-likelihood.  Scaling the
+  logits by 1/T before the softmax changes the entropy of every prediction
+  monotonically, so a better-calibrated temperature lets a single threshold θ
+  separate "confidently correct" from "uncertain" more cleanly — an optional
+  refinement on top of the paper's method (the paper uses T = 1).
+
+The scaler is deliberately tiny (one scalar, closed-form-free 1-D
+minimization via golden-section search) so it adds no new dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .entropy import softmax_probabilities
+
+__all__ = [
+    "expected_calibration_error",
+    "reliability_curve",
+    "TemperatureScaler",
+]
+
+
+def _check_inputs(probabilities: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must have shape (N, K)")
+    if labels.shape[0] != probabilities.shape[0]:
+        raise ValueError("labels and probabilities disagree on the sample count")
+    return probabilities, labels
+
+
+def reliability_curve(
+    probabilities: np.ndarray, labels: np.ndarray, num_bins: int = 10
+) -> Dict[str, np.ndarray]:
+    """Bin predictions by confidence and report per-bin confidence/accuracy/counts."""
+    probabilities, labels = _check_inputs(probabilities, labels)
+    if num_bins < 1:
+        raise ValueError("num_bins must be >= 1")
+    confidence = probabilities.max(axis=-1)
+    predictions = probabilities.argmax(axis=-1)
+    correct = (predictions == labels).astype(np.float64)
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bin_confidence = np.zeros(num_bins)
+    bin_accuracy = np.zeros(num_bins)
+    bin_count = np.zeros(num_bins, dtype=np.int64)
+    indices = np.clip(np.digitize(confidence, edges[1:-1]), 0, num_bins - 1)
+    for bin_index in range(num_bins):
+        mask = indices == bin_index
+        count = int(mask.sum())
+        bin_count[bin_index] = count
+        if count:
+            bin_confidence[bin_index] = confidence[mask].mean()
+            bin_accuracy[bin_index] = correct[mask].mean()
+    return {
+        "bin_edges": edges,
+        "confidence": bin_confidence,
+        "accuracy": bin_accuracy,
+        "count": bin_count,
+    }
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, num_bins: int = 10
+) -> float:
+    """ECE: count-weighted mean |confidence - accuracy| over confidence bins."""
+    curve = reliability_curve(probabilities, labels, num_bins)
+    counts = curve["count"].astype(np.float64)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("no samples provided")
+    gaps = np.abs(curve["confidence"] - curve["accuracy"])
+    return float((counts / total * gaps).sum())
+
+
+@dataclass
+class TemperatureScaler:
+    """Single-parameter temperature scaling of logits."""
+
+    temperature: float = 1.0
+
+    def transform(self, logits: np.ndarray) -> np.ndarray:
+        """Scale logits by 1/temperature (applied before softmax)."""
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        return np.asarray(logits, dtype=np.float64) / self.temperature
+
+    def probabilities(self, logits: np.ndarray) -> np.ndarray:
+        return softmax_probabilities(self.transform(logits))
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _nll(logits: np.ndarray, labels: np.ndarray, temperature: float) -> float:
+        probabilities = softmax_probabilities(logits / temperature)
+        picked = probabilities[np.arange(labels.shape[0]), labels]
+        return float(-np.log(np.clip(picked, 1e-12, 1.0)).mean())
+
+    @classmethod
+    def fit(
+        cls,
+        logits: np.ndarray,
+        labels: np.ndarray,
+        bounds: Tuple[float, float] = (0.05, 20.0),
+        iterations: int = 60,
+    ) -> "TemperatureScaler":
+        """Fit the temperature by golden-section search on the held-out NLL."""
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2 or logits.shape[0] != labels.shape[0]:
+            raise ValueError("logits must be (N, K) with one label per row")
+        low, high = bounds
+        if not 0 < low < high:
+            raise ValueError("invalid temperature bounds")
+
+        # Golden-section search over log-temperature (the NLL is smooth and
+        # unimodal in practice; searching in log space keeps the resolution
+        # proportional at both ends of the range).
+        phi = (np.sqrt(5.0) - 1.0) / 2.0
+        a, b = np.log(low), np.log(high)
+        c = b - phi * (b - a)
+        d = a + phi * (b - a)
+        fc = cls._nll(logits, labels, float(np.exp(c)))
+        fd = cls._nll(logits, labels, float(np.exp(d)))
+        for _ in range(iterations):
+            if fc < fd:
+                b, d, fd = d, c, fc
+                c = b - phi * (b - a)
+                fc = cls._nll(logits, labels, float(np.exp(c)))
+            else:
+                a, c, fc = c, d, fd
+                d = a + phi * (b - a)
+                fd = cls._nll(logits, labels, float(np.exp(d)))
+        best = float(np.exp((a + b) / 2.0))
+        return cls(temperature=best)
+
+    def calibrate_cumulative_logits(self, cumulative_logits: np.ndarray) -> np.ndarray:
+        """Apply the fitted temperature to a ``(T, N, K)`` cumulative-logits array."""
+        cumulative_logits = np.asarray(cumulative_logits, dtype=np.float64)
+        if cumulative_logits.ndim != 3:
+            raise ValueError("cumulative_logits must have shape (T, N, K)")
+        return cumulative_logits / self.temperature

@@ -1,0 +1,176 @@
+"""ANN early-exit baseline (BranchyNet-style) for the Sec. III-A(c) comparison.
+
+The paper argues DT-SNN is conceptually similar to early exit in ANNs but (1)
+needs no additional exit classifiers because the time dimension already
+provides intermediate outputs, and (2) exits a much larger fraction of inputs
+at its first decision point.  To make that comparison concrete this module
+implements a small convolutional ANN with auxiliary exit branches: each branch
+is an extra classifier head attached after an intermediate block, and
+inference walks the branches in order applying the same entropy rule DT-SNN
+uses.
+
+The module reuses the entropy policies from :mod:`repro.core.policies`, so the
+comparison isolates exactly the architectural difference the paper discusses:
+extra parameters/compute for ANN exits versus free temporal exits for SNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy, no_grad
+from ..data.datasets import DataLoader
+from ..nn import AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, ReLU, Sequential
+from ..nn.module import Module, ModuleList
+from .dynamic_inference import DynamicInferenceResult
+from .policies import EntropyExitPolicy, ExitPolicy
+
+__all__ = ["EarlyExitANN", "build_early_exit_ann", "EarlyExitInference"]
+
+
+class EarlyExitANN(Module):
+    """A feedforward ANN with one classifier per exit point.
+
+    ``blocks[i]`` transforms the feature map; ``exits[i]`` maps the feature
+    map after block ``i`` to class logits.  The final exit is the ordinary
+    network output.
+    """
+
+    def __init__(self, blocks: Sequence[Module], exits: Sequence[Module]):
+        super().__init__()
+        if len(blocks) != len(exits):
+            raise ValueError("need exactly one exit head per block")
+        if not blocks:
+            raise ValueError("EarlyExitANN requires at least one block")
+        self.blocks = ModuleList(list(blocks))
+        self.exits = ModuleList(list(exits))
+
+    @property
+    def num_exits(self) -> int:
+        return len(self.blocks)
+
+    def forward(self, x) -> List[Tensor]:
+        """Return the logits of every exit head (training uses all of them)."""
+        if isinstance(x, np.ndarray):
+            x = Tensor(x)
+        outputs: List[Tensor] = []
+        hidden = x
+        for block, exit_head in zip(self.blocks, self.exits):
+            hidden = block(hidden)
+            outputs.append(exit_head(hidden))
+        return outputs
+
+    def loss(self, x, labels: np.ndarray) -> Tensor:
+        """Joint loss: mean cross-entropy over all exits (BranchyNet training)."""
+        outputs = self.forward(x)
+        total = cross_entropy(outputs[0], labels)
+        for logits in outputs[1:]:
+            total = total + cross_entropy(logits, labels)
+        return total * (1.0 / len(outputs))
+
+    def exit_parameter_overhead(self) -> float:
+        """Fraction of total parameters spent on the auxiliary exit heads.
+
+        DT-SNN's corresponding overhead is zero (the paper's point (1)); this
+        number quantifies the ANN side of the comparison.
+        """
+        exit_params = sum(p.size for head in list(self.exits)[:-1] for p in head.parameters())
+        total_params = self.num_parameters()
+        return exit_params / total_params if total_params else 0.0
+
+
+def _exit_head(channels: int, spatial: int, num_classes: int) -> Module:
+    """A light classifier head: global average pool + linear."""
+    return Sequential(AvgPool2d(spatial), Flatten(), Linear(channels, num_classes))
+
+
+def build_early_exit_ann(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    input_size: int = 16,
+    widths: Sequence[int] = (16, 32, 64),
+) -> EarlyExitANN:
+    """Construct a small 3-stage CNN with an exit after every stage."""
+    blocks: List[Module] = []
+    exits: List[Module] = []
+    channels = in_channels
+    spatial = input_size
+    for stage_index, width in enumerate(widths):
+        stage: List[Module] = [
+            Conv2d(channels, width, 3, stride=1, padding=1),
+            BatchNorm2d(width),
+            ReLU(),
+        ]
+        if stage_index < len(widths) - 1:
+            stage.append(AvgPool2d(2))
+            spatial = spatial // 2
+        blocks.append(Sequential(*stage))
+        exits.append(_exit_head(width, spatial, num_classes))
+        channels = width
+    return EarlyExitANN(blocks, exits)
+
+
+@dataclass
+class EarlyExitInference:
+    """Entropy-thresholded inference over the exits of an :class:`EarlyExitANN`."""
+
+    model: EarlyExitANN
+    policy: ExitPolicy
+
+    def __init__(self, model: EarlyExitANN, policy: Optional[ExitPolicy] = None):
+        self.model = model
+        self.policy = policy or EntropyExitPolicy()
+
+    def infer(self, inputs: np.ndarray, labels: Optional[np.ndarray] = None) -> DynamicInferenceResult:
+        """Per-sample early exit: the exit index plays the role of the timestep."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                outputs = [logits.data for logits in self.model.forward(inputs)]
+        finally:
+            self.model.train(was_training)
+        num_exits = len(outputs)
+        num_samples = outputs[0].shape[0]
+        exit_indices = np.full(num_samples, num_exits, dtype=np.int64)
+        predictions = np.argmax(outputs[-1], axis=-1)
+        scores = self.policy.score(outputs[-1])
+        undecided = np.ones(num_samples, dtype=bool)
+        for index, logits in enumerate(outputs):
+            exit_now = self.policy.should_exit(logits) & undecided
+            if index == num_exits - 1:
+                exit_now = undecided
+            if exit_now.any():
+                exit_indices[exit_now] = index + 1
+                predictions[exit_now] = np.argmax(logits[exit_now], axis=-1)
+                scores[exit_now] = self.policy.score(logits[exit_now])
+                undecided &= ~exit_now
+        return DynamicInferenceResult(
+            exit_timesteps=exit_indices,
+            predictions=predictions,
+            labels=None if labels is None else np.asarray(labels),
+            scores=np.asarray(scores),
+            max_timesteps=num_exits,
+            policy_name=f"ann-early-exit-{self.policy.name}",
+            threshold=getattr(self.policy, "threshold", None),
+        )
+
+    def infer_loader(self, loader: DataLoader) -> DynamicInferenceResult:
+        """Early-exit inference over a full data loader."""
+        partial: List[DynamicInferenceResult] = []
+        all_labels: List[np.ndarray] = []
+        for inputs, labels in loader:
+            partial.append(self.infer(inputs))
+            all_labels.append(labels)
+        return DynamicInferenceResult(
+            exit_timesteps=np.concatenate([r.exit_timesteps for r in partial]),
+            predictions=np.concatenate([r.predictions for r in partial]),
+            labels=np.concatenate(all_labels),
+            scores=np.concatenate([r.scores for r in partial]),
+            max_timesteps=partial[0].max_timesteps if partial else 0,
+            policy_name=f"ann-early-exit-{self.policy.name}",
+            threshold=getattr(self.policy, "threshold", None),
+        )

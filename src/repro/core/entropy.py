@@ -1,0 +1,52 @@
+"""Softmax and normalized-entropy computation (Eq. 6 and Eq. 7 of the paper).
+
+These are forward-only (NumPy) computations used at inference time by the
+DT-SNN exit decision and by the sigma-E hardware module model.  The entropy is
+normalized by ``log K`` so it always lies in ``(0, 1]`` regardless of the
+number of classes, which lets a single threshold value be meaningful across
+datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax_probabilities", "normalized_entropy", "prediction_confidence", "prediction_margin"]
+
+
+def softmax_probabilities(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax (Eq. 6)."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def normalized_entropy(probabilities: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """Entropy normalized to ``(0, 1]`` by ``log K`` (Eq. 7).
+
+    ``probabilities`` must already sum to one along ``axis`` (the output of
+    :func:`softmax_probabilities`).  A uniform distribution maps to 1.0 and a
+    one-hot distribution maps to 0.0.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    num_classes = probabilities.shape[axis]
+    if num_classes < 2:
+        raise ValueError("entropy requires at least two classes")
+    clipped = np.clip(probabilities, eps, 1.0)
+    entropy = -(probabilities * np.log(clipped)).sum(axis=axis)
+    return entropy / np.log(num_classes)
+
+
+def prediction_confidence(probabilities: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Maximum softmax probability (the confidence baseline exit signal)."""
+    return np.asarray(probabilities).max(axis=axis)
+
+
+def prediction_margin(probabilities: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Difference between the top-1 and top-2 probabilities (margin signal)."""
+    probabilities = np.asarray(probabilities)
+    sorted_probs = np.sort(probabilities, axis=axis)
+    top1 = np.take(sorted_probs, -1, axis=axis)
+    top2 = np.take(sorted_probs, -2, axis=axis)
+    return top1 - top2

@@ -1,0 +1,87 @@
+"""Oracle exit analysis: the lower bound on achievable average timesteps.
+
+The entropy rule (Eq. 8) is a heuristic; a useful diagnostic is how close it
+gets to an *oracle* that exits each sample at the earliest timestep whose
+cumulative prediction is already correct (and at the full horizon when no
+timestep ever predicts correctly).  The oracle needs the labels, so it is not
+deployable — it bounds what any input-aware exit policy could achieve on a
+given trained network and quantifies how much of that potential the entropy
+threshold actually realizes (the "potential" argument of Sec. III-A(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .dynamic_inference import DynamicInferenceResult
+
+__all__ = ["oracle_exit_result", "exit_policy_efficiency"]
+
+
+def oracle_exit_result(cumulative_logits: np.ndarray, labels: np.ndarray) -> DynamicInferenceResult:
+    """Exit each sample at the first timestep whose prediction is correct.
+
+    Samples that are *never* predicted correctly exit immediately at timestep
+    1: spending more timesteps on them cannot change the outcome, so the
+    oracle simultaneously achieves the highest accuracy any exit rule could
+    reach on this network (the "any-timestep" accuracy) and the lowest average
+    timestep count at which that accuracy is reachable.
+    """
+    cumulative_logits = np.asarray(cumulative_logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if cumulative_logits.ndim != 3:
+        raise ValueError("cumulative_logits must have shape (T, N, K)")
+    horizon, num_samples, _ = cumulative_logits.shape
+    if labels.shape[0] != num_samples:
+        raise ValueError("labels must have one entry per sample")
+
+    predictions_per_t = cumulative_logits.argmax(axis=-1)           # (T, N)
+    correct_per_t = predictions_per_t == labels[None, :]             # (T, N)
+
+    exit_timesteps = np.ones(num_samples, dtype=np.int64)
+    predictions = predictions_per_t[0].copy()
+    for sample in range(num_samples):
+        hits = np.flatnonzero(correct_per_t[:, sample])
+        if hits.size:
+            exit_timesteps[sample] = hits[0] + 1
+            predictions[sample] = predictions_per_t[hits[0], sample]
+    return DynamicInferenceResult(
+        exit_timesteps=exit_timesteps,
+        predictions=predictions,
+        labels=labels,
+        scores=np.zeros(num_samples),
+        max_timesteps=horizon,
+        policy_name="oracle",
+        threshold=None,
+    )
+
+
+def exit_policy_efficiency(
+    policy_result: DynamicInferenceResult, oracle_result: DynamicInferenceResult
+) -> Dict[str, float]:
+    """How much of the oracle's timestep saving a deployable policy realizes.
+
+    ``efficiency`` is the ratio of saved timesteps:
+    ``(T_max - avg_policy) / (T_max - avg_oracle)`` — 1.0 means the policy
+    exits as early as the oracle, 0.0 means it always runs the full horizon.
+    Values above 1.0 are possible when the policy exits *mis*-classified
+    samples earlier than the oracle's earliest-correct timestep (trading
+    accuracy for speed); the accompanying accuracies disambiguate that case.
+    """
+    if policy_result.max_timesteps != oracle_result.max_timesteps:
+        raise ValueError("policy and oracle results use different horizons")
+    horizon = float(policy_result.max_timesteps)
+    oracle_saving = horizon - oracle_result.average_timesteps
+    policy_saving = horizon - policy_result.average_timesteps
+    efficiency = policy_saving / oracle_saving if oracle_saving > 0 else 1.0
+    return {
+        "horizon": horizon,
+        "oracle_average_timesteps": oracle_result.average_timesteps,
+        "policy_average_timesteps": policy_result.average_timesteps,
+        "oracle_accuracy": oracle_result.accuracy(),
+        "policy_accuracy": policy_result.accuracy() if policy_result.labels is not None else float("nan"),
+        "timestep_saving_efficiency": float(np.clip(efficiency, 0.0, 1.5)),
+    }

@@ -1,0 +1,124 @@
+"""Exit-time statistics and the easy/hard input analysis (Fig. 5 and Fig. 8).
+
+Given a :class:`~repro.core.dynamic_inference.DynamicInferenceResult`, this
+module computes the pie-chart exit distributions of Fig. 5, correlates exit
+time with the generator-provided difficulty metadata, and renders the Fig. 8
+style "easy vs hard inputs" comparison as ASCII summaries (this environment
+has no image output, so the visualization reports per-sample difficulty,
+contrast and an ASCII thumbnail instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .dynamic_inference import DynamicInferenceResult
+
+__all__ = [
+    "exit_distribution_table",
+    "stratify_by_exit_time",
+    "difficulty_by_exit_time",
+    "ExitGroupSummary",
+    "summarize_exit_groups",
+    "ascii_thumbnail",
+]
+
+
+def exit_distribution_table(result: DynamicInferenceResult) -> Dict[str, float]:
+    """Fractions of samples exiting at each timestep (pie-chart data)."""
+    return {
+        f"T={t}": float(fraction)
+        for t, fraction in enumerate(result.timestep_fractions(), start=1)
+    }
+
+
+def stratify_by_exit_time(result: DynamicInferenceResult) -> Dict[int, np.ndarray]:
+    """Sample indices grouped by exit timestep."""
+    groups: Dict[int, np.ndarray] = {}
+    for t in range(1, result.max_timesteps + 1):
+        groups[t] = np.flatnonzero(result.exit_timesteps == t)
+    return groups
+
+
+def difficulty_by_exit_time(
+    result: DynamicInferenceResult, difficulty: np.ndarray
+) -> Dict[int, float]:
+    """Mean generator difficulty of the samples exiting at each timestep.
+
+    For DT-SNN to behave as the paper describes, this should increase with the
+    exit timestep: easy inputs exit at T=1, hard ones run the full horizon.
+    """
+    difficulty = np.asarray(difficulty, dtype=np.float64)
+    if difficulty.shape[0] != result.num_samples:
+        raise ValueError("difficulty must have one entry per sample")
+    means: Dict[int, float] = {}
+    for t, indices in stratify_by_exit_time(result).items():
+        means[t] = float(difficulty[indices].mean()) if indices.size else float("nan")
+    return means
+
+
+@dataclass
+class ExitGroupSummary:
+    """Statistics of the samples that exited at a given timestep."""
+
+    timestep: int
+    count: int
+    fraction: float
+    accuracy: float
+    mean_difficulty: Optional[float]
+    mean_score: float
+
+
+def summarize_exit_groups(
+    result: DynamicInferenceResult, difficulty: Optional[np.ndarray] = None
+) -> List[ExitGroupSummary]:
+    """Per-exit-timestep breakdown used by the Fig. 5 / Fig. 8 benches."""
+    groups = stratify_by_exit_time(result)
+    correct = result.correct_mask() if result.labels is not None else None
+    summaries: List[ExitGroupSummary] = []
+    total = max(result.num_samples, 1)
+    for t, indices in groups.items():
+        count = int(indices.size)
+        summaries.append(
+            ExitGroupSummary(
+                timestep=t,
+                count=count,
+                fraction=count / total,
+                accuracy=float(correct[indices].mean()) if (correct is not None and count) else float("nan"),
+                mean_difficulty=(
+                    float(np.asarray(difficulty)[indices].mean())
+                    if (difficulty is not None and count)
+                    else None
+                ),
+                mean_score=float(result.scores[indices].mean()) if count else float("nan"),
+            )
+        )
+    return summaries
+
+
+_ASCII_LEVELS = " .:-=+*#%@"
+
+
+def ascii_thumbnail(image: np.ndarray, width: int = 16) -> str:
+    """Render a ``(C, H, W)`` image as a small ASCII thumbnail.
+
+    Used by the Fig. 8 bench to show what an "easy" (exit at T=1) versus
+    "hard" (exit at T=max) input looks like without graphical output.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 3:
+        luminance = image.mean(axis=0)
+    elif image.ndim == 2:
+        luminance = image
+    else:
+        raise ValueError("expected (C, H, W) or (H, W) image")
+    h, w = luminance.shape
+    step = max(1, w // width)
+    down = luminance[::step, ::step]
+    low, high = down.min(), down.max()
+    scale = (down - low) / (high - low) if high > low else np.zeros_like(down)
+    indices = np.clip((scale * (len(_ASCII_LEVELS) - 1)).round().astype(int), 0, len(_ASCII_LEVELS) - 1)
+    return "\n".join("".join(_ASCII_LEVELS[value] for value in row) for row in indices)

@@ -1,0 +1,126 @@
+"""Threshold calibration and sweeps for DT-SNN.
+
+The entropy threshold θ is DT-SNN's single inference-time knob: larger values
+exit earlier (fewer timesteps, less energy) at some risk to accuracy.  The
+paper evaluates three thresholds per model to draw the accuracy-EDP curves of
+Fig. 5 and picks, for Table II, a threshold whose accuracy matches the static
+T=4 SNN.  This module reproduces both procedures:
+
+* :func:`sweep_thresholds` evaluates a grid of thresholds on cached
+  cumulative logits (cheap — no new SNN forward passes).
+* :func:`calibrate_threshold` finds the most aggressive threshold whose
+  accuracy stays within ``tolerance`` of a target (by default, the static
+  full-horizon accuracy), mirroring "compare hardware performance with DT-SNN
+  under a similar accuracy level".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from ..training.metrics import accuracy_from_logits
+from .dynamic_inference import DynamicInferenceResult, DynamicTimestepInference
+from .policies import EntropyExitPolicy, ExitPolicy
+
+__all__ = ["ThresholdSweepPoint", "sweep_thresholds", "calibrate_threshold", "default_threshold_grid"]
+
+
+@dataclass
+class ThresholdSweepPoint:
+    """Outcome of evaluating one threshold value."""
+
+    threshold: float
+    accuracy: float
+    average_timesteps: float
+    timestep_fractions: np.ndarray
+    result: DynamicInferenceResult
+
+    def as_dict(self) -> Dict[str, float]:
+        row = {
+            "threshold": self.threshold,
+            "accuracy": self.accuracy,
+            "average_timesteps": self.average_timesteps,
+        }
+        for index, fraction in enumerate(self.timestep_fractions, start=1):
+            row[f"fraction_t{index}"] = float(fraction)
+        return row
+
+
+def default_threshold_grid(num_points: int = 25, low: float = 0.005, high: float = 0.98) -> np.ndarray:
+    """Geometric grid of entropy thresholds covering conservative to aggressive."""
+    if num_points < 2:
+        raise ValueError("num_points must be >= 2")
+    return np.geomspace(low, high, num_points)
+
+
+def sweep_thresholds(
+    cumulative_logits: np.ndarray,
+    labels: np.ndarray,
+    thresholds: Sequence[float],
+    policy_cls: Type[ExitPolicy] = EntropyExitPolicy,
+    max_timesteps: Optional[int] = None,
+) -> List[ThresholdSweepPoint]:
+    """Evaluate accuracy / average-T for every threshold in ``thresholds``."""
+    cumulative_logits = np.asarray(cumulative_logits)
+    if max_timesteps is None:
+        max_timesteps = cumulative_logits.shape[0]
+    points: List[ThresholdSweepPoint] = []
+    for threshold in thresholds:
+        policy = policy_cls(threshold=float(threshold))
+        engine = DynamicTimestepInference(policy=policy, max_timesteps=max_timesteps)
+        result = engine.infer_from_logits(cumulative_logits, labels)
+        points.append(
+            ThresholdSweepPoint(
+                threshold=float(threshold),
+                accuracy=result.accuracy(),
+                average_timesteps=result.average_timesteps,
+                timestep_fractions=result.timestep_fractions(),
+                result=result,
+            )
+        )
+    return points
+
+
+def calibrate_threshold(
+    cumulative_logits: np.ndarray,
+    labels: np.ndarray,
+    target_accuracy: Optional[float] = None,
+    tolerance: float = 0.0,
+    thresholds: Optional[Sequence[float]] = None,
+    policy_cls: Type[ExitPolicy] = EntropyExitPolicy,
+    max_timesteps: Optional[int] = None,
+) -> ThresholdSweepPoint:
+    """Pick the most aggressive threshold whose accuracy stays near the target.
+
+    Parameters
+    ----------
+    target_accuracy:
+        Accuracy to preserve.  Defaults to the static full-horizon accuracy
+        computed from the last slice of ``cumulative_logits``.
+    tolerance:
+        Allowed accuracy drop below the target (e.g. 0.005 = 0.5 points).
+    thresholds:
+        Candidate grid; defaults to :func:`default_threshold_grid`.
+
+    Returns
+    -------
+    The sweep point with the smallest average timestep count among those whose
+    accuracy is at least ``target_accuracy - tolerance``.  If none qualifies,
+    the most conservative (smallest threshold) point is returned.
+    """
+    cumulative_logits = np.asarray(cumulative_logits)
+    labels = np.asarray(labels)
+    if target_accuracy is None:
+        target_accuracy = accuracy_from_logits(cumulative_logits[-1], labels)
+    if thresholds is None:
+        thresholds = default_threshold_grid()
+    points = sweep_thresholds(
+        cumulative_logits, labels, thresholds, policy_cls=policy_cls, max_timesteps=max_timesteps
+    )
+    qualifying = [p for p in points if p.accuracy >= target_accuracy - tolerance]
+    if qualifying:
+        return min(qualifying, key=lambda p: p.average_timesteps)
+    return min(points, key=lambda p: p.threshold)

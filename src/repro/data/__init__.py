@@ -1,0 +1,40 @@
+"""Dataset substrate: loaders, synthetic image and event-stream generators."""
+
+from .datasets import ArrayDataset, DataLoader, train_test_split
+from .dvs import SyntheticDVSConfig, make_dvs_like
+from .synthetic import (
+    DATASET_PRESETS,
+    SyntheticImageConfig,
+    generate_class_prototypes,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_synthetic_images,
+    make_tinyimagenet_like,
+)
+from .transforms import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomCropWithPadding,
+    RandomHorizontalFlip,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "SyntheticImageConfig",
+    "make_synthetic_images",
+    "generate_class_prototypes",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_tinyimagenet_like",
+    "DATASET_PRESETS",
+    "SyntheticDVSConfig",
+    "make_dvs_like",
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCropWithPadding",
+    "GaussianNoise",
+    "Normalize",
+]

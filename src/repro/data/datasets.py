@@ -1,0 +1,156 @@
+"""Dataset and DataLoader abstractions.
+
+A :class:`ArrayDataset` stores samples in memory as NumPy arrays (all
+synthetic datasets in this reproduction are generated procedurally and fit in
+memory comfortably).  :class:`DataLoader` provides shuffled mini-batching with
+optional per-batch transforms, mirroring the small slice of the PyTorch data
+API the original training recipe uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import spawn_rng
+from ..utils.validation import check_positive
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split"]
+
+
+class ArrayDataset:
+    """An in-memory dataset of ``(input, label)`` pairs.
+
+    Parameters
+    ----------
+    inputs:
+        Array whose first dimension indexes samples (images ``(N, C, H, W)``
+        or event streams ``(N, T, C, H, W)``).
+    labels:
+        Integer class labels ``(N,)``.
+    metadata:
+        Optional per-sample auxiliary values (e.g. the difficulty level the
+        synthetic generator assigned), used by the visualization experiment.
+    num_classes:
+        Number of classes; inferred from the labels when omitted.
+    """
+
+    def __init__(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        metadata: Optional[np.ndarray] = None,
+        num_classes: Optional[int] = None,
+        name: str = "dataset",
+    ):
+        inputs = np.asarray(inputs, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if inputs.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"inputs ({inputs.shape[0]}) and labels ({labels.shape[0]}) disagree on sample count"
+            )
+        if labels.ndim != 1:
+            raise ValueError("labels must be one-dimensional")
+        self.inputs = inputs
+        self.labels = labels
+        self.metadata = None if metadata is None else np.asarray(metadata)
+        if self.metadata is not None and self.metadata.shape[0] != labels.shape[0]:
+            raise ValueError("metadata must have one entry per sample")
+        self.num_classes = int(num_classes if num_classes is not None else labels.max() + 1)
+        self.name = name
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.labels[index]
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        return tuple(self.inputs.shape[1:])
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ArrayDataset(
+            self.inputs[indices],
+            self.labels[indices],
+            metadata=None if self.metadata is None else self.metadata[indices],
+            num_classes=self.num_classes,
+            name=name or f"{self.name}-subset",
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+def train_test_split(
+    dataset: ArrayDataset, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train and test subsets with a shuffled permutation."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    cut = int(round(len(dataset) * (1.0 - test_fraction)))
+    if cut == 0 or cut == len(dataset):
+        raise ValueError("split would produce an empty subset")
+    train = dataset.subset(order[:cut], name=f"{dataset.name}-train")
+    test = dataset.subset(order[cut:], name=f"{dataset.name}-test")
+    return train, test
+
+
+class DataLoader:
+    """Iterates a dataset in shuffled mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate.
+    batch_size:
+        Number of samples per batch (the final batch may be smaller unless
+        ``drop_last`` is set).
+    shuffle:
+        Reshuffle the sample order at the start of every epoch.
+    transform:
+        Optional callable applied to the input batch (augmentation).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        transform: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+        seed: Optional[int] = None,
+    ):
+        check_positive("batch_size", batch_size)
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.transform = transform
+        self._rng = spawn_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and indices.shape[0] < self.batch_size:
+                break
+            inputs = self.dataset.inputs[indices]
+            labels = self.dataset.labels[indices]
+            if self.transform is not None:
+                inputs = self.transform(inputs, self._rng)
+            yield inputs, labels

@@ -1,0 +1,102 @@
+"""Batch-level data augmentation transforms.
+
+The original recipe augments CIFAR with random crops and horizontal flips.
+These transforms operate on whole NumPy batches ``(N, C, H, W)`` and take the
+data loader's random generator so augmentation stays reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..utils.validation import check_non_negative, check_probability
+
+__all__ = [
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomCropWithPadding",
+    "GaussianNoise",
+    "Normalize",
+]
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable]):
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        check_probability("p", p)
+        self.p = p
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        batch = np.array(batch, copy=True)
+        flip = rng.random(batch.shape[0]) < self.p
+        batch[flip] = batch[flip, ..., ::-1]
+        return batch
+
+
+class RandomCropWithPadding:
+    """Zero-pad the spatial dims by ``padding`` then take a random crop."""
+
+    def __init__(self, padding: int = 2):
+        check_non_negative("padding", padding)
+        self.padding = int(padding)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return batch
+        n = batch.shape[0]
+        h, w = batch.shape[-2], batch.shape[-1]
+        pad_spec = [(0, 0)] * (batch.ndim - 2) + [
+            (self.padding, self.padding),
+            (self.padding, self.padding),
+        ]
+        padded = np.pad(batch, pad_spec)
+        out = np.empty_like(batch)
+        offsets_y = rng.integers(0, 2 * self.padding + 1, size=n)
+        offsets_x = rng.integers(0, 2 * self.padding + 1, size=n)
+        for index in range(n):
+            oy, ox = offsets_y[index], offsets_x[index]
+            out[index] = padded[index, ..., oy : oy + h, ox : ox + w]
+        return out
+
+
+class GaussianNoise:
+    """Add zero-mean Gaussian noise (simple robustness augmentation)."""
+
+    def __init__(self, sigma: float = 0.02):
+        check_non_negative("sigma", sigma)
+        self.sigma = sigma
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0:
+            return batch
+        return batch + rng.normal(0.0, self.sigma, size=batch.shape).astype(batch.dtype)
+
+
+class Normalize:
+    """Per-channel standardization with fixed mean/std."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        mean = np.asarray(mean, dtype=np.float32)
+        std = np.asarray(std, dtype=np.float32)
+        if np.any(std <= 0):
+            raise ValueError("std entries must be positive")
+        self.mean = mean.reshape(1, -1, 1, 1)
+        self.std = std.reshape(1, -1, 1, 1)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - self.mean) / self.std

@@ -1,0 +1,48 @@
+"""In-memory-computing hardware simulator (NeuroSim-style analytical model)."""
+
+from .architecture import IMCChip
+from .area import AreaConstants, AreaModel
+from .config import (
+    COMPONENT_FIELDS,
+    ENERGY_BREAKDOWN_TARGETS,
+    EnergyConstants,
+    HardwareConfig,
+    LatencyConstants,
+)
+from .crossbar import CrossbarArray, CrossbarReadStats
+from .device import RRAMDeviceModel
+from .energy import EnergyBreakdown, EnergyCalibrator, EnergyModel
+from .entropy_module import SigmaEModuleModel
+from .latency import LatencyModel
+from .mapping import ChipMapping, LayerGeometry, LayerMapping, trace_network_geometry
+from .noise import apply_device_variation, perturbed_state_dict, with_device_variation
+from .report import format_breakdown, format_comparison_rows, format_table
+
+__all__ = [
+    "HardwareConfig",
+    "EnergyConstants",
+    "LatencyConstants",
+    "ENERGY_BREAKDOWN_TARGETS",
+    "COMPONENT_FIELDS",
+    "RRAMDeviceModel",
+    "CrossbarArray",
+    "CrossbarReadStats",
+    "LayerGeometry",
+    "LayerMapping",
+    "ChipMapping",
+    "trace_network_geometry",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "EnergyCalibrator",
+    "LatencyModel",
+    "AreaModel",
+    "AreaConstants",
+    "SigmaEModuleModel",
+    "IMCChip",
+    "apply_device_variation",
+    "perturbed_state_dict",
+    "with_device_variation",
+    "format_table",
+    "format_breakdown",
+    "format_comparison_rows",
+]

@@ -1,0 +1,132 @@
+"""The assembled IMC chip: mapping + energy + latency + sigma-E module.
+
+:class:`IMCChip` is the object the benchmarks hand to the DT-SNN accounting
+layer: it implements the :class:`repro.core.accounting.InferenceCostModel`
+protocol (``energy(T)`` / ``latency(T)``), includes the per-timestep sigma-E
+exit-check overhead in both, and exposes the diagnostic breakdowns behind
+Fig. 1(A)/(B) and the Sec. III-B overhead claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..snn.network import SpikingNetwork
+from .area import AreaModel
+from .config import HardwareConfig
+from .energy import EnergyCalibrator, EnergyModel
+from .latency import LatencyModel
+from .mapping import ChipMapping
+from .entropy_module import SigmaEModuleModel
+
+__all__ = ["IMCChip"]
+
+
+@dataclass
+class IMCChip:
+    """A spiking network mapped onto the Table-I IMC architecture."""
+
+    mapping: ChipMapping
+    config: HardwareConfig
+    num_classes: int = 10
+    include_exit_checks: bool = True
+    pipelined: bool = False
+
+    def __post_init__(self):
+        self.config = self.config.validate()
+        self.energy_model = EnergyModel(self.mapping, self.config)
+        self.latency_model = LatencyModel(self.mapping, self.config, pipelined=self.pipelined)
+        self.sigma_e = SigmaEModuleModel(self.config, num_classes=self.num_classes)
+        self.area_model = AreaModel(self.mapping, self.config)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_network(
+        cls,
+        model: SpikingNetwork,
+        sample_input: np.ndarray,
+        num_classes: int,
+        config: Optional[HardwareConfig] = None,
+        calibrate: bool = True,
+        trace_timesteps: int = 2,
+        include_exit_checks: bool = True,
+        pipelined: bool = False,
+    ) -> "IMCChip":
+        """Map ``model`` onto the chip, optionally calibrating energy constants.
+
+        ``calibrate=True`` reproduces the paper's reference measurements
+        (Fig. 1(A) component shares and the 40/60 static/dynamic split of
+        Fig. 1(B)) for this network, as described in DESIGN.md §7.
+        """
+        config = (config or HardwareConfig.paper_default()).validate()
+        mapping = ChipMapping.from_network(model, sample_input, config, timesteps=trace_timesteps)
+        if calibrate:
+            config = EnergyCalibrator().calibrate(mapping, config)
+            mapping.config = config
+        return cls(
+            mapping=mapping,
+            config=config,
+            num_classes=num_classes,
+            include_exit_checks=include_exit_checks,
+            pipelined=pipelined,
+        )
+
+    # ------------------------------------------------------------------ #
+    # InferenceCostModel protocol
+    # ------------------------------------------------------------------ #
+    def energy(self, timesteps: int) -> float:
+        """Energy (pJ) of one inference that executes ``timesteps`` timesteps."""
+        base = self.energy_model.energy(timesteps)
+        if self.include_exit_checks:
+            base += timesteps * self.sigma_e.energy_per_check()
+        return base
+
+    def latency(self, timesteps: int) -> float:
+        """Latency (ns) of one inference that executes ``timesteps`` timesteps."""
+        return self.latency_model.latency(timesteps, include_exit_checks=self.include_exit_checks)
+
+    def edp(self, timesteps: int) -> float:
+        """Energy-delay product (pJ * ns)."""
+        return self.energy(timesteps) * self.latency(timesteps)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def energy_breakdown_shares(self) -> Dict[str, float]:
+        """Per-timestep component shares (Fig. 1(A))."""
+        return self.energy_model.per_timestep_breakdown().shares()
+
+    def normalized_energy_curve(self, max_timesteps: int = 8) -> Dict[int, float]:
+        """Energy vs timesteps normalized to T=1 (Fig. 1(B), left axis)."""
+        baseline = self.energy(1)
+        return {t: self.energy(t) / baseline for t in range(1, max_timesteps + 1)}
+
+    def normalized_latency_curve(self, max_timesteps: int = 8) -> Dict[int, float]:
+        """Latency vs timesteps normalized to T=1 (Fig. 1(B), right axis)."""
+        baseline = self.latency(1)
+        return {t: self.latency(t) / baseline for t in range(1, max_timesteps + 1)}
+
+    def sigma_e_overhead(self) -> float:
+        """Energy of one exit check relative to one timestep of inference."""
+        return self.sigma_e.relative_overhead(self.energy_model.per_timestep_energy())
+
+    def area_breakdown(self) -> Dict[str, float]:
+        return self.area_model.breakdown()
+
+    def summary(self) -> Dict[str, float]:
+        """Headline chip numbers for reports and tests."""
+        return {
+            "total_crossbars": float(self.mapping.total_crossbars),
+            "total_tiles": float(self.mapping.total_tiles),
+            "per_timestep_energy_pj": self.energy_model.per_timestep_energy(),
+            "static_energy_pj": self.energy_model.static_energy(),
+            "per_timestep_latency_ns": self.latency_model.per_timestep_latency(),
+            "sigma_e_energy_pj": self.sigma_e.energy_per_check(),
+            "sigma_e_overhead": self.sigma_e_overhead(),
+            "static_fraction": self.energy_model.static_fraction(),
+        }

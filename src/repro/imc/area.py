@@ -1,0 +1,103 @@
+"""Simple area model of the tiled IMC chip.
+
+Area is not a headline metric of the paper (the DT-SNN additions are two 3 KB
+LUTs and a small FIFO/MAC), but a component-wise area accounting is useful to
+confirm the sigma-E module is a negligible fraction of the chip — the area
+analogue of the "2e-5x energy overhead" statement in Sec. III-B — and it
+rounds out the NeuroSim-style report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .config import HardwareConfig
+from .mapping import ChipMapping
+
+__all__ = ["AreaConstants", "AreaModel"]
+
+
+@dataclass
+class AreaConstants:
+    """Component areas in square micrometres (32 nm-class estimates)."""
+
+    crossbar_um2: float = 650.0          # 64x64 RRAM array incl. drivers
+    adc_um2: float = 1200.0              # one SAR ADC
+    switch_matrix_um2: float = 300.0
+    shift_add_um2: float = 250.0
+    accumulator_um2: float = 350.0
+    buffer_um2_per_kb: float = 1500.0
+    htree_um2_per_tile: float = 2000.0
+    noc_router_um2: float = 4500.0
+    lif_module_um2: float = 3000.0
+    lut_um2_per_kb: float = 1800.0       # sigma / entropy LUTs
+    fifo_um2: float = 500.0
+    entropy_mac_um2: float = 900.0
+
+
+class AreaModel:
+    """Adds up component areas for a mapped network."""
+
+    def __init__(
+        self,
+        mapping: ChipMapping,
+        config: Optional[HardwareConfig] = None,
+        constants: Optional[AreaConstants] = None,
+    ):
+        self.mapping = mapping
+        self.config = (config or mapping.config).validate()
+        self.constants = constants or AreaConstants()
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component-wise area in square micrometres."""
+        constants = self.constants
+        config = self.config
+        num_crossbars = self.mapping.total_crossbars
+        num_pes = self.mapping.total_pes
+        num_tiles = self.mapping.total_tiles
+        adcs = num_crossbars * max(config.crossbar_size // config.adc_share_columns, 1)
+
+        crossbar_area = num_crossbars * constants.crossbar_um2
+        adc_area = adcs * constants.adc_um2
+        peripheral_area = num_crossbars * (
+            constants.switch_matrix_um2 + constants.shift_add_um2
+        ) + num_pes * constants.accumulator_um2
+        buffer_area = (
+            num_pes * config.pe_buffer_kb
+            + num_tiles * config.tile_buffer_kb
+            + config.global_buffer_kb
+        ) * constants.buffer_um2_per_kb
+        interconnect_area = (
+            num_tiles * constants.htree_um2_per_tile + num_tiles * constants.noc_router_um2
+        )
+        lif_area = constants.lif_module_um2
+        sigma_e_area = (
+            (config.sigma_lut_kb + config.entropy_lut_kb) * constants.lut_um2_per_kb
+            + 2 * constants.fifo_um2
+            + constants.entropy_mac_um2
+        )
+        total = (
+            crossbar_area
+            + adc_area
+            + peripheral_area
+            + buffer_area
+            + interconnect_area
+            + lif_area
+            + sigma_e_area
+        )
+        return {
+            "crossbar": crossbar_area,
+            "adc": adc_area,
+            "digital_peripherals": peripheral_area,
+            "buffers": buffer_area,
+            "interconnect": interconnect_area,
+            "lif_module": lif_area,
+            "sigma_e_module": sigma_e_area,
+            "total": total,
+        }
+
+    def sigma_e_fraction(self) -> float:
+        """Fraction of total chip area occupied by the DT-SNN sigma-E module."""
+        breakdown = self.breakdown()
+        return breakdown["sigma_e_module"] / breakdown["total"]

@@ -1,0 +1,129 @@
+"""RRAM device model: weight-to-conductance mapping, quantization, variation.
+
+Weights are stored on 4-bit RRAM devices (Table I): each 8-bit weight is
+bit-sliced across ``weight_bits / device_bits`` cells and positive/negative
+values use a differential pair of columns (G+ and G-), the standard
+NeuroSim-style mapping.  The same model provides the 20% conductance
+variation used for the non-ideal accuracy study (Fig. 6B): quantize the
+weight to conductance levels, perturb each device multiplicatively, and map
+back to an effective weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import spawn_rng
+from .config import HardwareConfig
+
+__all__ = ["RRAMDeviceModel"]
+
+
+@dataclass
+class RRAMDeviceModel:
+    """Quantization and variation behaviour of one crossbar's worth of devices."""
+
+    config: HardwareConfig
+
+    # ------------------------------------------------------------------ #
+    # Quantization
+    # ------------------------------------------------------------------ #
+    def quantize_weights(self, weights: np.ndarray, max_abs: Optional[float] = None) -> np.ndarray:
+        """Quantize weights to the programmable conductance resolution.
+
+        The full weight (before bit slicing) has ``weight_bits`` of precision
+        over the symmetric range ``[-max_abs, +max_abs]``; this returns the
+        dequantized value actually representable on the devices.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if max_abs is None:
+            max_abs = float(np.max(np.abs(weights))) or 1.0
+        levels = 2 ** (self.config.weight_bits - 1) - 1
+        step = max_abs / levels
+        quantized = np.clip(np.round(weights / step), -levels, levels)
+        return (quantized * step).astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # Conductance mapping
+    # ------------------------------------------------------------------ #
+    def weights_to_conductances(
+        self, weights: np.ndarray, max_abs: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Map signed weights onto differential conductance pairs (G+, G-).
+
+        Positive weights program the G+ device between ``g_off`` and ``g_on``
+        proportionally to magnitude (G- stays at ``g_off``) and vice versa.
+        Returns ``(g_plus, g_minus, scale)`` where ``scale`` converts a
+        differential conductance back to weight units:
+        ``weight = (g_plus - g_minus) * scale``.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if max_abs is None:
+            max_abs = float(np.max(np.abs(weights))) or 1.0
+        g_on, g_off = self.config.g_on, self.config.g_off
+        g_range = g_on - g_off
+        magnitude = np.clip(np.abs(weights) / max_abs, 0.0, 1.0)
+        g_plus = np.where(weights >= 0, g_off + magnitude * g_range, g_off)
+        g_minus = np.where(weights < 0, g_off + magnitude * g_range, g_off)
+        scale = max_abs / g_range
+        return g_plus, g_minus, scale
+
+    def conductances_to_weights(
+        self, g_plus: np.ndarray, g_minus: np.ndarray, scale: float
+    ) -> np.ndarray:
+        """Inverse of :meth:`weights_to_conductances` (up to quantization)."""
+        return ((np.asarray(g_plus) - np.asarray(g_minus)) * scale).astype(np.float32)
+
+    def quantize_conductances(self, conductances: np.ndarray) -> np.ndarray:
+        """Snap conductances to the ``2**device_bits`` programmable levels."""
+        g_on, g_off = self.config.g_on, self.config.g_off
+        levels = self.config.conductance_levels - 1
+        normalized = np.clip((np.asarray(conductances) - g_off) / (g_on - g_off), 0.0, 1.0)
+        return g_off + np.round(normalized * levels) / levels * (g_on - g_off)
+
+    # ------------------------------------------------------------------ #
+    # Device-to-device variation (Fig. 6B)
+    # ------------------------------------------------------------------ #
+    def apply_variation(
+        self,
+        conductances: np.ndarray,
+        sigma: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Multiplicative Gaussian conductance variation (sigma/mu from Table I)."""
+        sigma = self.config.device_variation_sigma if sigma is None else sigma
+        if sigma < 0:
+            raise ValueError("variation sigma must be non-negative")
+        if sigma == 0:
+            return np.asarray(conductances, dtype=np.float64)
+        rng = rng or spawn_rng()
+        noise = rng.normal(1.0, sigma, size=np.shape(conductances))
+        # A device cannot have negative conductance; clip at a tenth of g_off.
+        return np.maximum(np.asarray(conductances) * noise, 0.1 * self.config.g_off)
+
+    def perturb_weights(
+        self,
+        weights: np.ndarray,
+        sigma: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+        quantize: bool = True,
+    ) -> np.ndarray:
+        """End-to-end non-ideality: quantize, map to devices, perturb, map back.
+
+        This is the "adding noise to the weights post-training" procedure the
+        paper uses to simulate 20% conductance variation.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        max_abs = float(np.max(np.abs(weights))) or 1.0
+        source = self.quantize_weights(weights, max_abs) if quantize else weights
+        g_plus, g_minus, scale = self.weights_to_conductances(source, max_abs)
+        if quantize:
+            g_plus = self.quantize_conductances(g_plus)
+            g_minus = self.quantize_conductances(g_minus)
+        rng = rng or spawn_rng()
+        g_plus = self.apply_variation(g_plus, sigma, rng)
+        g_minus = self.apply_variation(g_minus, sigma, rng)
+        return self.conductances_to_weights(g_plus, g_minus, scale)

@@ -1,0 +1,116 @@
+"""Hardware model of the sigma-E (softmax + entropy) exit-decision module.
+
+Fig. 3(b) of the paper: the global accumulator output of the final layer is
+pushed into a y-FIFO, looked up in a 3 KB sigma-LUT to produce softmax
+probabilities, pushed through a sigma-FIFO into the entropy module, which uses
+a log-LUT, a multiplier and an adder/register to accumulate the Eq. 7 entropy,
+and finally compares against the threshold theta.  The paper reports that the
+energy of one such check is about ``2e-5`` of a one-timestep inference —
+negligible — which this model lets us verify quantitatively for any mapped
+network (see ``benchmarks/bench_sigma_e_overhead.py``).
+
+Besides energy/latency accounting, the module also provides a *functional*
+fixed-point LUT evaluation of softmax + entropy, so tests can check that the
+hardware's quantized decision agrees with the floating-point decision of
+:mod:`repro.core.entropy` for all but borderline inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.entropy import normalized_entropy, softmax_probabilities
+from .config import HardwareConfig
+
+__all__ = ["SigmaEModuleModel"]
+
+
+@dataclass
+class SigmaEModuleModel:
+    """Energy, latency and functional model of the sigma-E module."""
+
+    config: HardwareConfig
+    num_classes: int = 10
+    lut_input_bits: int = 8   # quantization of the logits addressing the sigma LUT
+    lut_output_bits: int = 12  # precision of the LUT contents
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def energy_per_check(self) -> float:
+        """Energy (pJ) of evaluating softmax + entropy + compare once."""
+        constants = self.config.energy
+        k = self.num_classes
+        fifo = 2 * k * constants.fifo_access_pj          # y-FIFO and sigma-FIFO
+        sigma_lut = k * constants.lut_lookup_pj          # sigma LUT lookups
+        log_lut = k * constants.lut_lookup_pj            # log(sigma) LUT lookups
+        mac = k * (constants.multiplier_pj + constants.accumulator_op_pj)
+        compare = constants.comparator_pj
+        return fifo + sigma_lut + log_lut + mac + compare
+
+    def latency_per_check(self) -> float:
+        """Latency (ns) of one exit check (pipelined through the FIFOs)."""
+        return self.config.latency.sigma_e_check_ns
+
+    def relative_overhead(self, one_timestep_energy: float) -> float:
+        """Energy of one check relative to a one-timestep inference."""
+        if one_timestep_energy <= 0:
+            raise ValueError("one_timestep_energy must be positive")
+        return self.energy_per_check() / one_timestep_energy
+
+    def storage_bits(self) -> Dict[str, float]:
+        """Storage used by the module (should fit the Table I 3 KB LUTs)."""
+        sigma_entries = 2**self.lut_input_bits
+        return {
+            "sigma_lut_bits": sigma_entries * self.lut_output_bits,
+            "log_lut_bits": sigma_entries * self.lut_output_bits,
+            "sigma_lut_budget_bits": self.config.sigma_lut_kb * 1024 * 8,
+            "log_lut_budget_bits": self.config.entropy_lut_kb * 1024 * 8,
+            "y_fifo_bits": self.num_classes * self.lut_input_bits,
+            "sigma_fifo_bits": self.num_classes * self.lut_output_bits,
+        }
+
+    def fits_lut_budget(self) -> bool:
+        """True when the LUT contents fit in the Table I LUT sizes."""
+        storage = self.storage_bits()
+        return (
+            storage["sigma_lut_bits"] <= storage["sigma_lut_budget_bits"]
+            and storage["log_lut_bits"] <= storage["log_lut_budget_bits"]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Functional (fixed-point) model
+    # ------------------------------------------------------------------ #
+    def quantized_entropy(self, logits: np.ndarray) -> np.ndarray:
+        """Normalized entropy as the LUT-based datapath computes it.
+
+        Logits are quantized to ``lut_input_bits`` over their observed range
+        (the y-FIFO width), softmax values to ``lut_output_bits`` (the sigma
+        LUT output width), and the log-LUT output likewise; the entropy MAC
+        then accumulates the products.  The result tracks the floating-point
+        entropy closely except exactly at quantization boundaries.
+        """
+        logits = np.atleast_2d(np.asarray(logits, dtype=np.float64))
+        span = np.max(np.abs(logits), axis=-1, keepdims=True)
+        span = np.where(span == 0, 1.0, span)
+        input_levels = 2 ** (self.lut_input_bits - 1) - 1
+        quantized_logits = np.round(logits / span * input_levels) / input_levels * span
+
+        probabilities = softmax_probabilities(quantized_logits)
+        output_levels = 2**self.lut_output_bits - 1
+        quantized_probs = np.round(probabilities * output_levels) / output_levels
+        # Renormalize the quantized probabilities as the hardware's shared
+        # exponent alignment effectively does.
+        sums = quantized_probs.sum(axis=-1, keepdims=True)
+        sums = np.where(sums == 0, 1.0, sums)
+        quantized_probs = quantized_probs / sums
+        return normalized_entropy(quantized_probs)
+
+    def should_exit(self, logits: np.ndarray, threshold: float) -> np.ndarray:
+        """The hardware exit decision (quantized entropy < threshold)."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        return self.quantized_entropy(logits) < threshold

@@ -1,0 +1,303 @@
+"""Mapping a spiking network onto the tiled IMC chip.
+
+The paper maps each SNN layer onto one or more tiles; a tile holds 64
+crossbars grouped into processing elements (PEs), and a 64x64 crossbar holds
+a block of the layer's unrolled weight matrix (rows = ``k*k*C_in``, columns =
+``C_out * cells_per_weight``).  This module computes that mapping for any
+network built from :class:`~repro.nn.layers.Conv2d` and
+:class:`~repro.nn.layers.Linear` layers and derives the per-timestep event
+counts (crossbar reads, row activations, ADC conversions, buffer and
+interconnect traffic, LIF updates) the energy/latency model prices.
+
+Event counts depend on spike activity, so the mapping is built by *tracing*
+the trained network on a representative input batch: every conv/linear layer
+records its input shape and the fraction of non-zero inputs it actually saw,
+which is exactly the row-activation activity of the crossbars implementing
+it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..autograd.ops import conv_output_size
+from ..nn.layers import Conv2d, Linear
+from ..snn.network import SpikingNetwork
+from .config import HardwareConfig
+
+__all__ = ["LayerGeometry", "LayerMapping", "ChipMapping", "trace_network_geometry"]
+
+
+@dataclass
+class LayerGeometry:
+    """Shape and activity information of one weight layer, from tracing."""
+
+    name: str
+    kind: str                    # "conv" or "linear"
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    output_positions: int        # number of output pixels per timestep (1 for linear)
+    input_activity: float        # mean fraction of non-zero inputs observed
+    weight_rows: int             # unrolled rows = k*k*C_in (or in_features)
+    weight_cols: int             # output neurons = C_out (or out_features)
+
+    @property
+    def macs_per_timestep(self) -> float:
+        """Multiply-accumulate operations this layer performs per timestep."""
+        return float(self.output_positions) * self.weight_rows * self.weight_cols
+
+
+def trace_network_geometry(
+    model: SpikingNetwork,
+    sample_input: np.ndarray,
+    timesteps: int = 1,
+) -> List[LayerGeometry]:
+    """Run the network on ``sample_input`` and record each weight layer's geometry.
+
+    Temporarily wraps every ``Conv2d``/``Linear`` forward to observe input
+    shapes and input sparsity, then restores the original methods.  The trace
+    runs in inference mode and does not modify the model.
+    """
+    records: Dict[str, Dict] = {}
+    wrapped: List[tuple] = []
+
+    def make_wrapper(layer_name: str, layer, kind: str):
+        original_forward = layer.forward
+
+        def wrapper(x, _original=original_forward, _name=layer_name, _layer=layer, _kind=kind):
+            data = x.data if hasattr(x, "data") else np.asarray(x)
+            record = records.setdefault(
+                _name,
+                {
+                    "kind": _kind,
+                    "layer": _layer,
+                    "nonzero": 0.0,
+                    "total": 0.0,
+                    "input_shape": data.shape,
+                },
+            )
+            record["nonzero"] += float(np.count_nonzero(data))
+            record["total"] += float(data.size)
+            record["input_shape"] = data.shape
+            return _original(x)
+
+        return wrapper
+
+    for name, module in model.named_modules():
+        if isinstance(module, (Conv2d, Linear)):
+            kind = "conv" if isinstance(module, Conv2d) else "linear"
+            object.__setattr__(module, "forward", make_wrapper(name or kind, module, kind))
+            wrapped.append((module,))
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            model.forward(np.asarray(sample_input, dtype=np.float32), timesteps)
+    finally:
+        model.train(was_training)
+        for (module,) in wrapped:
+            if "forward" in module.__dict__:
+                del module.__dict__["forward"]
+
+    geometries: List[LayerGeometry] = []
+    for name, record in records.items():
+        layer = record["layer"]
+        activity = record["nonzero"] / record["total"] if record["total"] else 0.0
+        if record["kind"] == "conv":
+            _, _, h, w = record["input_shape"]
+            out_h = conv_output_size(h, layer.kernel_size, layer.stride, layer.padding)
+            out_w = conv_output_size(w, layer.kernel_size, layer.stride, layer.padding)
+            geometries.append(
+                LayerGeometry(
+                    name=name,
+                    kind="conv",
+                    in_channels=layer.in_channels,
+                    out_channels=layer.out_channels,
+                    kernel_size=layer.kernel_size,
+                    output_positions=out_h * out_w,
+                    input_activity=activity,
+                    weight_rows=layer.kernel_size * layer.kernel_size * layer.in_channels,
+                    weight_cols=layer.out_channels,
+                )
+            )
+        else:
+            geometries.append(
+                LayerGeometry(
+                    name=name,
+                    kind="linear",
+                    in_channels=layer.in_features,
+                    out_channels=layer.out_features,
+                    kernel_size=1,
+                    output_positions=1,
+                    input_activity=activity,
+                    weight_rows=layer.in_features,
+                    weight_cols=layer.out_features,
+                )
+            )
+    return geometries
+
+
+@dataclass
+class LayerMapping:
+    """Hardware resources assigned to one layer and its per-timestep event counts."""
+
+    geometry: LayerGeometry
+    row_splits: int
+    col_splits: int
+    num_crossbars: int
+    num_pes: int
+    num_tiles: int
+    # per-timestep event counts
+    crossbar_reads: float
+    row_activations: float
+    adc_conversions: float
+    accumulator_ops: float
+    shift_add_ops: float
+    buffer_accesses: float
+    htree_transfers: float
+    noc_transfers: float
+    lif_updates: float
+
+    @classmethod
+    def from_geometry(cls, geometry: LayerGeometry, config: HardwareConfig) -> "LayerMapping":
+        size = config.crossbar_size
+        physical_cols = geometry.weight_cols * config.cells_per_weight
+        row_splits = math.ceil(geometry.weight_rows / size)
+        col_splits = math.ceil(physical_cols / size)
+        num_crossbars = row_splits * col_splits
+        num_pes = math.ceil(num_crossbars / config.crossbars_per_pe)
+        num_tiles = math.ceil(num_crossbars / config.crossbars_per_tile)
+
+        positions = float(geometry.output_positions)
+        activity = geometry.input_activity
+        # Every output position requires one read of every crossbar of the layer.
+        crossbar_reads = positions * num_crossbars
+        # Only rows whose input spiked draw read current (binary activations).
+        row_activations = positions * geometry.weight_rows * activity * col_splits
+        # Every physical column is converted once per read (muxed onto shared ADCs).
+        adc_conversions = positions * physical_cols * row_splits
+        # Partial sums from the row splits are added, then bit slices combined.
+        accumulator_ops = positions * physical_cols * max(row_splits - 1, 0) + (
+            positions * geometry.weight_cols * (config.cells_per_weight - 1)
+        )
+        shift_add_ops = positions * geometry.weight_cols * (config.cells_per_weight - 1)
+        # Buffer traffic: read the input row vector once per position, write the
+        # output vector once per position (words of activations / partial sums).
+        buffer_accesses = positions * (geometry.weight_rows + geometry.weight_cols)
+        # H-tree moves crossbar partial sums up to the PE/tile accumulators.
+        htree_transfers = positions * physical_cols * row_splits
+        # NoC moves the layer's output feature map to the tile(s) of the next layer.
+        noc_transfers = positions * geometry.weight_cols
+        # LIF module updates one membrane per output value.
+        lif_updates = positions * geometry.weight_cols
+        return cls(
+            geometry=geometry,
+            row_splits=row_splits,
+            col_splits=col_splits,
+            num_crossbars=num_crossbars,
+            num_pes=num_pes,
+            num_tiles=num_tiles,
+            crossbar_reads=crossbar_reads,
+            row_activations=row_activations,
+            adc_conversions=adc_conversions,
+            accumulator_ops=accumulator_ops,
+            shift_add_ops=shift_add_ops,
+            buffer_accesses=buffer_accesses,
+            htree_transfers=htree_transfers,
+            noc_transfers=noc_transfers,
+            lif_updates=lif_updates,
+        )
+
+
+@dataclass
+class ChipMapping:
+    """Complete mapping of a network onto the chip."""
+
+    config: HardwareConfig
+    layers: List[LayerMapping] = field(default_factory=list)
+    input_pixels: int = 0
+
+    @classmethod
+    def from_network(
+        cls,
+        model: SpikingNetwork,
+        sample_input: np.ndarray,
+        config: Optional[HardwareConfig] = None,
+        timesteps: int = 1,
+    ) -> "ChipMapping":
+        """Trace ``model`` on ``sample_input`` and map every weight layer."""
+        config = (config or HardwareConfig.paper_default()).validate()
+        sample_input = np.asarray(sample_input, dtype=np.float32)
+        if sample_input.ndim == 3:
+            sample_input = sample_input[None]
+        geometries = trace_network_geometry(model, sample_input, timesteps)
+        if not geometries:
+            raise ValueError("the network contains no Conv2d/Linear layers to map")
+        layers = [LayerMapping.from_geometry(geometry, config) for geometry in geometries]
+        # Per-sample input pixels loaded into the global buffer once per inference.
+        per_sample_shape = sample_input.shape[1:]
+        input_pixels = int(np.prod(per_sample_shape[-3:]))
+        return cls(config=config, layers=layers, input_pixels=input_pixels)
+
+    @classmethod
+    def from_geometries(
+        cls,
+        geometries: List[LayerGeometry],
+        config: Optional[HardwareConfig] = None,
+        input_pixels: int = 0,
+    ) -> "ChipMapping":
+        """Build a mapping from externally supplied layer geometries."""
+        config = (config or HardwareConfig.paper_default()).validate()
+        layers = [LayerMapping.from_geometry(geometry, config) for geometry in geometries]
+        return cls(config=config, layers=layers, input_pixels=input_pixels)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_crossbars(self) -> int:
+        return sum(layer.num_crossbars for layer in self.layers)
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(layer.num_tiles for layer in self.layers)
+
+    @property
+    def total_pes(self) -> int:
+        return sum(layer.num_pes for layer in self.layers)
+
+    def total_event(self, name: str) -> float:
+        """Sum one per-timestep event count over all layers."""
+        return float(sum(getattr(layer, name) for layer in self.layers))
+
+    def event_totals(self) -> Dict[str, float]:
+        """All per-timestep event totals keyed by event name."""
+        names = (
+            "crossbar_reads",
+            "row_activations",
+            "adc_conversions",
+            "accumulator_ops",
+            "shift_add_ops",
+            "buffer_accesses",
+            "htree_transfers",
+            "noc_transfers",
+            "lif_updates",
+        )
+        return {name: self.total_event(name) for name in names}
+
+    def utilization_summary(self) -> Dict[str, float]:
+        """Chip-level occupancy summary (used by the mapping report)."""
+        return {
+            "num_layers": float(len(self.layers)),
+            "total_crossbars": float(self.total_crossbars),
+            "total_pes": float(self.total_pes),
+            "total_tiles": float(self.total_tiles),
+            "total_macs_per_timestep": float(
+                sum(layer.geometry.macs_per_timestep for layer in self.layers)
+            ),
+        }

@@ -1,0 +1,85 @@
+"""Injecting device non-idealities into a trained network (Fig. 6B).
+
+The paper evaluates DT-SNN under 20% RRAM conductance variation by "adding
+noise to the weights post-training".  :func:`apply_device_variation` performs
+that procedure through the full device model (weight quantization →
+conductance mapping → multiplicative variation → read-back), returning a
+perturbed copy of the network's weights; :func:`with_device_variation` is a
+context manager that applies the noise, runs the caller's evaluation, and
+restores the original weights afterwards so one trained model can be
+evaluated at many noise levels.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..utils.rng import spawn_rng
+from .config import HardwareConfig
+from .device import RRAMDeviceModel
+
+__all__ = ["perturbed_state_dict", "apply_device_variation", "with_device_variation"]
+
+
+def _is_weight_key(key: str) -> bool:
+    """Only convolution/linear weights live on the crossbars; BN/bias do not."""
+    return key.endswith("weight") and "norm" not in key and "running" not in key
+
+
+def perturbed_state_dict(
+    model: Module,
+    sigma: Optional[float] = None,
+    config: Optional[HardwareConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    quantize: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Return a copy of ``model.state_dict()`` with crossbar weights perturbed."""
+    config = (config or HardwareConfig.paper_default()).validate()
+    device_model = RRAMDeviceModel(config)
+    rng = rng or spawn_rng()
+    state = model.state_dict()
+    perturbed: Dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        if _is_weight_key(key) and np.asarray(value).ndim >= 2:
+            perturbed[key] = device_model.perturb_weights(
+                value, sigma=sigma, rng=rng, quantize=quantize
+            ).astype(np.float32)
+        else:
+            perturbed[key] = np.asarray(value).copy()
+    return perturbed
+
+
+def apply_device_variation(
+    model: Module,
+    sigma: Optional[float] = None,
+    config: Optional[HardwareConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    quantize: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Perturb ``model`` in place; returns the original state dict for restoring."""
+    original = model.state_dict()
+    model.load_state_dict(
+        perturbed_state_dict(model, sigma=sigma, config=config, rng=rng, quantize=quantize)
+    )
+    return original
+
+
+@contextlib.contextmanager
+def with_device_variation(
+    model: Module,
+    sigma: Optional[float] = None,
+    config: Optional[HardwareConfig] = None,
+    seed: Optional[int] = None,
+    quantize: bool = True,
+) -> Iterator[Module]:
+    """Context manager: evaluate ``model`` under device variation, then restore it."""
+    rng = spawn_rng(seed)
+    original = apply_device_variation(model, sigma=sigma, config=config, rng=rng, quantize=quantize)
+    try:
+        yield model
+    finally:
+        model.load_state_dict(original)

@@ -1,0 +1,59 @@
+"""Text report generation for the hardware model (NeuroSim-style summaries).
+
+Benchmarks print these tables so the regenerated results can be compared
+side-by-side with the paper's tables and figures.  Everything is plain text:
+the benchmark harness captures stdout into ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_breakdown", "format_comparison_rows"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_breakdown(shares: Mapping[str, float], title: str = "Energy breakdown") -> str:
+    """Render a component-share mapping as a percentage table (Fig. 1(A) style)."""
+    rows = [[name, 100.0 * share] for name, share in sorted(shares.items(), key=lambda kv: -kv[1])]
+    return format_table(["component", "share (%)"], rows, title=title, float_format="{:.1f}")
+
+
+def format_comparison_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows selecting ``columns`` (Table II style)."""
+    table_rows = [[row.get(column, "") for column in columns] for row in rows]
+    return format_table(columns, table_rows, title=title)

@@ -1,0 +1,33 @@
+"""Neural-network module system (layers, parameters, initialization)."""
+
+from . import init
+from .layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .module import Identity, Module, ModuleList, Parameter, Sequential
+
+__all__ = [
+    "init",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "MaxPool2d",
+    "AdaptiveAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "ReLU",
+]

@@ -1,0 +1,74 @@
+"""Weight initialization schemes.
+
+The original DT-SNN training recipe uses Kaiming (He) initialization for
+convolutions and linear layers; the spiking-specific literature keeps the
+same scheme because LIF neurons behave like a leaky ReLU at initialization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import global_rng
+
+__all__ = [
+    "calculate_fan",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "zeros",
+    "ones",
+]
+
+
+def calculate_fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a linear or convolutional weight."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        out_channels, in_channels, kh, kw = shape
+        receptive = kh * kw
+        fan_in = in_channels * receptive
+        fan_out = out_channels * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], gain: float = math.sqrt(2.0),
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He normal initialization: N(0, gain^2 / fan_in)."""
+    rng = rng or global_rng()
+    fan_in, _ = calculate_fan(shape)
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], gain: float = math.sqrt(2.0),
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He uniform initialization: U(-bound, bound) with bound = gain*sqrt(3/fan_in)."""
+    rng = rng or global_rng()
+    fan_in, _ = calculate_fan(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot uniform initialization."""
+    rng = rng or global_rng()
+    fan_in, fan_out = calculate_fan(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero array (bias / BN-beta initialization)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one array (BN-gamma initialization)."""
+    return np.ones(shape, dtype=np.float32)

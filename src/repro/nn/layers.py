@@ -1,0 +1,211 @@
+"""Standard neural-network layers used to assemble the spiking architectures.
+
+Layers follow the PyTorch calling convention (``(N, C, H, W)`` feature maps,
+``(out, in)`` linear weights) so that the architectures in
+:mod:`repro.snn.architectures` read like their original definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, functional as F
+from ..utils.rng import spawn_rng
+from ..utils.validation import check_positive, check_probability
+from . import init
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "MaxPool2d",
+    "AdaptiveAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "ReLU",
+]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        check_positive("in_features", in_features)
+        check_positive("out_features", out_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features)), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}"
+
+
+class Conv2d(Module):
+    """2D convolution with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = False,
+    ):
+        super().__init__()
+        check_positive("in_channels", in_channels)
+        check_positive("out_channels", out_channels)
+        check_positive("kernel_size", kernel_size)
+        check_positive("stride", stride)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_channels}, out={self.out_channels}, k={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}"
+        )
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dimension of ``(N, C, H, W)``.
+
+    During SNN training this is applied independently at every timestep, which
+    is the "optional normalization layer placed between conv and LIF" the
+    paper describes (Sec. II).  The threshold-dependent variant used by the
+    tdBN baseline lives in :mod:`repro.snn.tdbn`.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        check_positive("num_features", num_features)
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)), name="gamma")
+        self.bias = Parameter(init.zeros((num_features,)), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W), got shape {x.shape}")
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            batch_mean = mean.data.reshape(-1)
+            batch_var = var.data.reshape(-1)
+            self.update_buffer(
+                "running_mean",
+                (1 - self.momentum) * self.running_mean + self.momentum * batch_mean,
+            )
+            self.update_buffer(
+                "running_var",
+                (1 - self.momentum) * self.running_var + self.momentum * batch_var,
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        gamma = self.weight.reshape(1, self.num_features, 1, 1)
+        beta = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalized * gamma + beta
+
+    def extra_repr(self) -> str:
+        return f"features={self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class AvgPool2d(Module):
+    """Average pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        check_positive("kernel_size", kernel_size)
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"k={self.kernel_size}, stride={self.stride}"
+
+
+class MaxPool2d(Module):
+    """Max pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        check_positive("kernel_size", kernel_size)
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"k={self.kernel_size}, stride={self.stride}"
+
+
+class AdaptiveAvgPool2d(Module):
+    """Average pooling to a fixed output size (divisible geometries only)."""
+
+    def __init__(self, output_size: int = 1):
+        super().__init__()
+        check_positive("output_size", output_size)
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    """Inverted dropout."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        super().__init__()
+        check_probability("p", p)
+        self.p = p
+        self._rng = spawn_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, rng=self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class ReLU(Module):
+    """Rectified linear unit (used by the ANN early-exit baseline)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()

@@ -1,0 +1,229 @@
+"""Module/Parameter system mirroring the ``torch.nn`` programming model.
+
+A :class:`Module` owns named :class:`Parameter` tensors and child modules,
+supports train/eval mode switching, parameter iteration for the optimizer,
+and flat ``state_dict`` export/import for checkpointing and for handing the
+trained weights to the IMC crossbar mapper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList", "Identity"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a module."""
+
+    def __init__(self, data, requires_grad: bool = True, name: str = ""):
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all neural-network components."""
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Attribute interception for automatic registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array that is part of the state dict."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a previously registered buffer (e.g. BN running stats)."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} was never registered")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------ #
+    # Iteration helpers
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> List["Module"]:
+        return [module for _, module in self.named_modules()]
+
+    def children(self) -> List["Module"]:
+        return list(self._modules.values())
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, value in self._buffers.items():
+            yield (f"{prefix}{name}", value)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # ------------------------------------------------------------------ #
+    # Train/eval and gradient management
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(param.size for param in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # State dict
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[f"{name}"] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffer_owners: Dict[str, Tuple[Module, str]] = {}
+        for module_name, module in self.named_modules():
+            for buf_name in module._buffers:
+                full = f"{module_name}.{buf_name}" if module_name else buf_name
+                own_buffer_owners[full] = (module, buf_name)
+
+        missing = []
+        for name, param in own_params.items():
+            if name in state:
+                value = np.asarray(state[name], dtype=param.data.dtype)
+                if value.shape != param.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: checkpoint {value.shape} vs model {param.shape}"
+                    )
+                param.data = value.copy()
+            else:
+                missing.append(name)
+        for name, (module, buf_name) in own_buffer_owners.items():
+            if name in state:
+                module.update_buffer(buf_name, np.asarray(state[name]))
+            else:
+                missing.append(name)
+        unexpected = [k for k in state if k not in own_params and k not in own_buffer_owners]
+        if strict and (missing or unexpected):
+            raise KeyError(f"load_state_dict mismatch: missing={missing}, unexpected={unexpected}")
+
+    # ------------------------------------------------------------------ #
+    # Forward dispatch
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"{type(self).__name__}({self.extra_repr()})"]
+        for name, child in self._modules.items():
+            child_repr = repr(child).splitlines()
+            lines.append(f"  ({name}): {child_repr[0]}")
+            lines.extend(f"  {line}" for line in child_repr[1:])
+        return "\n".join(lines)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for index, module in enumerate(modules):
+            name = str(index)
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x):
+        for module in self:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """Holds an ordered list of sub-modules without defining forward."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        self._order: List[str] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+
+class Identity(Module):
+    """Pass-through module (used for optional normalization slots)."""
+
+    def forward(self, x):
+        return x

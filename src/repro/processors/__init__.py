@@ -1,0 +1,11 @@
+"""Digital-processor cost models and wall-clock measurement helpers (Table III)."""
+
+from .digital import DigitalProcessorModel, fit_processor_model
+from .wallclock import ThroughputMeasurement, WallClockProfiler
+
+__all__ = [
+    "DigitalProcessorModel",
+    "fit_processor_model",
+    "ThroughputMeasurement",
+    "WallClockProfiler",
+]

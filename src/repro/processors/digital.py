@@ -1,0 +1,106 @@
+"""General digital processor (GPU-like) latency/throughput model (Table III).
+
+Section IV-B of the paper shows DT-SNN also accelerates inference on ordinary
+digital hardware: batch-1 throughput on an RTX 2080Ti drops roughly linearly
+with the number of timesteps, and DT-SNN recovers most of the one-timestep
+throughput while keeping the four-timestep accuracy.
+
+Without that GPU, the reproduction models batch-1 latency as
+
+    latency(T) = t_fixed + T * (t_timestep + t_exit_check)
+
+where ``t_fixed`` is the per-inference framework/launch overhead, ``t_timestep``
+is one timestep of network execution, and ``t_exit_check`` is the (small)
+softmax/entropy evaluation DT-SNN adds per timestep.  The default constants
+are fitted to the paper's measured static-SNN column for the VGG-16 model
+(199.3 / 121.8 / 85.2 / 64.3 images per second at T = 1..4), so the model
+reproduces the *shape* of Table III; the same class also prices any other
+calibration.  :class:`repro.processors.wallclock.WallClockProfiler` provides
+the corresponding measured numbers for this repo's NumPy inference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.dynamic_inference import DynamicInferenceResult
+from ..utils.validation import check_non_negative, check_positive
+
+__all__ = ["DigitalProcessorModel", "fit_processor_model"]
+
+
+@dataclass
+class DigitalProcessorModel:
+    """Batch-1 latency model of a general digital processor (milliseconds)."""
+
+    fixed_ms: float = 1.55
+    per_timestep_ms: float = 3.46
+    exit_check_ms: float = 0.05
+
+    def __post_init__(self):
+        check_non_negative("fixed_ms", self.fixed_ms)
+        check_positive("per_timestep_ms", self.per_timestep_ms)
+        check_non_negative("exit_check_ms", self.exit_check_ms)
+
+    # -- InferenceCostModel protocol (latency doubles as "energy" is unused) -- #
+    def latency(self, timesteps: float, dynamic: bool = False) -> float:
+        """Latency in milliseconds for one inference of ``timesteps`` timesteps."""
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        per_step = self.per_timestep_ms + (self.exit_check_ms if dynamic else 0.0)
+        return self.fixed_ms + timesteps * per_step
+
+    def energy(self, timesteps: float) -> float:
+        """Energy proxy: proportional to busy time (used only for completeness)."""
+        return self.latency(timesteps)
+
+    def throughput(self, timesteps: float, dynamic: bool = False) -> float:
+        """Images per second at batch size 1."""
+        return 1000.0 / self.latency(timesteps, dynamic=dynamic)
+
+    # ------------------------------------------------------------------ #
+    def static_throughput_table(self, max_timesteps: int = 4) -> Dict[int, float]:
+        """Static-SNN throughput for T = 1..max (the SNN rows of Table III)."""
+        return {t: self.throughput(t) for t in range(1, max_timesteps + 1)}
+
+    def dynamic_throughput(self, result: DynamicInferenceResult) -> float:
+        """Average throughput of a DT-SNN run, priced per sample.
+
+        Each sample's latency depends on its own exit timestep (plus the
+        per-timestep exit check); throughput is the reciprocal of the mean
+        latency, matching how the paper measures images/second over the test
+        set at batch size 1.
+        """
+        latencies = np.array(
+            [self.latency(int(t), dynamic=True) for t in result.exit_timesteps], dtype=np.float64
+        )
+        return 1000.0 / float(latencies.mean())
+
+
+def fit_processor_model(
+    timesteps: Sequence[int],
+    throughputs_img_per_s: Sequence[float],
+    exit_check_ms: float = 0.05,
+) -> DigitalProcessorModel:
+    """Fit ``fixed_ms``/``per_timestep_ms`` to measured static throughputs.
+
+    A least-squares fit of ``latency = fixed + T * per_timestep`` to the
+    reciprocal throughputs.  Used to calibrate the model either to the
+    paper's published GPU numbers or to wall-clock measurements of this
+    repository's own inference engine.
+    """
+    timesteps = np.asarray(timesteps, dtype=np.float64)
+    throughputs = np.asarray(throughputs_img_per_s, dtype=np.float64)
+    if timesteps.shape != throughputs.shape or timesteps.size < 2:
+        raise ValueError("need matching arrays with at least two measurement points")
+    if np.any(throughputs <= 0):
+        raise ValueError("throughputs must be positive")
+    latencies_ms = 1000.0 / throughputs
+    design = np.stack([np.ones_like(timesteps), timesteps], axis=1)
+    (fixed, slope), *_ = np.linalg.lstsq(design, latencies_ms, rcond=None)
+    fixed = max(float(fixed), 0.0)
+    slope = max(float(slope), 1e-6)
+    return DigitalProcessorModel(fixed_ms=fixed, per_timestep_ms=slope, exit_check_ms=exit_check_ms)

@@ -1,0 +1,96 @@
+"""Wall-clock throughput measurement of this repository's inference engine.
+
+Table III of the paper is a *measurement* (images per second on a GPU).  The
+closest measurement this environment supports is timing the NumPy inference
+engine itself at batch size 1, statically for T = 1..T_max and dynamically
+with the entropy-threshold exit.  The absolute numbers are CPU/NumPy numbers,
+but the claim under test is relational — throughput degrades with timesteps
+and DT-SNN recovers most of it — and that shape is hardware independent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.dynamic_inference import DynamicTimestepInference
+from ..core.policies import EntropyExitPolicy
+from ..snn.network import SpikingNetwork
+from ..autograd import no_grad
+
+__all__ = ["ThroughputMeasurement", "WallClockProfiler"]
+
+
+@dataclass
+class ThroughputMeasurement:
+    """Result of one throughput measurement."""
+
+    images_per_second: float
+    mean_latency_ms: float
+    num_images: int
+    average_timesteps: float
+
+
+class WallClockProfiler:
+    """Times static and dynamic batch-1 inference of a spiking network."""
+
+    def __init__(self, model: SpikingNetwork, max_timesteps: Optional[int] = None):
+        self.model = model
+        self.max_timesteps = max_timesteps or model.default_timesteps
+
+    def measure_static(self, inputs: np.ndarray, timesteps: int) -> ThroughputMeasurement:
+        """Batch-1 static SNN inference at a fixed horizon."""
+        inputs = np.asarray(inputs, dtype=np.float32)
+        was_training = self.model.training
+        self.model.eval()
+        start = time.perf_counter()
+        try:
+            with no_grad():
+                for index in range(inputs.shape[0]):
+                    self.model.forward(inputs[index : index + 1], timesteps)
+        finally:
+            self.model.train(was_training)
+        elapsed = time.perf_counter() - start
+        count = inputs.shape[0]
+        return ThroughputMeasurement(
+            images_per_second=count / elapsed if elapsed > 0 else float("inf"),
+            mean_latency_ms=1000.0 * elapsed / count,
+            num_images=count,
+            average_timesteps=float(timesteps),
+        )
+
+    def measure_dynamic(self, inputs: np.ndarray, threshold: float) -> ThroughputMeasurement:
+        """Batch-1 DT-SNN inference with the entropy-threshold exit."""
+        inputs = np.asarray(inputs, dtype=np.float32)
+        engine = DynamicTimestepInference(
+            self.model,
+            policy=EntropyExitPolicy(threshold=threshold),
+            max_timesteps=self.max_timesteps,
+        )
+        exit_timesteps = []
+        start = time.perf_counter()
+        for index in range(inputs.shape[0]):
+            result = engine.infer(inputs[index : index + 1])
+            exit_timesteps.append(int(result.exit_timesteps[0]))
+        elapsed = time.perf_counter() - start
+        count = inputs.shape[0]
+        return ThroughputMeasurement(
+            images_per_second=count / elapsed if elapsed > 0 else float("inf"),
+            mean_latency_ms=1000.0 * elapsed / count,
+            num_images=count,
+            average_timesteps=float(np.mean(exit_timesteps)) if exit_timesteps else 0.0,
+        )
+
+    def throughput_table(
+        self, inputs: np.ndarray, thresholds: Optional[Dict[str, float]] = None
+    ) -> Dict[str, ThroughputMeasurement]:
+        """Static rows for T = 1..max plus one dynamic row per threshold."""
+        table: Dict[str, ThroughputMeasurement] = {}
+        for t in range(1, self.max_timesteps + 1):
+            table[f"static_T{t}"] = self.measure_static(inputs, t)
+        for name, threshold in (thresholds or {}).items():
+            table[f"dynamic_{name}"] = self.measure_dynamic(inputs, threshold)
+        return table

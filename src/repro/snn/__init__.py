@@ -1,0 +1,55 @@
+"""Spiking neural network substrate: neurons, surrogates, encoders, architectures."""
+
+from .architectures import (
+    ARCHITECTURES,
+    ConvSpikeBlock,
+    RESNET_PRESETS,
+    SpikingResidualBlock,
+    VGG_PRESETS,
+    build_architecture,
+    spiking_resnet,
+    spiking_vgg,
+)
+from .encoding import DirectEncoder, EventFrameEncoder, PoissonEncoder, build_encoder
+from .network import SpikingNetwork, TemporalOutput, cumulative_mean_logits
+from .neurons import IFNeuron, LIFNeuron
+from .surrogate import (
+    SURROGATES,
+    ArctanSurrogate,
+    DspikeSurrogate,
+    RectangularSurrogate,
+    SigmoidSurrogate,
+    SurrogateGradient,
+    TriangularSurrogate,
+    build_surrogate,
+)
+from .tdbn import TemporalBatchNorm2d
+
+__all__ = [
+    "LIFNeuron",
+    "IFNeuron",
+    "SurrogateGradient",
+    "TriangularSurrogate",
+    "RectangularSurrogate",
+    "DspikeSurrogate",
+    "SigmoidSurrogate",
+    "ArctanSurrogate",
+    "SURROGATES",
+    "build_surrogate",
+    "DirectEncoder",
+    "PoissonEncoder",
+    "EventFrameEncoder",
+    "build_encoder",
+    "SpikingNetwork",
+    "TemporalOutput",
+    "cumulative_mean_logits",
+    "TemporalBatchNorm2d",
+    "ConvSpikeBlock",
+    "SpikingResidualBlock",
+    "spiking_vgg",
+    "spiking_resnet",
+    "build_architecture",
+    "ARCHITECTURES",
+    "VGG_PRESETS",
+    "RESNET_PRESETS",
+]

@@ -1,0 +1,95 @@
+"""Input encoders turning images or event streams into per-timestep inputs.
+
+The paper uses *direct encoding*: the analog image is fed to the first
+convolutional block at every timestep and that block's LIF layer produces the
+spike trains (``g_1(x)`` in Eq. 1).  A Poisson rate encoder and an
+event-stream (DVS) encoder are also provided — the former as a classical
+baseline, the latter to exercise the CIFAR10-DVS-style experiments where the
+input itself varies over time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..utils.rng import spawn_rng
+from ..utils.validation import check_positive
+
+__all__ = ["DirectEncoder", "PoissonEncoder", "EventFrameEncoder", "build_encoder"]
+
+
+class DirectEncoder:
+    """Repeat the same analog input at every timestep (the paper's choice)."""
+
+    name = "direct"
+
+    def __call__(self, x: np.ndarray, timestep: int) -> Tensor:
+        return Tensor(np.asarray(x, dtype=np.float32))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "DirectEncoder()"
+
+
+class PoissonEncoder:
+    """Bernoulli/Poisson rate coding: pixel intensity = firing probability.
+
+    Intensities are expected in ``[0, 1]``; values outside are clipped.  Each
+    timestep draws an independent binary frame, so temporal averaging over
+    more timesteps recovers the analog image with decreasing variance — the
+    classical reason accuracy grows with T.
+    """
+
+    name = "poisson"
+
+    def __init__(self, gain: float = 1.0, seed: Optional[int] = None):
+        check_positive("gain", gain)
+        self.gain = gain
+        self._rng = spawn_rng(seed)
+
+    def __call__(self, x: np.ndarray, timestep: int) -> Tensor:
+        probabilities = np.clip(np.asarray(x, dtype=np.float32) * self.gain, 0.0, 1.0)
+        frame = (self._rng.random(probabilities.shape) < probabilities).astype(np.float32)
+        return Tensor(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PoissonEncoder(gain={self.gain})"
+
+
+class EventFrameEncoder:
+    """Select the ``t``-th frame of an event-stream tensor ``(N, T, C, H, W)``.
+
+    Used for the CIFAR10-DVS-style synthetic dataset where every timestep has
+    its own accumulated event frame.  If the requested timestep exceeds the
+    number of recorded frames the last frame is repeated, matching the common
+    practice of padding short event recordings.
+    """
+
+    name = "event"
+
+    def __call__(self, x: np.ndarray, timestep: int) -> Tensor:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 5:
+            raise ValueError(
+                f"EventFrameEncoder expects (N, T, C, H, W) input, got shape {x.shape}"
+            )
+        index = min(timestep, x.shape[1] - 1)
+        return Tensor(x[:, index])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "EventFrameEncoder()"
+
+
+def build_encoder(name: str, **kwargs):
+    """Instantiate an encoder by name (``direct``, ``poisson`` or ``event``)."""
+    encoders = {
+        "direct": DirectEncoder,
+        "poisson": PoissonEncoder,
+        "event": EventFrameEncoder,
+    }
+    key = name.lower()
+    if key not in encoders:
+        raise KeyError(f"unknown encoder {name!r}; available: {sorted(encoders)}")
+    return encoders[key](**kwargs)

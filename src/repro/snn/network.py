@@ -1,0 +1,182 @@
+"""Temporally-unrolled spiking network producing per-timestep logits.
+
+:class:`SpikingNetwork` is the ``f_T(x)`` of Eq. 1: a stack of
+conv/norm/LIF blocks followed by a linear classifier ``h``.  A forward pass
+runs the same (stateful) blocks once per timestep and records the classifier
+output of every timestep; the network prediction at horizon ``t`` is the
+running mean of the first ``t`` outputs (Eq. 1 and Eq. 5).
+
+The per-timestep outputs are exactly what both the DT-SNN inference engine
+(entropy-based exit, Eq. 8) and the per-timestep training loss (Eq. 10)
+consume, so this class is the single integration point between the spiking
+substrate and the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn.module import Module
+from .encoding import DirectEncoder
+from .neurons import LIFNeuron
+
+__all__ = ["TemporalOutput", "SpikingNetwork", "cumulative_mean_logits"]
+
+
+def cumulative_mean_logits(per_timestep: Sequence[Tensor]) -> List[Tensor]:
+    """Running mean of the classifier outputs: ``f_t(x) = (1/t) sum_{k<=t} o_k``.
+
+    The returned tensors stay attached to the autograd graph, so they can be
+    used directly in the Eq. 10 training loss.
+    """
+    cumulative: List[Tensor] = []
+    running: Optional[Tensor] = None
+    for index, logits in enumerate(per_timestep, start=1):
+        running = logits if running is None else running + logits
+        cumulative.append(running * (1.0 / index))
+    return cumulative
+
+
+@dataclass
+class TemporalOutput:
+    """Outputs of one multi-timestep forward pass."""
+
+    per_timestep: List[Tensor] = field(default_factory=list)
+
+    @property
+    def num_timesteps(self) -> int:
+        return len(self.per_timestep)
+
+    def cumulative(self) -> List[Tensor]:
+        """Running-mean logits ``f_t(x)`` for every horizon ``t``."""
+        return cumulative_mean_logits(self.per_timestep)
+
+    def final(self) -> Tensor:
+        """The full-horizon prediction ``f_T(x)`` (Eq. 1)."""
+        if not self.per_timestep:
+            raise ValueError("TemporalOutput is empty")
+        return self.cumulative()[-1]
+
+    def cumulative_numpy(self) -> np.ndarray:
+        """Running-mean logits as a ``(T, N, K)`` array (forward values only)."""
+        return np.stack([logits.data for logits in self.cumulative()], axis=0)
+
+    def per_timestep_numpy(self) -> np.ndarray:
+        """Raw per-timestep logits as a ``(T, N, K)`` array."""
+        return np.stack([logits.data for logits in self.per_timestep], axis=0)
+
+
+class SpikingNetwork(Module):
+    """Feature extractor + classifier evaluated over a configurable horizon.
+
+    Parameters
+    ----------
+    features:
+        Module mapping an encoded input frame to a spike feature map.  It is
+        called once per timestep and is expected to contain the stateful LIF
+        layers.
+    classifier:
+        Module mapping the (flattened) feature map to class logits.
+    default_timesteps:
+        Horizon ``T`` used when ``forward`` is called without an explicit
+        ``timesteps`` argument (the paper uses 4 for static images and 10 for
+        DVS data).
+    encoder:
+        Input encoder; defaults to the paper's direct encoding.
+    """
+
+    def __init__(
+        self,
+        features: Module,
+        classifier: Module,
+        default_timesteps: int = 4,
+        encoder=None,
+        name: str = "snn",
+    ):
+        super().__init__()
+        if default_timesteps < 1:
+            raise ValueError("default_timesteps must be >= 1")
+        self.features = features
+        self.classifier = classifier
+        self.default_timesteps = default_timesteps
+        self.encoder = encoder or DirectEncoder()
+        self.model_name = name
+
+    # ------------------------------------------------------------------ #
+    # State management
+    # ------------------------------------------------------------------ #
+    def lif_layers(self) -> List[LIFNeuron]:
+        """All stateful spiking layers in forward order."""
+        return [module for module in self.modules() if isinstance(module, LIFNeuron)]
+
+    def reset_state(self) -> None:
+        """Clear membrane potentials (between batches / samples)."""
+        for layer in self.lif_layers():
+            layer.reset_state()
+
+    def reset_spike_statistics(self) -> None:
+        """Clear the per-layer spike counters used by the IMC activity model."""
+        for layer in self.lif_layers():
+            layer.reset_statistics()
+
+    def spike_statistics(self) -> Dict[str, Dict[str, float]]:
+        """Per-LIF-layer spike counts and rates accumulated since last reset."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for name, module in self.named_modules():
+            if isinstance(module, LIFNeuron):
+                rate = (
+                    module.total_spikes / module.total_neuron_updates
+                    if module.total_neuron_updates
+                    else 0.0
+                )
+                stats[name or "lif"] = {
+                    "total_spikes": module.total_spikes,
+                    "total_updates": module.total_neuron_updates,
+                    "mean_rate": rate,
+                }
+        return stats
+
+    def mean_spike_rate(self) -> float:
+        """Network-wide mean firing rate since the last statistics reset."""
+        total_spikes = 0.0
+        total_updates = 0.0
+        for layer in self.lif_layers():
+            total_spikes += layer.total_spikes
+            total_updates += layer.total_neuron_updates
+        return total_spikes / total_updates if total_updates else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray, timesteps: Optional[int] = None) -> TemporalOutput:
+        """Run ``timesteps`` sequential timesteps and return all logits."""
+        horizon = self.default_timesteps if timesteps is None else timesteps
+        if horizon < 1:
+            raise ValueError("timesteps must be >= 1")
+        self.reset_state()
+        outputs: List[Tensor] = []
+        for t in range(horizon):
+            frame = self.encoder(x, t)
+            spikes = self.features(frame)
+            logits = self.classifier(spikes)
+            outputs.append(logits)
+        return TemporalOutput(per_timestep=outputs)
+
+    def predict(self, x: np.ndarray, timesteps: Optional[int] = None) -> np.ndarray:
+        """Inference-mode class predictions using the full horizon (static SNN)."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                output = self.forward(x, timesteps)
+                logits = output.final().data
+        finally:
+            self.train(was_training)
+        return np.argmax(logits, axis=-1)
+
+    def extra_repr(self) -> str:
+        return f"name={self.model_name}, T={self.default_timesteps}, encoder={self.encoder!r}"

@@ -1,0 +1,151 @@
+"""Spiking neuron models (leaky integrate-and-fire and integrate-and-fire).
+
+The neuron layers are *stateful*: a network forward pass over ``T`` timesteps
+calls the same layer ``T`` times and the layer carries its membrane potential
+between calls (Eq. 2 of the paper).  Backpropagation-through-time falls out
+naturally because the membrane potential is a :class:`~repro.autograd.Tensor`
+that stays connected to the graph across timesteps.
+
+Reset semantics
+---------------
+The paper uses a *hard* reset: after a spike the membrane potential is set to
+zero, ``u <- u * (1 - s)``.  A *soft* (subtractive) reset ``u <- u - s*V_th``
+is also provided because the IMC literature sometimes prefers it; tests cover
+both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn.module import Module
+from ..utils.validation import check_in_choices, check_positive
+from .surrogate import SurrogateGradient, TriangularSurrogate
+
+__all__ = ["LIFNeuron", "IFNeuron"]
+
+
+class LIFNeuron(Module):
+    """Leaky integrate-and-fire layer.
+
+    Parameters
+    ----------
+    tau:
+        Leak factor in ``(0, 1]`` multiplying the previous membrane potential
+        (Eq. 2).  ``tau = 1`` recovers the non-leaky IF neuron.
+    v_threshold:
+        Firing threshold ``V_th`` (Eq. 3).
+    surrogate:
+        Surrogate gradient used in the backward pass (defaults to the paper's
+        triangular surrogate, Eq. 4).
+    reset:
+        ``"hard"`` (set to zero, the paper's choice) or ``"soft"``
+        (subtract ``V_th``).
+    detach_reset:
+        When True the reset term is detached from the graph, a common trick
+        that stabilizes surrogate-gradient training; the membrane integration
+        path itself is never detached.
+    """
+
+    def __init__(
+        self,
+        tau: float = 0.5,
+        v_threshold: float = 1.0,
+        surrogate: Optional[SurrogateGradient] = None,
+        reset: str = "hard",
+        detach_reset: bool = True,
+    ):
+        super().__init__()
+        if not 0.0 < tau <= 1.0:
+            raise ValueError(f"tau must be in (0, 1], got {tau}")
+        check_positive("v_threshold", v_threshold)
+        check_in_choices("reset", reset, ("hard", "soft"))
+        self.tau = tau
+        self.v_threshold = v_threshold
+        self.surrogate = surrogate or TriangularSurrogate()
+        self.reset = reset
+        self.detach_reset = detach_reset
+        self.membrane: Optional[Tensor] = None
+        # Spike statistics for the IMC activity model (spikes per call).
+        self.last_spike_rate: float = 0.0
+        self.total_spikes: float = 0.0
+        self.total_neuron_updates: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def reset_state(self) -> None:
+        """Clear the membrane potential (call between input samples/batches)."""
+        self.membrane = None
+
+    def reset_statistics(self) -> None:
+        """Clear the accumulated spike counters used by the energy model."""
+        self.last_spike_rate = 0.0
+        self.total_spikes = 0.0
+        self.total_neuron_updates = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _fire(self, membrane: Tensor) -> Tensor:
+        """Binary spike with surrogate gradient."""
+        v_th = self.v_threshold
+        surrogate = self.surrogate
+
+        def forward_fn(u: np.ndarray) -> np.ndarray:
+            return (u > v_th).astype(u.dtype)
+
+        def grad_fn(u: np.ndarray) -> np.ndarray:
+            return surrogate(u, v_th)
+
+        return membrane.custom_grad(forward_fn, grad_fn)
+
+    def forward(self, current: Tensor) -> Tensor:
+        """Integrate one timestep of input current and emit spikes."""
+        if self.membrane is not None and self.membrane.shape != current.shape:
+            # A new batch size or feature shape implies a new sample stream.
+            self.membrane = None
+        if self.membrane is None:
+            membrane = current
+        else:
+            membrane = self.membrane * self.tau + current
+
+        spikes = self._fire(membrane)
+
+        reset_spikes = spikes.detach() if self.detach_reset else spikes
+        if self.reset == "hard":
+            membrane_after = membrane * (Tensor(np.ones_like(reset_spikes.data)) - reset_spikes)
+        else:
+            membrane_after = membrane - reset_spikes * self.v_threshold
+        self.membrane = membrane_after
+
+        # Bookkeeping for the hardware activity model (forward values only).
+        spike_count = float(spikes.data.sum())
+        self.last_spike_rate = spike_count / float(spikes.data.size)
+        self.total_spikes += spike_count
+        self.total_neuron_updates += float(spikes.data.size)
+        return spikes
+
+    def extra_repr(self) -> str:
+        return (
+            f"tau={self.tau}, v_th={self.v_threshold}, reset={self.reset}, "
+            f"surrogate={self.surrogate.name}"
+        )
+
+
+class IFNeuron(LIFNeuron):
+    """Integrate-and-fire neuron (no leak), a special case of LIF with tau=1."""
+
+    def __init__(
+        self,
+        v_threshold: float = 1.0,
+        surrogate: Optional[SurrogateGradient] = None,
+        reset: str = "hard",
+        detach_reset: bool = True,
+    ):
+        super().__init__(
+            tau=1.0,
+            v_threshold=v_threshold,
+            surrogate=surrogate,
+            reset=reset,
+            detach_reset=detach_reset,
+        )

@@ -1,0 +1,136 @@
+"""Surrogate gradient functions for the non-differentiable spike function.
+
+The LIF firing function (Eq. 3 of the paper) is a Heaviside step of the
+membrane potential: it has zero gradient almost everywhere, so training uses
+a *surrogate* gradient in the backward pass while keeping the exact binary
+spike in the forward pass (Eq. 4).  Several surrogates from the literature
+are provided because the paper compares against Dspike [Li et al. 2021] and
+tdBN [Zheng et al. 2021] which use different shapes; all of them share the
+interface ``surrogate(u, v_th) -> d spike / d u``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..utils.registry import Registry
+
+__all__ = [
+    "SurrogateGradient",
+    "RectangularSurrogate",
+    "TriangularSurrogate",
+    "DspikeSurrogate",
+    "SigmoidSurrogate",
+    "ArctanSurrogate",
+    "SURROGATES",
+    "build_surrogate",
+]
+
+SURROGATES = Registry("surrogate gradient")
+
+
+class SurrogateGradient:
+    """Base class: callable returning d(spike)/d(membrane potential)."""
+
+    name = "base"
+
+    def __call__(self, membrane: np.ndarray, v_threshold: float) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+@SURROGATES.register("rectangular")
+@dataclass
+class RectangularSurrogate(SurrogateGradient):
+    """Boxcar surrogate: 1/width inside a window of ``width`` around V_th.
+
+    This is the classic STBP surrogate [Wu et al. 2018]; with ``width`` equal
+    to ``V_th`` and unit height scaling it coincides with the paper's Eq. 4
+    evaluated as a rectangle approximation.
+    """
+
+    width: float = 1.0
+    name: str = "rectangular"
+
+    def __call__(self, membrane: np.ndarray, v_threshold: float) -> np.ndarray:
+        inside = np.abs(membrane - v_threshold) < (self.width / 2.0)
+        return inside.astype(membrane.dtype) / self.width
+
+
+@SURROGATES.register("triangular")
+@dataclass
+class TriangularSurrogate(SurrogateGradient):
+    """Triangular surrogate, the paper's Eq. 4:
+    ``d s / d u = max(0, V_th - |u - V_th|)`` (optionally scaled by gamma)."""
+
+    gamma: float = 1.0
+    name: str = "triangular"
+
+    def __call__(self, membrane: np.ndarray, v_threshold: float) -> np.ndarray:
+        return self.gamma * np.maximum(
+            0.0, v_threshold - np.abs(membrane - v_threshold)
+        ).astype(membrane.dtype)
+
+
+@SURROGATES.register("dspike")
+@dataclass
+class DspikeSurrogate(SurrogateGradient):
+    """Dspike surrogate [Li et al. NeurIPS 2021].
+
+    The Dspike family uses a temperature-controlled hyperbolic-tangent shape
+    whose derivative concentrates around the threshold as ``temperature``
+    grows.  We implement the derivative of the Dspike forward relaxation
+    normalized so its peak value is ``peak``.
+    """
+
+    temperature: float = 3.0
+    peak: float = 1.0
+    name: str = "dspike"
+
+    def __call__(self, membrane: np.ndarray, v_threshold: float) -> np.ndarray:
+        b = self.temperature
+        x = np.clip(membrane - v_threshold, -1.0, 1.0)
+        # d/dx [ tanh(b x) / (2 tanh(b)) + 1/2 ] = b sech^2(b x) / (2 tanh(b))
+        sech2 = 1.0 / np.cosh(b * x) ** 2
+        grad = b * sech2 / (2.0 * math.tanh(b))
+        peak_value = b / (2.0 * math.tanh(b))
+        return (self.peak * grad / peak_value).astype(membrane.dtype)
+
+
+@SURROGATES.register("sigmoid")
+@dataclass
+class SigmoidSurrogate(SurrogateGradient):
+    """Derivative of a scaled sigmoid centred at the threshold."""
+
+    slope: float = 4.0
+    name: str = "sigmoid"
+
+    def __call__(self, membrane: np.ndarray, v_threshold: float) -> np.ndarray:
+        z = 1.0 / (1.0 + np.exp(-self.slope * (membrane - v_threshold)))
+        return (self.slope * z * (1.0 - z)).astype(membrane.dtype)
+
+
+@SURROGATES.register("atan")
+@dataclass
+class ArctanSurrogate(SurrogateGradient):
+    """Derivative of a scaled arctan relaxation (used by PLIF/SpikingJelly)."""
+
+    alpha: float = 2.0
+    name: str = "atan"
+
+    def __call__(self, membrane: np.ndarray, v_threshold: float) -> np.ndarray:
+        x = membrane - v_threshold
+        return (self.alpha / 2.0 / (1.0 + (math.pi / 2.0 * self.alpha * x) ** 2)).astype(
+            membrane.dtype
+        )
+
+
+def build_surrogate(name: str, **kwargs) -> SurrogateGradient:
+    """Instantiate a surrogate gradient by registry name."""
+    return SURROGATES.create(name, **kwargs)

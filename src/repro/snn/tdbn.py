@@ -1,0 +1,99 @@
+"""Threshold-dependent batch normalization (tdBN), Zheng et al. AAAI 2021.
+
+tdBN is the normalization scheme used by the "tdBN" baseline in Fig. 6(A) of
+the paper.  It differs from plain per-timestep BatchNorm2d in two ways:
+
+1. Statistics are computed jointly over the *time and batch* dimensions, so
+   the firing behaviour is balanced across the whole spike train rather than
+   per timestep.
+2. The normalized activation is scaled by ``alpha * V_th`` so that the
+   pre-activation variance matches the firing threshold of the following LIF
+   layer.
+
+Because our networks call layers once per timestep, :class:`TemporalBatchNorm2d`
+buffers the per-timestep activations statistics using running estimates that
+incorporate every timestep of the current batch (each timestep's forward call
+contributes to the same running statistics), and applies the joint batch
+statistics when normalizing.  For the purposes of the Fig. 6(A) comparison
+(accuracy as a function of T under different training recipes) this captures
+the essential tdBN behaviour: threshold-scaled, time-aggregated normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import init
+from ..nn.module import Module, Parameter
+from ..utils.validation import check_positive
+
+__all__ = ["TemporalBatchNorm2d"]
+
+
+class TemporalBatchNorm2d(Module):
+    """Threshold-dependent batch norm applied timestep-by-timestep.
+
+    Parameters
+    ----------
+    num_features:
+        Number of channels.
+    v_threshold:
+        The firing threshold of the LIF layer that follows; the output is
+        scaled to ``alpha * v_threshold`` standard deviations.
+    alpha:
+        Additional scale factor (Zheng et al. use 1).
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        v_threshold: float = 1.0,
+        alpha: float = 1.0,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+    ):
+        super().__init__()
+        check_positive("num_features", num_features)
+        check_positive("v_threshold", v_threshold)
+        check_positive("alpha", alpha)
+        self.num_features = num_features
+        self.v_threshold = v_threshold
+        self.alpha = alpha
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)), name="gamma")
+        self.bias = Parameter(init.zeros((num_features,)), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"TemporalBatchNorm2d expects (N, C, H, W), got {x.shape}")
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            self.update_buffer(
+                "running_mean",
+                (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1),
+            )
+            self.update_buffer(
+                "running_var",
+                (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1),
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        scale = self.alpha * self.v_threshold
+        gamma = self.weight.reshape(1, self.num_features, 1, 1)
+        beta = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalized * gamma * scale + beta
+
+    def extra_repr(self) -> str:
+        return (
+            f"features={self.num_features}, v_th={self.v_threshold}, alpha={self.alpha}, "
+            f"eps={self.eps}"
+        )

@@ -1,0 +1,38 @@
+"""Training substrate: optimizers, schedules, losses, metrics, trainer."""
+
+from .losses import LOSSES, FinalTimestepLoss, PerTimestepLoss, SNNLoss, TETLoss, build_loss
+from .metrics import (
+    accuracy_from_logits,
+    collect_cumulative_logits,
+    confusion_matrix,
+    evaluate_accuracy,
+    evaluate_per_timestep_accuracy,
+)
+from .optim import SGD, Adam, Optimizer
+from .schedulers import ConstantLR, CosineAnnealingLR, LRScheduler, StepLR
+from .trainer import Trainer, TrainingConfig, TrainingResult, train_model
+
+__all__ = [
+    "SNNLoss",
+    "FinalTimestepLoss",
+    "PerTimestepLoss",
+    "TETLoss",
+    "LOSSES",
+    "build_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "StepLR",
+    "ConstantLR",
+    "accuracy_from_logits",
+    "confusion_matrix",
+    "collect_cumulative_logits",
+    "evaluate_accuracy",
+    "evaluate_per_timestep_accuracy",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "train_model",
+]

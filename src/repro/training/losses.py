@@ -1,0 +1,89 @@
+"""Training losses for static SNNs and DT-SNNs.
+
+Three losses from the paper and its baselines:
+
+* :class:`FinalTimestepLoss` — Eq. 9: cross-entropy on the full-horizon
+  averaged output ``f_T(x)`` only (the static-SNN default).
+* :class:`PerTimestepLoss` — Eq. 10: the DT-SNN loss, averaging cross-entropy
+  over every cumulative horizon ``f_t(x)``, which gives explicit supervision
+  to the early-timestep outputs so entropy-based early exits stay accurate.
+* :class:`TETLoss` — the "temporal efficient training" variant that applies
+  cross-entropy to each *instantaneous* timestep output rather than the
+  running mean; included as an ablation point.
+
+All losses consume a :class:`~repro.snn.network.TemporalOutput` so the
+trainer can switch between them with a single configuration string.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy
+from ..snn.network import TemporalOutput
+from ..utils.registry import Registry
+
+__all__ = [
+    "SNNLoss",
+    "FinalTimestepLoss",
+    "PerTimestepLoss",
+    "TETLoss",
+    "LOSSES",
+    "build_loss",
+]
+
+LOSSES = Registry("training loss")
+
+
+class SNNLoss:
+    """Base class: callable mapping ``(TemporalOutput, labels) -> scalar Tensor``."""
+
+    name = "base"
+
+    def __call__(self, output: TemporalOutput, labels: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+
+@LOSSES.register("final")
+class FinalTimestepLoss(SNNLoss):
+    """Cross-entropy on the full-horizon prediction only (Eq. 9)."""
+
+    name = "final"
+
+    def __call__(self, output: TemporalOutput, labels: np.ndarray) -> Tensor:
+        return cross_entropy(output.final(), labels)
+
+
+@LOSSES.register("per_timestep")
+class PerTimestepLoss(SNNLoss):
+    """Average cross-entropy over every cumulative horizon (Eq. 10)."""
+
+    name = "per_timestep"
+
+    def __call__(self, output: TemporalOutput, labels: np.ndarray) -> Tensor:
+        cumulative = output.cumulative()
+        total = cross_entropy(cumulative[0], labels)
+        for logits in cumulative[1:]:
+            total = total + cross_entropy(logits, labels)
+        return total * (1.0 / len(cumulative))
+
+
+@LOSSES.register("tet")
+class TETLoss(SNNLoss):
+    """Cross-entropy on each instantaneous timestep output (TET baseline)."""
+
+    name = "tet"
+
+    def __call__(self, output: TemporalOutput, labels: np.ndarray) -> Tensor:
+        per_timestep: List[Tensor] = output.per_timestep
+        total = cross_entropy(per_timestep[0], labels)
+        for logits in per_timestep[1:]:
+            total = total + cross_entropy(logits, labels)
+        return total * (1.0 / len(per_timestep))
+
+
+def build_loss(name: str, **kwargs) -> SNNLoss:
+    """Instantiate a loss by registry name (``final``, ``per_timestep``, ``tet``)."""
+    return LOSSES.create(name, **kwargs)

@@ -1,0 +1,74 @@
+"""Learning-rate schedules.
+
+The paper's recipe uses a cosine decay over the training run; step decay and
+constant schedules are provided for the ablation scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..utils.validation import check_non_negative, check_positive
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "CosineAnnealingLR", "StepLR", "ConstantLR"]
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.set_lr(lr)
+        return lr
+
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 1e-5):
+        super().__init__(optimizer)
+        check_positive("total_epochs", total_epochs)
+        check_non_negative("min_lr", min_lr)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        check_positive("gamma", gamma)
+        self.milestones: List[int] = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        decays = sum(1 for milestone in self.milestones if epoch >= milestone)
+        return self.base_lr * (self.gamma**decays)
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (useful for short ablation runs)."""
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr

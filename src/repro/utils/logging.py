@@ -1,0 +1,71 @@
+"""Lightweight structured logging for training and benchmarking runs.
+
+The trainer and the benchmark harness both want (a) human-readable progress
+lines and (b) a machine-readable history of scalar metrics they can assert
+on.  :class:`MetricLogger` provides both without pulling in any external
+dependency.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+__all__ = ["get_logger", "MetricLogger"]
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured stdlib logger writing to stderr."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger
+
+
+class MetricLogger:
+    """Accumulates named scalar series over the course of a run."""
+
+    def __init__(self, name: str = "run", verbose: bool = False):
+        self.name = name
+        self.verbose = verbose
+        self._series: Dict[str, List[float]] = defaultdict(list)
+        self._start = time.time()
+        self._logger = get_logger(f"repro.{name}")
+
+    def log(self, step: Optional[int] = None, **metrics: float) -> None:
+        """Record one value per named metric; optionally echo to the logger."""
+        for key, value in metrics.items():
+            self._series[key].append(float(value))
+        if self.verbose:
+            rendered = ", ".join(f"{k}={v:.4f}" for k, v in metrics.items())
+            prefix = f"step {step}: " if step is not None else ""
+            self._logger.info("%s%s", prefix, rendered)
+
+    def series(self, key: str) -> List[float]:
+        """Return the recorded history of one metric (empty list if unseen)."""
+        return list(self._series.get(key, []))
+
+    def latest(self, key: str) -> float:
+        """Return the most recent value of a metric."""
+        values = self._series.get(key)
+        if not values:
+            raise KeyError(f"metric {key!r} has not been logged")
+        return values[-1]
+
+    def keys(self) -> List[str]:
+        return sorted(self._series)
+
+    def elapsed(self) -> float:
+        """Seconds since this logger was created."""
+        return time.time() - self._start
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Return a copy of every recorded series."""
+        return {key: list(values) for key, values in self._series.items()}

@@ -1,0 +1,62 @@
+"""A minimal name -> factory registry.
+
+Used to register surrogate gradient functions, exit policies, network
+architectures and dataset generators under string names so that benchmark
+configurations and example scripts can select components declaratively
+(mirroring the config-driven style of the original NeuroSim/PyTorch stacks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, TypeVar
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+
+class Registry:
+    """Maps string keys to factories with decorator-style registration."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, Callable] = {}
+
+    def register(self, name: str, obj: Optional[Callable] = None) -> Callable:
+        """Register ``obj`` under ``name``; usable as a decorator."""
+
+        def decorator(fn: Callable) -> Callable:
+            key = name.lower()
+            if key in self._entries:
+                raise KeyError(f"{self.kind} {name!r} is already registered")
+            self._entries[key] = fn
+            return fn
+
+        if obj is not None:
+            return decorator(obj)
+        return decorator
+
+    def get(self, name: str) -> Callable:
+        """Look up a registered factory; raises ``KeyError`` with suggestions."""
+        key = name.lower()
+        if key not in self._entries:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(sorted(self._entries))}"
+            )
+        return self._entries[key]
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the registered factory."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)

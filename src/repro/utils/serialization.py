@@ -1,0 +1,65 @@
+"""Saving and loading model parameters and experiment results.
+
+Model state dicts are stored as ``.npz`` archives (one array per parameter)
+and experiment results as JSON, so checkpoints and benchmark outputs remain
+inspectable without this package installed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict", "save_json", "load_json"]
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(path: PathLike, state: Mapping[str, np.ndarray]) -> Path:
+    """Write a parameter-name -> array mapping to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {key: np.asarray(value) for key, value in state.items()}
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def _jsonify(value):
+    """Convert NumPy scalars/arrays to plain Python for JSON output."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+def save_json(path: PathLike, payload: Mapping) -> Path:
+    """Write ``payload`` (possibly containing NumPy values) as pretty JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonify(dict(payload)), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Dict:
+    """Load a JSON file written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

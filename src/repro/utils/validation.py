@@ -1,0 +1,57 @@
+"""Small argument-validation helpers shared across the package.
+
+Centralizing these keeps error messages consistent and the calling code
+readable ("validate, then compute"), which matters in the hardware model
+where silently-wrong geometry would produce plausible but meaningless energy
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_choices",
+    "check_ndim",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_choices(name: str, value, choices: Sequence) -> object:
+    """Raise ``ValueError`` unless ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {list(choices)}, got {value!r}")
+    return value
+
+
+def check_ndim(name: str, array: np.ndarray, ndim: int) -> np.ndarray:
+    """Raise ``ValueError`` unless ``array`` has exactly ``ndim`` dimensions."""
+    array = np.asarray(array)
+    if array.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {array.shape}")
+    return array

@@ -1,0 +1,235 @@
+"""Tests for differentiable functional ops: conv2d, pooling, softmax, losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    avg_pool2d,
+    conv2d,
+    cross_entropy,
+    dropout,
+    linear,
+    log_softmax,
+    max_pool2d,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+from repro.autograd.ops import col2im, conv_output_size, im2col
+
+
+def reference_conv2d(x, w, stride=1, padding=0):
+    """Naive direct convolution used as ground truth."""
+    n, c, h, width = x.shape
+    oc, _, k, _ = w.shape
+    out_h = (h + 2 * padding - k) // stride + 1
+    out_w = (width + 2 * padding - k) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, oc, out_h, out_w))
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = xp[:, :, i * stride : i * stride + k, j * stride : j * stride + k]
+            out[:, :, i, j] = np.einsum("nchw,ochw->no", patch, w)
+    return out
+
+
+class TestIm2col:
+    def test_output_size(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 2, 1) == 4
+        assert conv_output_size(5, 2, 2, 0) == 2
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_im2col_shape(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 6, 6)).astype(np.float32)
+        cols, oh, ow = im2col(x, 3, 1, 1)
+        assert (oh, ow) == (6, 6)
+        assert cols.shape == (2, 36, 27)
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint property).
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5))
+        cols, oh, ow = im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, 3, 2, 1)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x, w, b = rng.normal(size=(4, 3)), rng.normal(size=(5, 3)), rng.normal(size=(5,))
+        out = linear(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out.data, x @ w.T + b, atol=1e-5)
+
+    def test_gradients_shapes(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        w = Tensor(np.ones((5, 3)), requires_grad=True)
+        b = Tensor(np.zeros((5,)), requires_grad=True)
+        linear(x, w, b).sum().backward()
+        assert x.grad.shape == (4, 3)
+        assert w.grad.shape == (5, 3)
+        assert b.grad.shape == (5,)
+        assert np.allclose(b.grad, np.full(5, 4.0))
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_forward_matches_reference(self, stride, padding):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        expected = reference_conv2d(x, w, stride, padding)
+        assert np.allclose(out.data, expected, atol=1e-4)
+
+    def test_bias_added_per_channel(self):
+        x = np.zeros((1, 1, 4, 4))
+        w = np.zeros((2, 1, 3, 3))
+        b = np.array([1.0, -2.0])
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b), padding=1)
+        assert np.allclose(out.data[0, 0], 1.0)
+        assert np.allclose(out.data[0, 1], -2.0)
+
+    def test_input_gradient_numerical(self):
+        rng = np.random.default_rng(4)
+        x0 = rng.normal(size=(1, 2, 5, 5))
+        w0 = rng.normal(size=(3, 2, 3, 3))
+
+        x = Tensor(x0, requires_grad=True)
+        w = Tensor(w0, requires_grad=True)
+        conv2d(x, w, stride=1, padding=1).sum().backward()
+
+        eps = 1e-4
+        grad_num = np.zeros_like(x0)
+        flat = x0.reshape(-1)
+        gflat = grad_num.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = reference_conv2d(x0, w0, 1, 1).sum()
+            flat[i] = orig - eps
+            minus = reference_conv2d(x0, w0, 1, 1).sum()
+            flat[i] = orig
+            gflat[i] = (plus - minus) / (2 * eps)
+        assert np.allclose(x.grad, grad_num, atol=1e-3)
+
+    def test_weight_gradient_numerical(self):
+        rng = np.random.default_rng(5)
+        x0 = rng.normal(size=(2, 2, 4, 4))
+        w0 = rng.normal(size=(2, 2, 3, 3))
+        x = Tensor(x0, requires_grad=True)
+        w = Tensor(w0, requires_grad=True)
+        conv2d(x, w, stride=1, padding=0).sum().backward()
+
+        eps = 1e-4
+        grad_num = np.zeros_like(w0)
+        flat = w0.reshape(-1)
+        gflat = grad_num.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = reference_conv2d(x0, w0, 1, 0).sum()
+            flat[i] = orig - eps
+            minus = reference_conv2d(x0, w0, 1, 0).sum()
+            flat[i] = orig
+            gflat[i] = (plus - minus) / (2 * eps)
+        assert np.allclose(w.grad, grad_num, atol=1e-3)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 4, 3, 3))))
+
+
+class TestPooling:
+    def test_avg_pool_forward(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2)
+        expected = np.array([[2.5, 4.5], [10.5, 12.5]])
+        assert np.allclose(out.data[0, 0], expected)
+
+    def test_avg_pool_gradient_uniform(self):
+        x = Tensor(np.ones((1, 1, 4, 4)), requires_grad=True)
+        avg_pool2d(x, 2).sum().backward()
+        assert np.allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_max_pool_forward(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradient_hits_argmax_only(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        assert x.grad.sum() == pytest.approx(4.0)
+        assert x.grad[0, 0, 1, 1] == pytest.approx(1.0)
+        assert x.grad[0, 0, 0, 0] == pytest.approx(0.0)
+
+
+class TestSoftmaxLosses:
+    def test_softmax_sums_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        probs = softmax(logits)
+        assert np.allclose(probs.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(Tensor([[1000.0, 0.0]]))
+        assert np.isfinite(probs.data).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(3, 5)))
+        assert np.allclose(log_softmax(logits).data, np.log(softmax(logits).data), atol=1e-5)
+
+    def test_one_hot(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_cross_entropy_value(self):
+        logits = Tensor(np.array([[10.0, 0.0], [0.0, 10.0]]))
+        labels = np.array([0, 1])
+        assert float(cross_entropy(logits, labels).data) < 1e-3
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self):
+        logits_np = np.array([[1.0, 2.0, 0.5]])
+        logits = Tensor(logits_np, requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        probs = np.exp(logits_np) / np.exp(logits_np).sum()
+        expected = (probs - np.array([[0.0, 1.0, 0.0]]))
+        assert np.allclose(logits.grad, expected, atol=1e-5)
+
+    def test_nll_loss_matches_cross_entropy(self):
+        logits = Tensor(np.random.default_rng(2).normal(size=(6, 4)))
+        labels = np.array([0, 1, 2, 3, 0, 1])
+        ce = float(cross_entropy(logits, labels).data)
+        nll = float(nll_loss(log_softmax(logits), labels).data)
+        assert ce == pytest.approx(nll, rel=1e-5)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = dropout(x, 0.5, training=False)
+        assert np.allclose(out.data, x.data)
+
+    def test_training_mode_scales_survivors(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.5, training=True, rng=rng)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.4 < (out.data > 0).mean() < 0.6
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.0, training=True)

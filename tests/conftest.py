@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+Training a spiking network — even a tiny one — is the most expensive
+operation in the suite, so a single trained model / dataset pair is built
+once per session and reused by the DT-SNN, IMC and integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_cifar10_like, train_test_split
+from repro.snn import spiking_vgg
+from repro.training import Trainer, TrainingConfig, collect_cumulative_logits
+from repro.utils import seed_everything
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small CIFAR-10-like synthetic dataset split into train/test."""
+    seed_everything(123)
+    dataset = make_cifar10_like(num_samples=240, image_size=10, seed=7)
+    return train_test_split(dataset, test_fraction=0.3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_loaders(tiny_dataset):
+    train, test = tiny_dataset
+    return (
+        DataLoader(train, batch_size=32, seed=11),
+        DataLoader(test, batch_size=64, shuffle=False),
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_model(tiny_loaders):
+    """A tiny spiking VGG trained for a few epochs with the Eq. 10 loss."""
+    seed_everything(5)
+    model = spiking_vgg("tiny", num_classes=10, input_size=10, default_timesteps=4)
+    trainer = Trainer(
+        model,
+        TrainingConfig(epochs=5, timesteps=4, learning_rate=0.15, loss="per_timestep"),
+    )
+    train_loader, test_loader = tiny_loaders
+    trainer.fit(train_loader, test_loader)
+    return model
+
+
+@pytest.fixture(scope="session")
+def cumulative_logits(trained_model, tiny_loaders):
+    """Cached (T, N, K) cumulative logits + labels of the trained model on test data."""
+    _, test_loader = tiny_loaders
+    return collect_cumulative_logits(trained_model, test_loader, timesteps=4)
+
+
+@pytest.fixture(scope="session")
+def untrained_tiny_model():
+    """An untrained tiny network for shape/state tests that do not need accuracy."""
+    seed_everything(9)
+    return spiking_vgg("tiny", num_classes=10, input_size=10, default_timesteps=3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

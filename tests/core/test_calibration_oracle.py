@@ -1,0 +1,164 @@
+"""Tests for confidence calibration (temperature scaling, ECE) and the oracle exit bound."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicTimestepInference,
+    EntropyExitPolicy,
+    TemperatureScaler,
+    exit_policy_efficiency,
+    expected_calibration_error,
+    normalized_entropy,
+    oracle_exit_result,
+    reliability_curve,
+    softmax_probabilities,
+)
+
+
+def make_overconfident_logits(n=400, k=5, accuracy=0.7, scale=8.0, seed=0):
+    """Logits that are confidently right for `accuracy` of samples, confidently wrong otherwise."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, k, size=n)
+    logits = rng.normal(0, 0.1, size=(n, k))
+    correct = rng.random(n) < accuracy
+    for index in range(n):
+        target = labels[index] if correct[index] else (labels[index] + 1) % k
+        logits[index, target] += scale
+    return logits, labels
+
+
+class TestReliabilityAndECE:
+    def test_perfectly_calibrated_has_low_ece(self):
+        rng = np.random.default_rng(1)
+        n, k = 4000, 2
+        confidence = rng.uniform(0.5, 1.0, size=n)
+        labels = np.zeros(n, dtype=np.int64)
+        correct = rng.random(n) < confidence
+        probs = np.stack([np.where(correct, confidence, 1 - confidence),
+                          np.where(correct, 1 - confidence, confidence)], axis=1)
+        # predictions equal class 0 when correct; ECE should be small.
+        assert expected_calibration_error(probs, labels) < 0.05
+
+    def test_overconfident_model_has_high_ece(self):
+        logits, labels = make_overconfident_logits(accuracy=0.6, scale=12.0)
+        probs = softmax_probabilities(logits)
+        assert expected_calibration_error(probs, labels) > 0.3
+
+    def test_reliability_curve_counts_sum_to_n(self):
+        logits, labels = make_overconfident_logits(n=300)
+        curve = reliability_curve(softmax_probabilities(logits), labels, num_bins=12)
+        assert curve["count"].sum() == 300
+        assert curve["bin_edges"].shape == (13,)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones((3, 2, 2)), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            reliability_curve(np.ones((3, 2)), np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            reliability_curve(np.ones((3, 2)), np.zeros(3, dtype=np.int64), num_bins=0)
+
+
+class TestTemperatureScaler:
+    def test_fit_reduces_ece_for_overconfident_model(self):
+        logits, labels = make_overconfident_logits(accuracy=0.65, scale=10.0)
+        before = expected_calibration_error(softmax_probabilities(logits), labels)
+        scaler = TemperatureScaler.fit(logits, labels)
+        after = expected_calibration_error(scaler.probabilities(logits), labels)
+        assert scaler.temperature > 1.0  # overconfident -> needs softening
+        assert after < before
+
+    def test_fit_recovers_known_temperature(self):
+        rng = np.random.default_rng(2)
+        n, k, true_temperature = 3000, 6, 3.0
+        clean = rng.normal(0, 2.0, size=(n, k))
+        probs = softmax_probabilities(clean)
+        labels = np.array([rng.choice(k, p=p) for p in probs])
+        scaler = TemperatureScaler.fit(clean * true_temperature, labels)
+        assert scaler.temperature == pytest.approx(true_temperature, rel=0.25)
+
+    def test_temperature_does_not_change_predictions(self):
+        logits, _ = make_overconfident_logits()
+        scaler = TemperatureScaler(temperature=4.0)
+        assert np.array_equal(
+            np.argmax(logits, axis=-1), np.argmax(scaler.transform(logits), axis=-1)
+        )
+
+    def test_higher_temperature_raises_entropy(self):
+        logits, _ = make_overconfident_logits()
+        entropy_raw = normalized_entropy(softmax_probabilities(logits)).mean()
+        entropy_scaled = normalized_entropy(TemperatureScaler(5.0).probabilities(logits)).mean()
+        assert entropy_scaled > entropy_raw
+
+    def test_calibrate_cumulative_logits_shape(self):
+        cumulative = np.random.default_rng(3).normal(size=(4, 10, 5))
+        out = TemperatureScaler(2.0).calibrate_cumulative_logits(cumulative)
+        assert out.shape == cumulative.shape
+        assert np.allclose(out, cumulative / 2.0)
+
+    def test_invalid_temperature_and_bounds(self):
+        with pytest.raises(ValueError):
+            TemperatureScaler(0.0).transform(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            TemperatureScaler.fit(np.ones((4, 3)), np.zeros(4, dtype=np.int64), bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            TemperatureScaler.fit(np.ones((4, 3)), np.zeros(3, dtype=np.int64))
+
+
+class TestOracle:
+    def _cumulative(self):
+        # T=3, N=3, K=2; sample 0 correct from t=1, sample 1 from t=3,
+        # sample 2 never correct.
+        logits = np.zeros((3, 3, 2))
+        labels = np.array([0, 0, 0])
+        logits[:, 0, 0] = 5.0
+        logits[0, 1, 1] = 5.0
+        logits[1, 1, 1] = 5.0
+        logits[2, 1, 0] = 5.0
+        logits[:, 2, 1] = 5.0
+        return logits, labels
+
+    def test_oracle_exit_times(self):
+        logits, labels = self._cumulative()
+        result = oracle_exit_result(logits, labels)
+        # Sample 2 is never correct, so the oracle exits it immediately at T=1.
+        assert result.exit_timesteps.tolist() == [1, 3, 1]
+        assert result.accuracy() == pytest.approx(2 / 3)
+
+    def test_oracle_accuracy_upper_bounds_any_policy(self, cumulative_logits):
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        oracle = oracle_exit_result(logits, labels)
+        for threshold in (0.05, 0.2, 0.5, 0.9):
+            engine = DynamicTimestepInference(
+                policy=EntropyExitPolicy(threshold), max_timesteps=4
+            )
+            policy = engine.infer_from_logits(logits, labels)
+            assert oracle.accuracy() >= policy.accuracy() - 1e-9
+        # The oracle never exceeds the horizon and achieves at least the
+        # full-horizon (static) accuracy.
+        assert oracle.exit_timesteps.max() <= 4
+        static_accuracy = float(np.mean(np.argmax(logits[-1], axis=-1) == labels))
+        assert oracle.accuracy() >= static_accuracy - 1e-9
+
+    def test_efficiency_metric(self, cumulative_logits):
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        oracle = oracle_exit_result(logits, labels)
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=4)
+        policy = engine.infer_from_logits(logits, labels)
+        report = exit_policy_efficiency(policy, oracle)
+        assert 0.0 <= report["timestep_saving_efficiency"] <= 1.5
+        assert report["oracle_accuracy"] >= report["policy_accuracy"] - 1e-9
+
+    def test_mismatched_horizons_rejected(self):
+        logits, labels = self._cumulative()
+        oracle = oracle_exit_result(logits, labels)
+        other = oracle_exit_result(logits[:2], labels)
+        with pytest.raises(ValueError):
+            exit_policy_efficiency(other, oracle)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            oracle_exit_result(np.zeros((3, 4)), np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            oracle_exit_result(np.zeros((3, 4, 2)), np.zeros(5, dtype=np.int64))

@@ -1,0 +1,141 @@
+"""Tests for the DT-SNN dynamic-timestep inference engine (Eq. 5, Eq. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicTimestepInference,
+    EntropyExitPolicy,
+    StaticExitPolicy,
+)
+from repro.data import DataLoader
+
+
+def make_cumulative_logits():
+    """Hand-crafted (T=3, N=4, K=3) cumulative logits with known exit behaviour.
+
+    Sample 0: confident from t=1  -> exits at 1.
+    Sample 1: confident from t=2  -> exits at 2.
+    Sample 2: confident only at 3 -> exits at 3.
+    Sample 3: never confident     -> forced exit at 3.
+    """
+    flat = np.array([0.1, 0.0, 0.05])
+    confident = np.array([8.0, 0.0, 0.0])
+    logits = np.zeros((3, 4, 3))
+    logits[:, 0] = confident
+    logits[0, 1] = flat
+    logits[1:, 1] = confident
+    logits[0, 2] = flat
+    logits[1, 2] = flat
+    logits[2, 2] = confident
+    logits[:, 3] = flat
+    return logits
+
+
+LABELS = np.array([0, 0, 0, 2])
+
+
+class TestInferFromLogits:
+    def test_exit_timesteps_match_construction(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        result = engine.infer_from_logits(make_cumulative_logits(), LABELS)
+        assert result.exit_timesteps.tolist() == [1, 2, 3, 3]
+
+    def test_predictions_taken_at_exit_time(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        result = engine.infer_from_logits(make_cumulative_logits(), LABELS)
+        assert result.predictions[:3].tolist() == [0, 0, 0]
+
+    def test_average_timesteps(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        result = engine.infer_from_logits(make_cumulative_logits(), LABELS)
+        assert result.average_timesteps == pytest.approx((1 + 2 + 3 + 3) / 4)
+
+    def test_accuracy(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        result = engine.infer_from_logits(make_cumulative_logits(), LABELS)
+        assert result.accuracy() == pytest.approx(0.75)
+
+    def test_histogram_and_fractions(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        result = engine.infer_from_logits(make_cumulative_logits(), LABELS)
+        assert result.timestep_histogram().tolist() == [1, 1, 2]
+        assert result.timestep_fractions().sum() == pytest.approx(1.0)
+
+    def test_static_policy_always_uses_full_horizon(self):
+        engine = DynamicTimestepInference(policy=StaticExitPolicy(), max_timesteps=3)
+        result = engine.infer_from_logits(make_cumulative_logits(), LABELS)
+        assert (result.exit_timesteps == 3).all()
+
+    def test_very_loose_threshold_exits_everything_at_one(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.9999), max_timesteps=3)
+        result = engine.infer_from_logits(make_cumulative_logits(), LABELS)
+        assert (result.exit_timesteps == 1).all()
+
+    def test_max_timesteps_truncates_logits(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.0001), max_timesteps=2)
+        result = engine.infer_from_logits(make_cumulative_logits(), LABELS)
+        assert result.max_timesteps == 2
+        assert result.exit_timesteps.max() <= 2
+
+    def test_labels_optional(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        result = engine.infer_from_logits(make_cumulative_logits())
+        with pytest.raises(ValueError):
+            result.accuracy()
+
+    def test_wrong_rank_rejected(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        with pytest.raises(ValueError):
+            engine.infer_from_logits(np.zeros((3, 4)))
+
+    def test_summary_keys(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        summary = engine.infer_from_logits(make_cumulative_logits(), LABELS).summary()
+        assert {"average_timesteps", "accuracy", "fraction_exit_t1"} <= set(summary)
+
+    def test_invalid_max_timesteps(self):
+        with pytest.raises(ValueError):
+            DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=0)
+
+    def test_entropy_trajectories_shape(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        trajectories = engine.entropy_trajectories(make_cumulative_logits())
+        assert trajectories.shape == (3, 4)
+
+
+class TestSequentialInference:
+    def test_matches_fast_path_on_trained_model(self, trained_model, tiny_dataset, cumulative_logits):
+        _, test = tiny_dataset
+        policy = EntropyExitPolicy(threshold=0.2)
+        engine = DynamicTimestepInference(trained_model, policy=policy, max_timesteps=4)
+
+        sequential = engine.infer(test.inputs, test.labels)
+        fast = DynamicTimestepInference(policy=policy, max_timesteps=4).infer_from_logits(
+            cumulative_logits["logits"], cumulative_logits["labels"]
+        )
+        assert np.array_equal(sequential.exit_timesteps, fast.exit_timesteps)
+        assert np.array_equal(sequential.predictions, fast.predictions)
+
+    def test_average_timestep_below_max_for_trained_model(self, trained_model, tiny_dataset):
+        _, test = tiny_dataset
+        engine = DynamicTimestepInference(
+            trained_model, policy=EntropyExitPolicy(threshold=0.5), max_timesteps=4
+        )
+        result = engine.infer(test.inputs, test.labels)
+        assert result.average_timesteps < 4.0
+
+    def test_infer_loader_aggregates_all_samples(self, trained_model, tiny_dataset):
+        _, test = tiny_dataset
+        loader = DataLoader(test, batch_size=16, shuffle=False)
+        engine = DynamicTimestepInference(
+            trained_model, policy=EntropyExitPolicy(threshold=0.3), max_timesteps=4
+        )
+        result = engine.infer_loader(loader)
+        assert result.num_samples == len(test)
+        assert result.labels is not None
+
+    def test_requires_model_for_sequential_path(self):
+        engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
+        with pytest.raises(ValueError):
+            engine.infer(np.zeros((1, 3, 8, 8), dtype=np.float32))

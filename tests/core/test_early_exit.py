@@ -1,0 +1,90 @@
+"""Tests for the ANN early-exit baseline (Sec. III-A(c) comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import EarlyExitANN, EarlyExitInference, EntropyExitPolicy, build_early_exit_ann
+from repro.data import DataLoader, make_cifar10_like
+from repro.nn import Linear, Sequential, Flatten
+from repro.training import SGD
+
+
+@pytest.fixture(scope="module")
+def ann():
+    from repro.utils import seed_everything
+
+    seed_everything(31)
+    return build_early_exit_ann(num_classes=10, input_size=16, widths=(8, 16, 24))
+
+
+class TestConstruction:
+    def test_number_of_exits(self, ann):
+        assert ann.num_exits == 3
+
+    def test_forward_returns_one_logit_set_per_exit(self, ann):
+        x = np.random.default_rng(0).random((2, 3, 16, 16)).astype(np.float32)
+        outputs = ann.forward(x)
+        assert len(outputs) == 3
+        assert all(o.shape == (2, 10) for o in outputs)
+
+    def test_mismatched_blocks_exits_rejected(self):
+        with pytest.raises(ValueError):
+            EarlyExitANN([Sequential(Flatten())], [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EarlyExitANN([], [])
+
+    def test_exit_parameter_overhead_positive(self, ann):
+        overhead = ann.exit_parameter_overhead()
+        assert 0.0 < overhead < 1.0
+
+
+class TestTrainingAndInference:
+    def test_joint_loss_differentiable(self, ann):
+        x = np.random.default_rng(1).random((4, 3, 16, 16)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3])
+        loss = ann.loss(x, labels)
+        loss.backward()
+        assert any(p.grad is not None for p in ann.parameters())
+
+    def test_loss_decreases_with_training(self):
+        from repro.utils import seed_everything
+
+        seed_everything(32)
+        ann = build_early_exit_ann(num_classes=4, input_size=8, widths=(8, 12))
+        dataset = make_cifar10_like(num_samples=60, image_size=8, seed=17)
+        labels = dataset.labels % 4
+        optimizer = SGD(ann.parameters(), lr=0.05, momentum=0.9, weight_decay=0.0)
+        first_loss = None
+        last_loss = None
+        for _ in range(8):
+            optimizer.zero_grad()
+            loss = ann.loss(dataset.inputs, labels)
+            loss.backward()
+            optimizer.step()
+            last_loss = float(loss.data)
+            if first_loss is None:
+                first_loss = last_loss
+        assert last_loss < first_loss
+
+    def test_inference_exit_indices_in_range(self, ann):
+        inference = EarlyExitInference(ann, EntropyExitPolicy(threshold=0.5))
+        x = np.random.default_rng(2).random((6, 3, 16, 16)).astype(np.float32)
+        result = inference.infer(x, labels=np.zeros(6, dtype=np.int64))
+        assert result.exit_timesteps.min() >= 1
+        assert result.exit_timesteps.max() <= 3
+        assert result.policy_name.startswith("ann-early-exit")
+
+    def test_loose_threshold_exits_at_first_branch(self, ann):
+        inference = EarlyExitInference(ann, EntropyExitPolicy(threshold=0.999))
+        x = np.random.default_rng(3).random((4, 3, 16, 16)).astype(np.float32)
+        result = inference.infer(x)
+        assert (result.exit_timesteps == 1).all()
+
+    def test_infer_loader(self, ann):
+        dataset = make_cifar10_like(num_samples=24, image_size=16, seed=5)
+        loader = DataLoader(dataset, batch_size=8, shuffle=False)
+        result = EarlyExitInference(ann, EntropyExitPolicy(0.4)).infer_loader(loader)
+        assert result.num_samples == 24

@@ -1,0 +1,94 @@
+"""Tests for softmax / normalized entropy (Eq. 6-7) and confidence scores."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    normalized_entropy,
+    prediction_confidence,
+    prediction_margin,
+    softmax_probabilities,
+)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 8))
+        probs = softmax_probabilities(logits)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_monotone_in_logits(self):
+        probs = softmax_probabilities(np.array([1.0, 2.0, 3.0]))
+        assert probs[2] > probs[1] > probs[0]
+
+    def test_stable_for_extreme_logits(self):
+        probs = softmax_probabilities(np.array([[1e4, -1e4]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([0.3, 1.2, -0.7])
+        assert np.allclose(
+            softmax_probabilities(logits), softmax_probabilities(logits + 100.0)
+        )
+
+
+class TestNormalizedEntropy:
+    def test_uniform_distribution_has_entropy_one(self):
+        for k in (2, 5, 10, 100):
+            probs = np.full((1, k), 1.0 / k)
+            assert normalized_entropy(probs)[0] == pytest.approx(1.0)
+
+    def test_one_hot_has_entropy_zero(self):
+        probs = np.zeros((1, 6))
+        probs[0, 2] = 1.0
+        assert normalized_entropy(probs)[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_range_is_unit_interval(self):
+        probs = softmax_probabilities(np.random.default_rng(1).normal(size=(50, 7)))
+        entropy = normalized_entropy(probs)
+        assert (entropy >= 0).all()
+        assert (entropy <= 1.0 + 1e-9).all()
+
+    def test_normalization_makes_entropy_comparable_across_k(self):
+        # A "90% confident" prediction should have similar normalized entropy
+        # regardless of the number of classes — that is the point of the
+        # log K normalization in Eq. 7.
+        for k in (10, 20, 100):
+            probs = np.full(k, 0.1 / (k - 1))
+            probs[0] = 0.9
+            value = normalized_entropy(probs[None])[0]
+            assert value < 0.5
+
+    def test_sharper_distribution_has_lower_entropy(self):
+        soft = softmax_probabilities(np.array([[1.0, 0.5, 0.0]]))
+        sharp = softmax_probabilities(np.array([[10.0, 0.5, 0.0]]))
+        assert normalized_entropy(sharp)[0] < normalized_entropy(soft)[0]
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_entropy(np.ones((3, 1)))
+
+    def test_batched_shape(self):
+        probs = softmax_probabilities(np.random.default_rng(2).normal(size=(4, 6, 10)))
+        assert normalized_entropy(probs).shape == (4, 6)
+
+
+class TestConfidenceAndMargin:
+    def test_confidence_is_max_probability(self):
+        probs = np.array([[0.7, 0.2, 0.1]])
+        assert prediction_confidence(probs)[0] == pytest.approx(0.7)
+
+    def test_margin_top1_minus_top2(self):
+        probs = np.array([[0.7, 0.2, 0.1]])
+        assert prediction_margin(probs)[0] == pytest.approx(0.5)
+
+    def test_margin_zero_for_ties(self):
+        probs = np.array([[0.5, 0.5, 0.0]])
+        assert prediction_margin(probs)[0] == pytest.approx(0.0)
+
+    def test_entropy_and_confidence_anticorrelated(self):
+        probs = softmax_probabilities(np.random.default_rng(3).normal(size=(200, 10)) * 3)
+        entropy = normalized_entropy(probs)
+        confidence = prediction_confidence(probs)
+        assert np.corrcoef(entropy, confidence)[0, 1] < -0.5

@@ -1,0 +1,91 @@
+"""Tests for exit policies (entropy, confidence, margin, static)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EXIT_POLICIES,
+    ConfidenceExitPolicy,
+    EntropyExitPolicy,
+    MarginExitPolicy,
+    StaticExitPolicy,
+    build_policy,
+)
+
+CONFIDENT = np.array([[10.0, 0.0, 0.0]])
+UNCERTAIN = np.array([[0.1, 0.0, 0.05]])
+BATCH = np.concatenate([CONFIDENT, UNCERTAIN], axis=0)
+
+
+class TestEntropyPolicy:
+    def test_exits_on_confident_logits(self):
+        policy = EntropyExitPolicy(threshold=0.3)
+        assert policy.should_exit(CONFIDENT)[0]
+
+    def test_holds_on_uncertain_logits(self):
+        policy = EntropyExitPolicy(threshold=0.3)
+        assert not policy.should_exit(UNCERTAIN)[0]
+
+    def test_batch_decisions_independent(self):
+        decisions = EntropyExitPolicy(threshold=0.3).should_exit(BATCH)
+        assert decisions.tolist() == [True, False]
+
+    def test_larger_threshold_exits_more(self):
+        loose = EntropyExitPolicy(threshold=0.99).should_exit(BATCH).sum()
+        tight = EntropyExitPolicy(threshold=0.01).should_exit(BATCH).sum()
+        assert loose >= tight
+
+    def test_threshold_range_validated(self):
+        with pytest.raises(ValueError):
+            EntropyExitPolicy(threshold=1.5)
+        with pytest.raises(ValueError):
+            EntropyExitPolicy(threshold=-0.1)
+
+    def test_score_is_normalized_entropy(self):
+        scores = EntropyExitPolicy(threshold=0.5).score(BATCH)
+        assert scores.shape == (2,)
+        assert (scores >= 0).all() and (scores <= 1).all()
+        assert scores[0] < scores[1]
+
+
+class TestConfidencePolicy:
+    def test_exits_when_confident(self):
+        policy = ConfidenceExitPolicy(threshold=0.9)
+        assert policy.should_exit(CONFIDENT)[0]
+        assert not policy.should_exit(UNCERTAIN)[0]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ConfidenceExitPolicy(threshold=0.0)
+
+
+class TestMarginPolicy:
+    def test_exits_on_large_margin(self):
+        policy = MarginExitPolicy(threshold=0.5)
+        assert policy.should_exit(CONFIDENT)[0]
+        assert not policy.should_exit(UNCERTAIN)[0]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            MarginExitPolicy(threshold=1.5)
+
+
+class TestStaticPolicy:
+    def test_never_exits(self):
+        policy = StaticExitPolicy()
+        assert not policy.should_exit(CONFIDENT).any()
+        assert not policy.should_exit(BATCH).any()
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["entropy", "confidence", "margin", "static"])
+    def test_registered(self, name):
+        assert name in EXIT_POLICIES
+
+    def test_build_with_threshold(self):
+        policy = build_policy("entropy", threshold=0.2)
+        assert policy.threshold == pytest.approx(0.2)
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            build_policy("oracle")

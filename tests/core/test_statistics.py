@@ -1,0 +1,89 @@
+"""Tests for exit-time statistics and the easy/hard analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicInferenceResult,
+    ascii_thumbnail,
+    difficulty_by_exit_time,
+    exit_distribution_table,
+    stratify_by_exit_time,
+    summarize_exit_groups,
+)
+
+
+@pytest.fixture
+def result():
+    return DynamicInferenceResult(
+        exit_timesteps=np.array([1, 1, 2, 4, 4, 4]),
+        predictions=np.array([0, 1, 1, 2, 0, 1]),
+        labels=np.array([0, 1, 1, 2, 2, 2]),
+        scores=np.array([0.05, 0.1, 0.2, 0.4, 0.9, 0.7]),
+        max_timesteps=4,
+    )
+
+
+class TestDistribution:
+    def test_exit_distribution_table(self, result):
+        table = exit_distribution_table(result)
+        assert table["T=1"] == pytest.approx(2 / 6)
+        assert table["T=3"] == pytest.approx(0.0)
+        assert sum(table.values()) == pytest.approx(1.0)
+
+    def test_stratify_indices(self, result):
+        groups = stratify_by_exit_time(result)
+        assert groups[1].tolist() == [0, 1]
+        assert groups[3].size == 0
+        assert groups[4].tolist() == [3, 4, 5]
+
+    def test_difficulty_increases_with_exit_time(self, result):
+        difficulty = np.array([0.1, 0.2, 0.4, 0.8, 0.9, 0.7])
+        means = difficulty_by_exit_time(result, difficulty)
+        assert means[1] < means[4]
+        assert np.isnan(means[3])
+
+    def test_difficulty_length_mismatch(self, result):
+        with pytest.raises(ValueError):
+            difficulty_by_exit_time(result, np.zeros(3))
+
+
+class TestGroupSummaries:
+    def test_summaries_cover_all_timesteps(self, result):
+        summaries = summarize_exit_groups(result)
+        assert [s.timestep for s in summaries] == [1, 2, 3, 4]
+        assert sum(s.count for s in summaries) == 6
+
+    def test_group_accuracy(self, result):
+        summaries = {s.timestep: s for s in summarize_exit_groups(result)}
+        assert summaries[1].accuracy == pytest.approx(1.0)
+        assert summaries[4].accuracy == pytest.approx(1 / 3)
+
+    def test_mean_difficulty_attached(self, result):
+        difficulty = np.array([0.0, 0.0, 0.5, 1.0, 1.0, 1.0])
+        summaries = {s.timestep: s for s in summarize_exit_groups(result, difficulty)}
+        assert summaries[1].mean_difficulty == pytest.approx(0.0)
+        assert summaries[4].mean_difficulty == pytest.approx(1.0)
+
+    def test_fractions_sum_to_one(self, result):
+        assert sum(s.fraction for s in summarize_exit_groups(result)) == pytest.approx(1.0)
+
+
+class TestAsciiThumbnail:
+    def test_renders_rows(self):
+        image = np.random.default_rng(0).random((3, 16, 16))
+        text = ascii_thumbnail(image, width=16)
+        lines = text.splitlines()
+        assert len(lines) == 16
+        assert all(len(line) == 16 for line in lines)
+
+    def test_constant_image_renders_uniformly(self):
+        text = ascii_thumbnail(np.ones((1, 8, 8)))
+        assert len(set(text.replace("\n", ""))) == 1
+
+    def test_accepts_2d_image(self):
+        assert ascii_thumbnail(np.eye(8)).count("\n") == 7
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            ascii_thumbnail(np.zeros((2, 3, 4, 4)))

@@ -1,0 +1,95 @@
+"""Tests for threshold sweeps and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfidenceExitPolicy,
+    calibrate_threshold,
+    default_threshold_grid,
+    sweep_thresholds,
+)
+from repro.training import accuracy_from_logits
+
+
+class TestGrid:
+    def test_grid_monotone_and_bounded(self):
+        grid = default_threshold_grid(20)
+        assert len(grid) == 20
+        assert (np.diff(grid) > 0).all()
+        assert grid[0] > 0 and grid[-1] < 1.0
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            default_threshold_grid(1)
+
+
+class TestSweep:
+    def test_average_timesteps_monotone_in_threshold(self, cumulative_logits):
+        grid = [0.01, 0.1, 0.3, 0.6, 0.9]
+        points = sweep_thresholds(
+            cumulative_logits["logits"], cumulative_logits["labels"], grid
+        )
+        averages = [p.average_timesteps for p in points]
+        assert all(averages[i] >= averages[i + 1] - 1e-9 for i in range(len(averages) - 1))
+
+    def test_every_point_reports_consistent_fractions(self, cumulative_logits):
+        points = sweep_thresholds(
+            cumulative_logits["logits"], cumulative_logits["labels"], [0.05, 0.5]
+        )
+        for point in points:
+            assert point.timestep_fractions.sum() == pytest.approx(1.0)
+            expected_avg = np.dot(
+                np.arange(1, len(point.timestep_fractions) + 1), point.timestep_fractions
+            )
+            assert point.average_timesteps == pytest.approx(expected_avg)
+
+    def test_as_dict_keys(self, cumulative_logits):
+        point = sweep_thresholds(
+            cumulative_logits["logits"], cumulative_logits["labels"], [0.2]
+        )[0]
+        row = point.as_dict()
+        assert {"threshold", "accuracy", "average_timesteps", "fraction_t1"} <= set(row)
+
+    def test_alternative_policy_class(self, cumulative_logits):
+        points = sweep_thresholds(
+            cumulative_logits["logits"],
+            cumulative_logits["labels"],
+            [0.5, 0.9],
+            policy_cls=ConfidenceExitPolicy,
+        )
+        # For confidence policies a *higher* threshold is more conservative.
+        assert points[0].average_timesteps <= points[1].average_timesteps + 1e-9
+
+
+class TestCalibration:
+    def test_calibrated_accuracy_meets_target(self, cumulative_logits):
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        static_accuracy = accuracy_from_logits(logits[-1], labels)
+        point = calibrate_threshold(logits, labels, tolerance=0.0)
+        assert point.accuracy >= static_accuracy - 1e-9
+
+    def test_calibrated_average_below_max(self, cumulative_logits):
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        point = calibrate_threshold(logits, labels, tolerance=0.01)
+        assert point.average_timesteps < logits.shape[0]
+
+    def test_tolerance_relaxes_requirement(self, cumulative_logits):
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        strict = calibrate_threshold(logits, labels, tolerance=0.0)
+        loose = calibrate_threshold(logits, labels, tolerance=0.05)
+        assert loose.average_timesteps <= strict.average_timesteps + 1e-9
+
+    def test_explicit_target_accuracy(self, cumulative_logits):
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        point = calibrate_threshold(logits, labels, target_accuracy=0.0)
+        # Any threshold satisfies accuracy >= 0, so the most aggressive wins.
+        assert point.average_timesteps == pytest.approx(1.0)
+
+    def test_unreachable_target_falls_back_to_most_conservative(self, cumulative_logits):
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        grid = [0.3, 0.6, 0.9]
+        point = calibrate_threshold(
+            logits, labels, target_accuracy=1.01, thresholds=grid
+        )
+        assert point.threshold == pytest.approx(min(grid))

@@ -1,0 +1,122 @@
+"""Tests for ArrayDataset, DataLoader and train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, train_test_split
+
+
+def make_dataset(n=20, classes=4):
+    rng = np.random.default_rng(0)
+    inputs = rng.random((n, 3, 4, 4)).astype(np.float32)
+    labels = rng.integers(0, classes, size=n)
+    return ArrayDataset(inputs, labels, metadata=np.arange(n), num_classes=classes)
+
+
+class TestArrayDataset:
+    def test_length_and_shapes(self):
+        ds = make_dataset(12)
+        assert len(ds) == 12
+        assert ds.sample_shape == (3, 4, 4)
+
+    def test_getitem(self):
+        ds = make_dataset()
+        x, y = ds[3]
+        assert x.shape == (3, 4, 4)
+        assert np.isscalar(y) or y.shape == ()
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(4, dtype=np.int64))
+
+    def test_labels_must_be_1d(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros((3, 1), dtype=np.int64))
+
+    def test_metadata_length_checked(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(3, dtype=np.int64), metadata=np.zeros(2))
+
+    def test_num_classes_inferred(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)), np.array([0, 1, 2, 1]))
+        assert ds.num_classes == 3
+
+    def test_subset_preserves_metadata(self):
+        ds = make_dataset(10)
+        sub = ds.subset([1, 3, 5])
+        assert len(sub) == 3
+        assert np.allclose(sub.metadata, [1, 3, 5])
+        assert sub.num_classes == ds.num_classes
+
+    def test_class_counts_sum_to_length(self):
+        ds = make_dataset(30)
+        assert ds.class_counts().sum() == 30
+
+
+class TestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(make_dataset(20), test_fraction=0.25, seed=0)
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_disjoint_samples(self):
+        ds = make_dataset(20)
+        train, test = train_test_split(ds, 0.3, seed=1)
+        train_ids = set(train.metadata.tolist())
+        test_ids = set(test.metadata.tolist())
+        assert not train_ids & test_ids
+        assert len(train_ids | test_ids) == 20
+
+    def test_deterministic_given_seed(self):
+        ds = make_dataset(20)
+        a = train_test_split(ds, 0.3, seed=5)[0].metadata
+        b = train_test_split(ds, 0.3, seed=5)[0].metadata
+        assert np.array_equal(a, b)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), 1.0)
+
+
+class TestDataLoader:
+    def test_batch_count(self):
+        loader = DataLoader(make_dataset(20), batch_size=6, shuffle=False)
+        assert len(loader) == 4
+        batches = list(loader)
+        assert batches[-1][0].shape[0] == 2
+
+    def test_drop_last(self):
+        loader = DataLoader(make_dataset(20), batch_size=6, shuffle=False, drop_last=True)
+        assert len(loader) == 3
+        assert all(batch[0].shape[0] == 6 for batch in loader)
+
+    def test_covers_all_samples(self):
+        ds = make_dataset(17)
+        loader = DataLoader(ds, batch_size=5, shuffle=True, seed=0)
+        seen = sum(batch[0].shape[0] for batch in loader)
+        assert seen == 17
+
+    def test_shuffle_changes_order(self):
+        ds = make_dataset(32)
+        loader = DataLoader(ds, batch_size=32, shuffle=True, seed=0)
+        first_epoch = next(iter(loader))[1]
+        second_epoch = next(iter(loader))[1]
+        assert not np.array_equal(first_epoch, second_epoch)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = make_dataset(10)
+        loader = DataLoader(ds, batch_size=10, shuffle=False)
+        _, labels = next(iter(loader))
+        assert np.array_equal(labels, ds.labels)
+
+    def test_transform_applied(self):
+        ds = make_dataset(8)
+        loader = DataLoader(ds, batch_size=4, shuffle=False, transform=lambda x, rng: x * 0.0)
+        inputs, _ = next(iter(loader))
+        assert np.allclose(inputs, 0.0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)

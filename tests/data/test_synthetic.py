@@ -1,0 +1,129 @@
+"""Tests for the synthetic image and event-stream dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticDVSConfig,
+    SyntheticImageConfig,
+    generate_class_prototypes,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_dvs_like,
+    make_synthetic_images,
+    make_tinyimagenet_like,
+)
+
+
+class TestPrototypes:
+    def test_shape_and_range(self):
+        protos = generate_class_prototypes(5, 12, 3, rng=np.random.default_rng(0))
+        assert protos.shape == (5, 3, 12, 12)
+        assert protos.min() >= 0.0
+        assert protos.max() <= 1.0 + 1e-6
+
+    def test_classes_are_distinct(self):
+        protos = generate_class_prototypes(6, 16, 1, rng=np.random.default_rng(1))
+        flat = protos.reshape(6, -1)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                corr = np.corrcoef(flat[i], flat[j])[0, 1]
+                assert corr < 0.995
+
+
+class TestSyntheticImages:
+    def test_generation_shapes_and_metadata(self):
+        config = SyntheticImageConfig(num_classes=6, num_samples=50, image_size=10, seed=0)
+        ds = make_synthetic_images(config)
+        assert len(ds) == 50
+        assert ds.sample_shape == (3, 10, 10)
+        assert ds.num_classes == 6
+        assert ds.metadata.shape == (50,)
+
+    def test_reproducible_with_seed(self):
+        config = SyntheticImageConfig(num_samples=20, seed=42)
+        a = make_synthetic_images(config)
+        b = make_synthetic_images(config)
+        assert np.allclose(a.inputs, b.inputs)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_differs(self):
+        a = make_synthetic_images(SyntheticImageConfig(num_samples=20, seed=0))
+        b = make_synthetic_images(SyntheticImageConfig(num_samples=20, seed=1))
+        assert not np.allclose(a.inputs, b.inputs)
+
+    def test_all_classes_present_with_enough_samples(self):
+        ds = make_synthetic_images(SyntheticImageConfig(num_classes=5, num_samples=400, seed=3))
+        assert (ds.class_counts() > 0).all()
+
+    def test_difficulty_in_unit_interval(self):
+        ds = make_synthetic_images(SyntheticImageConfig(num_samples=60, seed=2))
+        assert (ds.metadata >= 0.0).all()
+        assert (ds.metadata <= 1.0).all()
+
+    def test_easy_fraction_controls_difficulty_mix(self):
+        easy = make_synthetic_images(
+            SyntheticImageConfig(num_samples=300, easy_fraction=0.9, seed=0)
+        )
+        hard = make_synthetic_images(
+            SyntheticImageConfig(num_samples=300, easy_fraction=0.1, seed=0)
+        )
+        assert easy.metadata.mean() < hard.metadata.mean()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_samples=0).validate()
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(easy_fraction=1.5).validate()
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(easy_contrast=(0.9, 0.5)).validate()
+
+    def test_pixel_values_bounded(self):
+        ds = make_synthetic_images(SyntheticImageConfig(num_samples=30, seed=1))
+        assert ds.inputs.min() >= 0.0
+        assert ds.inputs.max() <= 1.5
+
+
+class TestPresets:
+    def test_cifar10_like(self):
+        ds = make_cifar10_like(num_samples=40, image_size=8)
+        assert ds.num_classes == 10
+        assert ds.sample_shape == (3, 8, 8)
+
+    def test_cifar100_like_has_more_classes(self):
+        assert make_cifar100_like(num_samples=40).num_classes > make_cifar10_like(40).num_classes
+
+    def test_tinyimagenet_like_is_hardest(self):
+        c10 = make_cifar10_like(num_samples=400)
+        tiny = make_tinyimagenet_like(num_samples=400)
+        assert tiny.metadata.mean() > c10.metadata.mean()
+        assert tiny.num_classes > c10.num_classes
+
+
+class TestDVS:
+    def test_stream_shape(self):
+        ds = make_dvs_like(SyntheticDVSConfig(num_samples=20, num_frames=6, image_size=8, seed=0))
+        assert ds.inputs.shape == (20, 6, 2, 8, 8)
+
+    def test_events_are_binaryish(self):
+        ds = make_dvs_like(SyntheticDVSConfig(num_samples=10, seed=1))
+        assert set(np.unique(ds.inputs)).issubset({0.0, 1.0})
+
+    def test_events_sparse(self):
+        ds = make_dvs_like(SyntheticDVSConfig(num_samples=10, seed=2))
+        assert ds.inputs.mean() < 0.5
+
+    def test_information_accumulates_over_frames(self):
+        # The union of events over more frames should cover more pixels.
+        ds = make_dvs_like(SyntheticDVSConfig(num_samples=30, num_frames=8, seed=3))
+        early = (ds.inputs[:, :2].sum(axis=1) > 0).mean()
+        late = (ds.inputs[:, :8].sum(axis=1) > 0).mean()
+        assert late > early
+
+    def test_reproducible(self):
+        config = SyntheticDVSConfig(num_samples=5, seed=9)
+        assert np.allclose(make_dvs_like(config).inputs, make_dvs_like(config).inputs)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SyntheticDVSConfig(num_frames=0).validate()

@@ -1,0 +1,88 @@
+"""Tests for batch augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomCropWithPadding,
+    RandomHorizontalFlip,
+)
+
+
+@pytest.fixture
+def batch():
+    return np.random.default_rng(0).random((6, 3, 8, 8)).astype(np.float32)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestFlip:
+    def test_always_flip(self, batch, rng):
+        flipped = RandomHorizontalFlip(p=1.0)(batch, rng)
+        assert np.allclose(flipped, batch[..., ::-1])
+
+    def test_never_flip(self, batch, rng):
+        assert np.allclose(RandomHorizontalFlip(p=0.0)(batch, rng), batch)
+
+    def test_does_not_modify_input(self, batch, rng):
+        original = batch.copy()
+        RandomHorizontalFlip(p=1.0)(batch, rng)
+        assert np.allclose(batch, original)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(p=1.5)
+
+
+class TestCrop:
+    def test_output_shape_preserved(self, batch, rng):
+        cropped = RandomCropWithPadding(padding=2)(batch, rng)
+        assert cropped.shape == batch.shape
+
+    def test_zero_padding_is_identity(self, batch, rng):
+        assert np.allclose(RandomCropWithPadding(padding=0)(batch, rng), batch)
+
+    def test_crop_shifts_content(self, rng):
+        batch = np.zeros((1, 1, 6, 6), dtype=np.float32)
+        batch[0, 0, 3, 3] = 1.0
+        shifted_any = False
+        for _ in range(20):
+            out = RandomCropWithPadding(padding=2)(batch, rng)
+            if not np.allclose(out, batch):
+                shifted_any = True
+                break
+        assert shifted_any
+
+
+class TestNoiseAndNormalize:
+    def test_noise_changes_values(self, batch, rng):
+        noisy = GaussianNoise(sigma=0.1)(batch, rng)
+        assert not np.allclose(noisy, batch)
+
+    def test_zero_sigma_identity(self, batch, rng):
+        assert np.allclose(GaussianNoise(sigma=0.0)(batch, rng), batch)
+
+    def test_normalize(self, rng):
+        batch = np.ones((2, 3, 4, 4), dtype=np.float32)
+        out = Normalize(mean=[1.0, 1.0, 1.0], std=[2.0, 2.0, 2.0])(batch, rng)
+        assert np.allclose(out, 0.0)
+
+    def test_normalize_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            Normalize(mean=[0.0], std=[0.0])
+
+
+class TestCompose:
+    def test_applies_in_order(self, rng):
+        batch = np.full((1, 1, 4, 4), 2.0, dtype=np.float32)
+        pipeline = Compose([
+            Normalize(mean=[2.0], std=[1.0]),
+            GaussianNoise(sigma=0.0),
+        ])
+        assert np.allclose(pipeline(batch, rng), 0.0)

@@ -1,0 +1,136 @@
+"""Tests for HardwareConfig (Table I) and the RRAM device model."""
+
+import numpy as np
+import pytest
+
+from repro.imc import ENERGY_BREAKDOWN_TARGETS, EnergyConstants, HardwareConfig, RRAMDeviceModel
+
+
+class TestHardwareConfig:
+    def test_paper_defaults_match_table_one(self):
+        config = HardwareConfig.paper_default()
+        assert config.technology_nm == 32
+        assert config.crossbar_size == 64
+        assert config.crossbars_per_tile == 64
+        assert config.device_bits == 4
+        assert config.weight_bits == 8
+        assert config.r_off_on_ratio == pytest.approx(10.0)
+        assert config.r_on_ohm == pytest.approx(20e3)
+        assert config.device_variation_sigma == pytest.approx(0.20)
+        assert config.global_buffer_kb == pytest.approx(20.0)
+        assert config.tile_buffer_kb == pytest.approx(10.0)
+        assert config.pe_buffer_kb == pytest.approx(5.0)
+        assert config.vdd == pytest.approx(0.9)
+        assert config.v_read == pytest.approx(0.1)
+        assert config.sigma_lut_kb == pytest.approx(3.0)
+        assert config.entropy_lut_kb == pytest.approx(3.0)
+
+    def test_derived_quantities(self):
+        config = HardwareConfig.paper_default()
+        assert config.cells_per_weight == 2
+        assert config.conductance_levels == 16
+        assert config.pes_per_tile == 4
+        assert config.g_on == pytest.approx(1.0 / 20e3)
+        assert config.g_off == pytest.approx(1.0 / 200e3)
+
+    def test_validation_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(crossbars_per_tile=10, crossbars_per_pe=3).validate()
+        with pytest.raises(ValueError):
+            HardwareConfig(weight_bits=6, device_bits=4).validate()
+        with pytest.raises(ValueError):
+            HardwareConfig(r_off_on_ratio=0.5).validate()
+
+    def test_breakdown_targets_match_figure_1a(self):
+        assert ENERGY_BREAKDOWN_TARGETS["digital_peripherals"] == pytest.approx(0.45)
+        assert ENERGY_BREAKDOWN_TARGETS["crossbar_adc"] == pytest.approx(0.25)
+        assert ENERGY_BREAKDOWN_TARGETS["htree"] == pytest.approx(0.17)
+        assert ENERGY_BREAKDOWN_TARGETS["noc"] == pytest.approx(0.09)
+        assert ENERGY_BREAKDOWN_TARGETS["lif"] == pytest.approx(0.01)
+
+    def test_energy_constants_scaled_by_component(self):
+        constants = EnergyConstants()
+        scaled = constants.scaled({"noc": 2.0, "lif": 0.5})
+        assert scaled.noc_transfer_pj == pytest.approx(constants.noc_transfer_pj * 2.0)
+        assert scaled.lif_update_pj == pytest.approx(constants.lif_update_pj * 0.5)
+        assert scaled.adc_conversion_pj == pytest.approx(constants.adc_conversion_pj)
+
+    def test_with_energy_returns_new_config(self):
+        config = HardwareConfig.paper_default()
+        new = config.with_energy(EnergyConstants(noc_transfer_pj=99.0))
+        assert new.energy.noc_transfer_pj == 99.0
+        assert config.energy.noc_transfer_pj != 99.0
+
+
+class TestDeviceModel:
+    @pytest.fixture
+    def device(self):
+        return RRAMDeviceModel(HardwareConfig.paper_default())
+
+    def test_weight_quantization_error_bounded(self, device):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(0, 0.2, size=(32, 32)).astype(np.float32)
+        quantized = device.quantize_weights(weights)
+        max_abs = np.abs(weights).max()
+        step = max_abs / (2**7 - 1)
+        assert np.abs(quantized - weights).max() <= step / 2 + 1e-6
+
+    def test_quantization_preserves_zero(self, device):
+        weights = np.array([0.0, 0.5, -0.5])
+        assert device.quantize_weights(weights)[0] == 0.0
+
+    def test_conductance_mapping_roundtrip(self, device):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(0, 1.0, size=(16, 8))
+        g_plus, g_minus, scale = device.weights_to_conductances(weights)
+        recovered = device.conductances_to_weights(g_plus, g_minus, scale)
+        assert np.allclose(recovered, weights, atol=1e-5)
+
+    def test_conductances_within_device_range(self, device):
+        weights = np.random.default_rng(2).normal(size=(8, 8))
+        g_plus, g_minus, _ = device.weights_to_conductances(weights)
+        config = device.config
+        for g in (g_plus, g_minus):
+            assert (g >= config.g_off - 1e-12).all()
+            assert (g <= config.g_on + 1e-12).all()
+
+    def test_conductance_quantization_levels(self, device):
+        config = device.config
+        conductances = np.linspace(config.g_off, config.g_on, 1000)
+        quantized = device.quantize_conductances(conductances)
+        assert len(np.unique(np.round(quantized, 12))) <= config.conductance_levels
+
+    def test_variation_zero_sigma_is_identity(self, device):
+        conductances = np.full((4, 4), device.config.g_on)
+        assert np.allclose(device.apply_variation(conductances, sigma=0.0), conductances)
+
+    def test_variation_magnitude_tracks_sigma(self, device):
+        rng = np.random.default_rng(3)
+        conductances = np.full(20000, device.config.g_on)
+        noisy = device.apply_variation(conductances, sigma=0.2, rng=rng)
+        relative = noisy / device.config.g_on
+        assert relative.std() == pytest.approx(0.2, rel=0.1)
+
+    def test_variation_never_negative(self, device):
+        rng = np.random.default_rng(4)
+        noisy = device.apply_variation(np.full(10000, device.config.g_off), sigma=1.0, rng=rng)
+        assert (noisy > 0).all()
+
+    def test_negative_sigma_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.apply_variation(np.ones(3), sigma=-0.1)
+
+    def test_perturb_weights_preserves_shape_and_scale(self, device):
+        rng = np.random.default_rng(5)
+        weights = rng.normal(0, 0.1, size=(64, 27)).astype(np.float32)
+        perturbed = device.perturb_weights(weights, sigma=0.2, rng=rng)
+        assert perturbed.shape == weights.shape
+        # Perturbation is noise around the original weights, not a rescale.
+        correlation = np.corrcoef(weights.reshape(-1), perturbed.reshape(-1))[0, 1]
+        assert correlation > 0.8
+
+    def test_perturb_weights_zero_sigma_close_to_quantized(self, device):
+        weights = np.random.default_rng(6).normal(0, 0.1, size=(16, 16)).astype(np.float32)
+        perturbed = device.perturb_weights(weights, sigma=0.0, rng=np.random.default_rng(0))
+        # Only quantization error remains.
+        assert np.abs(perturbed - weights).max() < 0.05 * np.abs(weights).max() + 1e-3

@@ -1,0 +1,90 @@
+"""Tests for the functional crossbar model (analog MAC + ADC + stats)."""
+
+import numpy as np
+import pytest
+
+from repro.imc import CrossbarArray, HardwareConfig
+
+
+@pytest.fixture
+def weights():
+    return np.random.default_rng(0).normal(0, 0.1, size=(32, 16)).astype(np.float32)
+
+
+class TestConstruction:
+    def test_rejects_oversized_blocks(self):
+        with pytest.raises(ValueError):
+            CrossbarArray(np.zeros((65, 10)))
+        with pytest.raises(ValueError):
+            CrossbarArray(np.zeros((10, 65)))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            CrossbarArray(np.zeros((4, 4, 4)))
+
+    def test_effective_weights_close_to_ideal(self, weights):
+        xbar = CrossbarArray(weights)
+        error = np.abs(xbar.effective_weights - weights).max()
+        assert error < 0.15 * np.abs(weights).max()
+
+
+class TestRead:
+    def test_ideal_read_matches_matmul(self, weights):
+        xbar = CrossbarArray(weights, quantize=False)
+        inputs = (np.random.default_rng(1).random((5, 32)) > 0.5).astype(np.float32)
+        outputs = xbar.read(inputs, quantize_adc=False)
+        assert np.allclose(outputs, inputs @ weights, atol=1e-4)
+
+    def test_quantized_read_close_to_ideal(self, weights):
+        xbar = CrossbarArray(weights, quantize=True)
+        inputs = (np.random.default_rng(2).random((8, 32)) > 0.5).astype(np.float32)
+        exact = inputs @ weights
+        approx = xbar.read(inputs, quantize_adc=True)
+        scale = np.abs(exact).max() + 1e-9
+        assert np.abs(approx - exact).max() / scale < 0.35
+
+    def test_wrong_input_width_rejected(self, weights):
+        xbar = CrossbarArray(weights)
+        with pytest.raises(ValueError):
+            xbar.read(np.zeros((2, 31)))
+
+    def test_single_vector_promoted_to_batch(self, weights):
+        xbar = CrossbarArray(weights)
+        out = xbar.read(np.zeros(32, dtype=np.float32))
+        assert out.shape == (1, 16)
+
+    def test_device_variation_changes_output(self, weights):
+        ideal = CrossbarArray(weights, quantize=False)
+        noisy = CrossbarArray(
+            weights,
+            quantize=False,
+            apply_variation=True,
+            variation_sigma=0.2,
+            rng=np.random.default_rng(3),
+        )
+        inputs = np.ones((1, 32), dtype=np.float32)
+        assert not np.allclose(ideal.read(inputs, False), noisy.read(inputs, False))
+
+
+class TestStats:
+    def test_stats_accumulate_over_reads(self, weights):
+        xbar = CrossbarArray(weights)
+        inputs = np.zeros((3, 32), dtype=np.float32)
+        inputs[:, :8] = 1.0
+        xbar.read(inputs)
+        assert xbar.stats.read_operations == 3
+        assert xbar.stats.row_activations == pytest.approx(24)
+        assert xbar.stats.adc_conversions == 3 * 16
+
+    def test_reset_stats(self, weights):
+        xbar = CrossbarArray(weights)
+        xbar.read(np.ones((2, 32), dtype=np.float32))
+        xbar.reset_stats()
+        assert xbar.stats.read_operations == 0
+
+    def test_merge_stats(self, weights):
+        xbar = CrossbarArray(weights)
+        xbar.read(np.ones((1, 32), dtype=np.float32))
+        first = xbar.stats
+        merged = first.merge(first)
+        assert merged.read_operations == 2 * first.read_operations

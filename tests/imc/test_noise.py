@@ -1,0 +1,95 @@
+"""Tests for device-variation injection into trained networks (Fig. 6B)."""
+
+import numpy as np
+import pytest
+
+from repro.imc import apply_device_variation, perturbed_state_dict, with_device_variation
+from repro.snn import spiking_vgg
+from repro.utils import seed_everything
+
+
+@pytest.fixture
+def model():
+    seed_everything(41)
+    return spiking_vgg("tiny", num_classes=10, input_size=8, default_timesteps=2)
+
+
+class TestPerturbedStateDict:
+    def test_conv_and_linear_weights_change(self, model):
+        perturbed = perturbed_state_dict(model, sigma=0.2, rng=np.random.default_rng(0))
+        original = model.state_dict()
+        changed = [
+            key
+            for key in original
+            if key.endswith("conv.weight") or ("classifier" in key and key.endswith("weight"))
+        ]
+        assert changed
+        for key in changed:
+            assert not np.allclose(perturbed[key], original[key])
+
+    def test_norm_parameters_untouched(self, model):
+        perturbed = perturbed_state_dict(model, sigma=0.2, rng=np.random.default_rng(0))
+        original = model.state_dict()
+        for key in original:
+            if "norm" in key:
+                assert np.allclose(perturbed[key], original[key])
+
+    def test_biases_untouched(self, model):
+        perturbed = perturbed_state_dict(model, sigma=0.2, rng=np.random.default_rng(0))
+        original = model.state_dict()
+        for key in original:
+            if key.endswith("bias"):
+                assert np.allclose(perturbed[key], original[key])
+
+    def test_zero_sigma_without_quantization_is_identity(self, model):
+        perturbed = perturbed_state_dict(
+            model, sigma=0.0, rng=np.random.default_rng(0), quantize=False
+        )
+        original = model.state_dict()
+        for key in original:
+            assert np.allclose(perturbed[key], original[key], atol=1e-6)
+
+    def test_larger_sigma_larger_deviation(self, model):
+        original = model.state_dict()
+        small = perturbed_state_dict(model, sigma=0.05, rng=np.random.default_rng(1))
+        large = perturbed_state_dict(model, sigma=0.5, rng=np.random.default_rng(1))
+        key = next(k for k in original if k.endswith("conv.weight"))
+        dev_small = np.abs(small[key] - original[key]).mean()
+        dev_large = np.abs(large[key] - original[key]).mean()
+        assert dev_large > dev_small
+
+
+class TestApplyAndRestore:
+    def test_apply_returns_original(self, model):
+        before = model.state_dict()
+        original = apply_device_variation(model, sigma=0.2, rng=np.random.default_rng(2))
+        key = next(k for k in before if k.endswith("conv.weight"))
+        assert np.allclose(original[key], before[key])
+        assert not np.allclose(model.state_dict()[key], before[key])
+
+    def test_context_manager_restores(self, model):
+        before = model.state_dict()
+        key = next(k for k in before if k.endswith("conv.weight"))
+        with with_device_variation(model, sigma=0.3, seed=3):
+            assert not np.allclose(model.state_dict()[key], before[key])
+        assert np.allclose(model.state_dict()[key], before[key])
+
+    def test_context_manager_restores_on_exception(self, model):
+        before = model.state_dict()
+        key = next(k for k in before if k.endswith("conv.weight"))
+        with pytest.raises(RuntimeError):
+            with with_device_variation(model, sigma=0.3, seed=4):
+                raise RuntimeError("boom")
+        assert np.allclose(model.state_dict()[key], before[key])
+
+    def test_variation_degrades_but_does_not_destroy_accuracy(self, trained_model, tiny_loaders):
+        from repro.training import evaluate_accuracy
+
+        _, test_loader = tiny_loaders
+        clean = evaluate_accuracy(trained_model, test_loader, timesteps=4)
+        with with_device_variation(trained_model, sigma=0.2, seed=5):
+            noisy = evaluate_accuracy(trained_model, test_loader, timesteps=4)
+        after = evaluate_accuracy(trained_model, test_loader, timesteps=4)
+        assert after == pytest.approx(clean)
+        assert noisy > 0.2           # far above the 0.1 chance level
+        assert noisy <= clean + 0.05  # variation does not magically help

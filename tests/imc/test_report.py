@@ -1,0 +1,39 @@
+"""Tests for the text report helpers."""
+
+from repro.imc import format_breakdown, format_comparison_rows, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+        assert "x" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-name-here", 1.0], ["s", 2.0]])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines)) <= 2  # header sep may differ slightly
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]], float_format="{:.2f}")
+        assert "0.12" in text
+
+
+class TestBreakdownAndComparison:
+    def test_breakdown_percentages(self):
+        text = format_breakdown({"digital": 0.45, "crossbar": 0.25})
+        assert "45.0" in text
+        assert "25.0" in text
+
+    def test_breakdown_sorted_descending(self):
+        text = format_breakdown({"small": 0.1, "big": 0.9})
+        assert text.index("big") < text.index("small")
+
+    def test_comparison_rows_select_columns(self):
+        rows = [{"model": "vgg", "acc": 0.93, "extra": 1}, {"model": "resnet", "acc": 0.94}]
+        text = format_comparison_rows(rows, ["model", "acc"], title="Table II")
+        assert "Table II" in text
+        assert "vgg" in text and "resnet" in text
+        assert "extra" not in text

@@ -1,0 +1,172 @@
+"""End-to-end integration tests: the paper's qualitative claims on synthetic data.
+
+These tests train (tiny) spiking networks and check the *relational* claims
+that the benchmark harness later quantifies: accuracy grows with timesteps,
+DT-SNN matches static accuracy at a lower average timestep count, the EDP
+drops accordingly, easy inputs exit earlier than hard ones, and the Eq. 10
+loss improves early-timestep accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicTimestepInference,
+    EntropyExitPolicy,
+    account_result,
+    calibrate_threshold,
+    compare_to_static,
+    difficulty_by_exit_time,
+)
+from repro.data import DataLoader, make_dvs_like, SyntheticDVSConfig, train_test_split
+from repro.imc import IMCChip
+from repro.snn import spiking_resnet, spiking_vgg
+from repro.training import (
+    Trainer,
+    TrainingConfig,
+    collect_cumulative_logits,
+    evaluate_per_timestep_accuracy,
+)
+from repro.utils import seed_everything
+
+
+class TestStaticSNNBehaviour:
+    def test_accuracy_does_not_degrade_with_more_timesteps(self, trained_model, tiny_loaders):
+        """Fig. 2: more timesteps -> at least as good accuracy (on average)."""
+        _, test_loader = tiny_loaders
+        accuracies = evaluate_per_timestep_accuracy(trained_model, test_loader, timesteps=4)
+        assert accuracies[-1] >= accuracies[0] - 0.02
+        assert accuracies[-1] > 0.5  # far above the 10% chance level
+
+    def test_trained_model_beats_chance_by_wide_margin(self, trained_model, tiny_loaders):
+        _, test_loader = tiny_loaders
+        accuracies = evaluate_per_timestep_accuracy(trained_model, test_loader, timesteps=4)
+        assert max(accuracies) > 0.6
+
+
+class TestDTSNNClaims:
+    def test_dtsnn_matches_static_accuracy_with_fewer_timesteps(self, cumulative_logits):
+        """Table II: iso-accuracy at a fraction of the timesteps."""
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        point = calibrate_threshold(logits, labels, tolerance=0.0)
+        static_accuracy = float(np.mean(np.argmax(logits[-1], axis=-1) == labels))
+        assert point.accuracy >= static_accuracy - 1e-9
+        assert point.average_timesteps < 0.75 * logits.shape[0]
+
+    def test_majority_of_samples_exit_before_full_horizon(self, cumulative_logits):
+        """Fig. 5 pie charts: T=1/T=2 dominate, T=3/T=4 are rare."""
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        point = calibrate_threshold(logits, labels, tolerance=0.01)
+        fractions = point.timestep_fractions
+        assert fractions[0] > 0.4            # most samples exit at T=1
+        assert fractions[:2].sum() > 0.6     # or at least by T=2
+
+    def test_edp_reduction_against_static_baseline(self, trained_model, tiny_dataset, cumulative_logits):
+        """Fig. 4: DT-SNN reduces the energy-delay product substantially."""
+        _, test = tiny_dataset
+        chip = IMCChip.from_network(
+            trained_model, test.inputs[:4], num_classes=10, trace_timesteps=2
+        )
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        point = calibrate_threshold(logits, labels, tolerance=0.01)
+        report = account_result(point.result, chip)
+        comparison = compare_to_static(report, chip, static_timesteps=4)
+        assert comparison["normalized_edp"] < 0.6
+        assert comparison["edp_reduction_percent"] > 40.0
+        assert comparison["normalized_energy"] < 0.8
+
+    def test_easy_inputs_exit_earlier_than_hard_inputs(self, trained_model, tiny_dataset):
+        """Fig. 8: exit time correlates with the generator's difficulty level."""
+        _, test = tiny_dataset
+        engine = DynamicTimestepInference(
+            trained_model, policy=EntropyExitPolicy(threshold=0.25), max_timesteps=4
+        )
+        result = engine.infer(test.inputs, test.labels)
+        means = difficulty_by_exit_time(result, test.metadata)
+        valid = {t: m for t, m in means.items() if not np.isnan(m)}
+        assert len(valid) >= 2
+        first = valid[min(valid)]
+        last = valid[max(valid)]
+        assert last > first
+
+    def test_threshold_controls_accuracy_efficiency_tradeoff(self, cumulative_logits):
+        """Fig. 5 curve: lowering the threshold buys accuracy with timesteps."""
+        from repro.core import sweep_thresholds
+
+        logits, labels = cumulative_logits["logits"], cumulative_logits["labels"]
+        points = sweep_thresholds(logits, labels, [0.02, 0.2, 0.8])
+        averages = [p.average_timesteps for p in points]
+        assert averages[0] >= averages[1] >= averages[2]
+        # The most aggressive threshold loses at most a few points of accuracy
+        # relative to the most conservative one on this easy dataset.
+        assert points[2].accuracy >= points[0].accuracy - 0.25
+
+
+class TestLossAblation:
+    def test_per_timestep_loss_improves_first_timestep_accuracy(self, tiny_loaders):
+        """Fig. 7: Eq. 10 lifts the T=1 accuracy compared to Eq. 9."""
+        train_loader, test_loader = tiny_loaders
+        results = {}
+        for loss_name in ("final", "per_timestep"):
+            seed_everything(99)  # identical initialization for both runs
+            model = spiking_vgg("tiny", num_classes=10, input_size=10, default_timesteps=4)
+            Trainer(
+                model,
+                TrainingConfig(epochs=4, timesteps=4, learning_rate=0.15, loss=loss_name),
+            ).fit(train_loader)
+            results[loss_name] = evaluate_per_timestep_accuracy(model, test_loader, timesteps=4)
+        assert results["per_timestep"][0] >= results["final"][0] - 0.02
+
+
+class TestDVSPipeline:
+    def test_event_stream_training_and_dynamic_inference(self):
+        """Table II last column: the DVS-style dataset runs through the same stack."""
+        seed_everything(71)
+        dataset = make_dvs_like(
+            SyntheticDVSConfig(num_classes=4, num_samples=120, num_frames=6, image_size=10, seed=13)
+        )
+        train, test = train_test_split(dataset, 0.3, seed=1)
+        from repro.snn import EventFrameEncoder
+
+        model = spiking_vgg(
+            "tiny",
+            num_classes=4,
+            in_channels=2,
+            input_size=10,
+            default_timesteps=6,
+            encoder=EventFrameEncoder(),
+        )
+        trainer = Trainer(
+            model, TrainingConfig(epochs=4, timesteps=6, learning_rate=0.1, loss="per_timestep")
+        )
+        result = trainer.fit(
+            DataLoader(train, batch_size=28, seed=0),
+            DataLoader(test, batch_size=36, shuffle=False),
+        )
+        assert result.final_eval_accuracy > 0.4  # chance is 0.25
+
+        collected = collect_cumulative_logits(
+            model, DataLoader(test, batch_size=36, shuffle=False), timesteps=6
+        )
+        point = calibrate_threshold(collected["logits"], collected["labels"], tolerance=0.02)
+        assert point.average_timesteps < 6.0
+
+
+class TestResNetPath:
+    def test_spiking_resnet_trains_and_exits_dynamically(self, tiny_dataset):
+        train, test = tiny_dataset
+        seed_everything(82)
+        model = spiking_resnet("tiny", num_classes=10, input_size=10, default_timesteps=3)
+        trainer = Trainer(
+            model, TrainingConfig(epochs=6, timesteps=3, learning_rate=0.1, loss="per_timestep")
+        )
+        trainer.fit(DataLoader(train, batch_size=32, seed=4))
+        collected = collect_cumulative_logits(
+            model, DataLoader(test, batch_size=64, shuffle=False), timesteps=3
+        )
+        accuracy = float(
+            np.mean(np.argmax(collected["logits"][-1], axis=-1) == collected["labels"])
+        )
+        assert accuracy > 0.3
+        point = calibrate_threshold(collected["logits"], collected["labels"], tolerance=0.02)
+        assert point.average_timesteps <= 3.0

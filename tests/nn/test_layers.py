@@ -1,0 +1,150 @@
+"""Tests for standard layers: Linear, Conv2d, BatchNorm2d, pooling, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.init import calculate_fan, kaiming_normal, kaiming_uniform, xavier_uniform
+
+
+class TestInit:
+    def test_fan_linear(self):
+        assert calculate_fan((8, 4)) == (4, 8)
+
+    def test_fan_conv(self):
+        fan_in, fan_out = calculate_fan((16, 3, 3, 3))
+        assert fan_in == 27
+        assert fan_out == 144
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            calculate_fan((3,))
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((256, 128), rng=rng)
+        expected_std = np.sqrt(2.0 / 128)
+        assert abs(w.std() - expected_std) / expected_std < 0.1
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((64, 64), rng=rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_uniform_dtype(self):
+        assert xavier_uniform((10, 10)).dtype == np.float32
+
+
+class TestLinearLayer:
+    def test_output_shape(self):
+        layer = Linear(6, 4)
+        assert layer(Tensor(np.ones((3, 6)))).shape == (3, 4)
+
+    def test_no_bias(self):
+        layer = Linear(6, 4, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 24
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestConvLayer:
+    def test_output_shape_with_padding(self):
+        layer = Conv2d(3, 8, 3, padding=1)
+        assert layer(Tensor(np.ones((2, 3, 8, 8)))).shape == (2, 8, 8, 8)
+
+    def test_output_shape_with_stride(self):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer(Tensor(np.ones((2, 3, 8, 8)))).shape == (2, 8, 4, 4)
+
+    def test_gradient_flows_to_weight(self):
+        layer = Conv2d(1, 2, 3, padding=1)
+        out = layer(Tensor(np.ones((1, 1, 4, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.weight.grad.shape == layer.weight.shape
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(8, 3, 4, 4)).astype(np.float32))
+        out = bn(x)
+        assert abs(float(out.data.mean())) < 1e-4
+        assert abs(float(out.data.std()) - 1.0) < 0.05
+
+    def test_running_stats_updated(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.full((4, 2, 2, 2), 3.0, dtype=np.float32))
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        bn.update_buffer("running_mean", np.array([1.0, 1.0], dtype=np.float32))
+        bn.update_buffer("running_var", np.array([4.0, 4.0], dtype=np.float32))
+        bn.eval()
+        x = Tensor(np.full((1, 2, 2, 2), 3.0, dtype=np.float32))
+        out = bn(x)
+        assert np.allclose(out.data, 1.0, atol=1e-3)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(2)(Tensor(np.zeros((3, 2))))
+
+    def test_gamma_beta_trainable(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 2, 3, 3)).astype(np.float32))
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+
+class TestPoolingLayers:
+    def test_avg_pool_shape(self):
+        assert AvgPool2d(2)(Tensor(np.ones((1, 3, 8, 8)))).shape == (1, 3, 4, 4)
+
+    def test_max_pool_shape(self):
+        assert MaxPool2d(2)(Tensor(np.ones((1, 3, 8, 8)))).shape == (1, 3, 4, 4)
+
+    def test_adaptive_avg_pool_to_one(self):
+        out = AdaptiveAvgPool2d(1)(Tensor(np.ones((2, 4, 6, 6))))
+        assert out.shape == (2, 4, 1, 1)
+
+    def test_adaptive_requires_divisible(self):
+        with pytest.raises(ValueError):
+            AdaptiveAvgPool2d(4)(Tensor(np.ones((1, 1, 6, 6))))
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.ones((2, 3, 4, 4)))).shape == (2, 48)
+
+
+class TestDropoutAndReLU:
+    def test_dropout_respects_eval(self):
+        layer = Dropout(0.9, seed=0)
+        layer.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_dropout_training_zeroes_some(self):
+        layer = Dropout(0.5, seed=0)
+        out = layer(Tensor(np.ones((50, 50))))
+        assert (out.data == 0).any()
+
+    def test_relu_layer(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.data, [0, 2])

@@ -1,0 +1,127 @@
+"""Tests for the Module/Parameter system: registration, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, Identity, Linear, Sequential
+from repro.nn.module import Module, ModuleList, Parameter
+
+
+class TinyBlock(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(4, 3)
+        self.scale = Parameter(np.ones((1,)))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_are_registered(self):
+        block = TinyBlock()
+        names = dict(block.named_parameters())
+        assert "scale" in names
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+
+    def test_child_modules_registered(self):
+        block = TinyBlock()
+        assert "linear" in [name for name, _ in block.named_modules() if name]
+
+    def test_num_parameters_counts_scalars(self):
+        block = TinyBlock()
+        assert block.num_parameters() == 4 * 3 + 3 + 1
+
+    def test_buffers_registered_and_updatable(self):
+        bn = BatchNorm2d(2)
+        assert any(name == "running_mean" for name, _ in bn.named_buffers())
+        bn.update_buffer("running_mean", np.array([1.0, 2.0], dtype=np.float32))
+        assert np.allclose(bn.running_mean, [1, 2])
+
+    def test_update_unknown_buffer_raises(self):
+        bn = BatchNorm2d(2)
+        with pytest.raises(KeyError):
+            bn.update_buffer("nope", np.zeros(2))
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Sequential(TinyBlock(), TinyBlock())
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad_clears(self):
+        block = TinyBlock()
+        from repro.autograd import Tensor
+
+        out = block(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert block.linear.weight.grad is not None
+        block.zero_grad()
+        assert block.linear.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = TinyBlock()
+        target = TinyBlock()
+        target.load_state_dict(source.state_dict())
+        assert np.allclose(source.linear.weight.data, target.linear.weight.data)
+
+    def test_shape_mismatch_raises(self):
+        block = TinyBlock()
+        state = block.state_dict()
+        state["linear.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            block.load_state_dict(state)
+
+    def test_strict_missing_key_raises(self):
+        block = TinyBlock()
+        state = block.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            block.load_state_dict(state)
+
+    def test_non_strict_allows_missing(self):
+        block = TinyBlock()
+        state = block.state_dict()
+        del state["scale"]
+        block.load_state_dict(state, strict=False)
+
+    def test_state_dict_includes_buffers(self):
+        bn = BatchNorm2d(3)
+        assert "running_var" in bn.state_dict()
+
+
+class TestContainers:
+    def test_sequential_iterates_in_order(self):
+        a, b = Identity(), Identity()
+        seq = Sequential(a, b)
+        assert list(seq) == [a, b]
+        assert len(seq) == 2
+        assert seq[1] is b
+
+    def test_sequential_forward_chains(self):
+        from repro.autograd import Tensor
+
+        seq = Sequential(Linear(3, 5), Linear(5, 2))
+        out = seq(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 2)
+
+    def test_sequential_append(self):
+        seq = Sequential(Identity())
+        seq.append(Identity())
+        assert len(seq) == 2
+
+    def test_module_list_holds_modules(self):
+        modules = ModuleList([Identity(), Identity()])
+        assert len(modules) == 2
+        assert isinstance(modules[0], Identity)
+        # parameters of children are discoverable through the list
+        modules.append(Linear(2, 2))
+        assert len(list(modules.named_parameters() if hasattr(modules, 'named_parameters') else [])) >= 0
+        parent_params = dict(modules.named_parameters())
+        assert any("weight" in key for key in parent_params)

@@ -1,0 +1,111 @@
+"""Tests for the digital processor throughput model and wall-clock profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicInferenceResult
+from repro.processors import DigitalProcessorModel, WallClockProfiler, fit_processor_model
+
+
+def make_result(exit_timesteps):
+    exit_timesteps = np.asarray(exit_timesteps)
+    n = exit_timesteps.shape[0]
+    return DynamicInferenceResult(
+        exit_timesteps=exit_timesteps,
+        predictions=np.zeros(n, dtype=np.int64),
+        labels=np.zeros(n, dtype=np.int64),
+        scores=np.zeros(n),
+        max_timesteps=int(exit_timesteps.max()),
+    )
+
+
+class TestDigitalProcessorModel:
+    def test_latency_affine_in_timesteps(self):
+        model = DigitalProcessorModel(fixed_ms=2.0, per_timestep_ms=3.0)
+        assert model.latency(1) == pytest.approx(5.0)
+        assert model.latency(4) == pytest.approx(14.0)
+
+    def test_throughput_decreases_with_timesteps(self):
+        model = DigitalProcessorModel()
+        table = model.static_throughput_table(4)
+        values = [table[t] for t in range(1, 5)]
+        assert all(values[i] > values[i + 1] for i in range(3))
+
+    def test_default_constants_reproduce_paper_vgg_row(self):
+        # Table III static VGG-16: 199.3, 121.8, 85.2, 64.3 img/s for T=1..4.
+        model = DigitalProcessorModel()
+        paper = {1: 199.3, 2: 121.8, 3: 85.19, 4: 64.34}
+        for t, value in paper.items():
+            assert model.throughput(t) == pytest.approx(value, rel=0.05)
+
+    def test_dynamic_inference_recovers_throughput(self):
+        model = DigitalProcessorModel()
+        mostly_one = make_result([1] * 90 + [4] * 10)
+        dynamic = model.dynamic_throughput(mostly_one)
+        assert model.throughput(4) < dynamic < model.throughput(1)
+
+    def test_exit_check_overhead_costs_a_little(self):
+        model = DigitalProcessorModel(exit_check_ms=0.5)
+        static_at_one = model.throughput(1, dynamic=False)
+        dynamic_at_one = model.dynamic_throughput(make_result([1, 1, 1]))
+        assert dynamic_at_one < static_at_one
+
+    def test_invalid_timesteps(self):
+        with pytest.raises(ValueError):
+            DigitalProcessorModel().latency(0)
+
+    def test_invalid_constants(self):
+        with pytest.raises(ValueError):
+            DigitalProcessorModel(per_timestep_ms=0.0)
+
+
+class TestFitProcessorModel:
+    def test_recovers_known_parameters(self):
+        truth = DigitalProcessorModel(fixed_ms=2.0, per_timestep_ms=4.0)
+        timesteps = [1, 2, 3, 4]
+        throughputs = [truth.throughput(t) for t in timesteps]
+        fitted = fit_processor_model(timesteps, throughputs)
+        assert fitted.fixed_ms == pytest.approx(2.0, abs=1e-6)
+        assert fitted.per_timestep_ms == pytest.approx(4.0, abs=1e-6)
+
+    def test_fit_to_paper_numbers_predicts_intermediate(self):
+        fitted = fit_processor_model([1, 2, 3, 4], [199.3, 121.8, 85.19, 64.34])
+        assert fitted.throughput(2) == pytest.approx(121.8, rel=0.05)
+
+    def test_rejects_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            fit_processor_model([1, 2], [100.0])
+
+    def test_rejects_nonpositive_throughput(self):
+        with pytest.raises(ValueError):
+            fit_processor_model([1, 2], [100.0, 0.0])
+
+
+class TestWallClockProfiler:
+    @pytest.fixture(scope="class")
+    def profiler_inputs(self, trained_model, tiny_dataset):
+        _, test = tiny_dataset
+        return WallClockProfiler(trained_model, max_timesteps=4), test.inputs[:8]
+
+    def test_static_measurement_fields(self, profiler_inputs):
+        profiler, inputs = profiler_inputs
+        measurement = profiler.measure_static(inputs, timesteps=2)
+        assert measurement.num_images == 8
+        assert measurement.images_per_second > 0
+        assert measurement.average_timesteps == 2.0
+
+    def test_more_timesteps_is_slower(self, profiler_inputs):
+        profiler, inputs = profiler_inputs
+        fast = profiler.measure_static(inputs, timesteps=1)
+        slow = profiler.measure_static(inputs, timesteps=4)
+        assert slow.mean_latency_ms > fast.mean_latency_ms
+
+    def test_dynamic_average_timesteps_below_max(self, profiler_inputs):
+        profiler, inputs = profiler_inputs
+        measurement = profiler.measure_dynamic(inputs, threshold=0.5)
+        assert 1.0 <= measurement.average_timesteps < 4.0
+
+    def test_throughput_table_keys(self, profiler_inputs):
+        profiler, inputs = profiler_inputs
+        table = profiler.throughput_table(inputs[:4], thresholds={"mid": 0.3})
+        assert {"static_T1", "static_T4", "dynamic_mid"} <= set(table)

@@ -1,0 +1,118 @@
+"""Hypothesis property tests for the autograd engine.
+
+These check algebraic invariants (linearity of the gradient, adjointness of
+im2col/col2im, softmax normalization) over randomly generated shapes and
+values rather than hand-picked examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, conv2d, cross_entropy, softmax
+from repro.autograd.ops import col2im, im2col
+
+
+def finite_arrays(shape, min_value=-5.0, max_value=5.0):
+    return arrays(
+        dtype=np.float64,
+        shape=shape,
+        elements=st.floats(min_value, max_value, allow_nan=False, allow_infinity=False, width=32),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays((4, 3)), finite_arrays((4, 3)))
+def test_addition_gradient_is_one_for_both_operands(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    assert np.allclose(ta.grad, 1.0)
+    assert np.allclose(tb.grad, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays((3, 4)), finite_arrays((3, 4)))
+def test_product_rule(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta * tb).sum().backward()
+    assert np.allclose(ta.grad, b, atol=1e-5)
+    assert np.allclose(tb.grad, a, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays((5,)), st.floats(0.1, 3.0), st.floats(0.1, 3.0))
+def test_backward_is_linear_in_seed(x, alpha, beta):
+    """grad(alpha * f) + grad(beta * f) == grad((alpha + beta) * f)."""
+    def run(scale):
+        t = Tensor(x, requires_grad=True)
+        (t * t).sum().backward(np.array(scale, dtype=np.float64))
+        return t.grad.copy()
+
+    combined = run(alpha + beta)
+    assert np.allclose(run(alpha) + run(beta), combined, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays((2, 6)))
+def test_softmax_is_a_probability_distribution(logits):
+    probs = softmax(Tensor(logits)).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays((3, 7)), st.integers(0, 6))
+def test_cross_entropy_nonnegative_and_grad_sums_to_zero(logits, label):
+    labels = np.full(3, label, dtype=np.int64)
+    t = Tensor(logits, requires_grad=True)
+    loss = cross_entropy(t, labels)
+    assert float(loss.data) >= -1e-6
+    loss.backward()
+    # Softmax-CE gradient rows sum to zero (probabilities minus one-hot).
+    assert np.allclose(t.grad.sum(axis=-1), 0.0, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 3),   # batch
+    st.integers(1, 3),   # channels
+    st.integers(4, 8),   # spatial
+    st.integers(1, 3),   # kernel
+    st.integers(1, 2),   # stride
+    st.integers(0, 1),   # padding
+)
+def test_im2col_col2im_adjointness(n, c, size, kernel, stride, padding):
+    if kernel > size + 2 * padding:
+        return
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(n, c, size, size))
+    cols, _, _ = im2col(x, kernel, stride, padding)
+    y = rng.normal(size=cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * col2im(y, x.shape, kernel, stride, padding)).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(1, 2),
+    st.integers(1, 3),
+    st.integers(1, 4),
+    st.integers(4, 7),
+)
+def test_conv2d_matches_naive_loop(n, c_in, c_out, size):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(n, c_in, size, size))
+    w = rng.normal(size=(c_out, c_in, 3, 3))
+    out = conv2d(Tensor(x), Tensor(w), stride=1, padding=1).data
+
+    padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+    expected = np.zeros((n, c_out, size, size))
+    for i in range(size):
+        for j in range(size):
+            patch = padded[:, :, i : i + 3, j : j + 3]
+            expected[:, :, i, j] = np.einsum("nchw,ochw->no", patch, w)
+    assert np.allclose(out, expected, atol=1e-4)

@@ -1,0 +1,94 @@
+"""Hypothesis property tests for the DT-SNN core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    DynamicTimestepInference,
+    EntropyExitPolicy,
+    account_result,
+    normalized_entropy,
+    softmax_probabilities,
+)
+
+
+def logits_arrays(t=4, n=8, k=5):
+    return arrays(
+        dtype=np.float64,
+        shape=(t, n, k),
+        elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False, width=32),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, (6, 8), elements=st.floats(-20, 20, allow_nan=False, allow_infinity=False, width=32)))
+def test_normalized_entropy_in_unit_interval(logits):
+    entropy = normalized_entropy(softmax_probabilities(logits))
+    assert np.all(entropy >= -1e-9)
+    assert np.all(entropy <= 1.0 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(logits_arrays(), st.floats(0.01, 0.99))
+def test_exit_timesteps_always_within_horizon(cumulative, threshold):
+    engine = DynamicTimestepInference(policy=EntropyExitPolicy(threshold), max_timesteps=4)
+    result = engine.infer_from_logits(cumulative)
+    assert result.exit_timesteps.min() >= 1
+    assert result.exit_timesteps.max() <= 4
+    np.testing.assert_allclose(result.timestep_fractions().sum(), 1.0, rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(logits_arrays(), st.floats(0.01, 0.5), st.floats(0.0, 0.49))
+def test_larger_threshold_never_increases_average_timesteps(cumulative, base, delta):
+    """Monotonicity: a looser entropy threshold can only exit earlier."""
+    tight = DynamicTimestepInference(policy=EntropyExitPolicy(base), max_timesteps=4)
+    loose = DynamicTimestepInference(policy=EntropyExitPolicy(base + delta), max_timesteps=4)
+    avg_tight = tight.infer_from_logits(cumulative).average_timesteps
+    avg_loose = loose.infer_from_logits(cumulative).average_timesteps
+    assert avg_loose <= avg_tight + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(logits_arrays(), st.floats(0.01, 0.99))
+def test_per_sample_exit_is_first_qualifying_timestep(cumulative, threshold):
+    """Eq. 8: the exit time is the argmin over qualifying timesteps."""
+    policy = EntropyExitPolicy(threshold)
+    engine = DynamicTimestepInference(policy=policy, max_timesteps=4)
+    result = engine.infer_from_logits(cumulative)
+    entropies = engine.entropy_trajectories(cumulative)  # (T, N)
+    for sample in range(cumulative.shape[1]):
+        qualifying = np.flatnonzero(entropies[:, sample] < threshold)
+        expected = (qualifying[0] + 1) if qualifying.size else 4
+        assert result.exit_timesteps[sample] == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.int64, (16,), elements=st.integers(1, 4)),
+    st.floats(0.0, 2.0),
+    st.floats(0.1, 2.0),
+)
+def test_accounting_mean_energy_between_min_and_max(exits, static, dynamic):
+    class Model:
+        def energy(self, t):
+            return static + dynamic * t
+
+        def latency(self, t):
+            return float(t)
+
+    from repro.core import DynamicInferenceResult
+
+    result = DynamicInferenceResult(
+        exit_timesteps=exits,
+        predictions=np.zeros(16, dtype=np.int64),
+        labels=np.zeros(16, dtype=np.int64),
+        scores=np.zeros(16),
+        max_timesteps=4,
+    )
+    report = account_result(result, Model())
+    model = Model()
+    assert model.energy(int(exits.min())) - 1e-9 <= report.mean_energy <= model.energy(int(exits.max())) + 1e-9
+    # Jensen: mean EDP >= product of means when both are increasing in T.
+    assert report.mean_edp >= report.mean_energy * report.mean_latency - 1e-9

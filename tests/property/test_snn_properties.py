@@ -1,0 +1,95 @@
+"""Hypothesis property tests for spiking-neuron and hardware-model invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor
+from repro.imc import HardwareConfig, LayerGeometry, LayerMapping, RRAMDeviceModel
+from repro.snn import LIFNeuron, TriangularSurrogate
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (4, 6), elements=st.floats(-3, 3, allow_nan=False, allow_infinity=False, width=32)),
+    st.floats(0.1, 1.0),
+    st.floats(0.2, 2.0),
+)
+def test_lif_spikes_are_binary_and_membrane_below_threshold_after_hard_reset(current, tau, v_th):
+    lif = LIFNeuron(tau=tau, v_threshold=v_th, reset="hard")
+    spikes = lif(Tensor(current))
+    assert set(np.unique(spikes.data)).issubset({0.0, 1.0})
+    # After a hard reset no membrane value may still exceed the threshold.
+    assert (lif.membrane.data <= v_th + 1e-6).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (8,), elements=st.floats(0.0, 0.375, allow_nan=False, allow_infinity=False, width=32)),
+    st.integers(1, 6),
+)
+def test_if_neuron_conserves_charge_with_soft_reset(current, steps):
+    """With soft reset, total input charge = remaining membrane + spikes * V_th."""
+    neuron = LIFNeuron(tau=1.0, v_threshold=1.0, reset="soft")
+    total_spikes = np.zeros_like(current)
+    for _ in range(steps):
+        total_spikes += neuron(Tensor(current[None])).data[0]
+    remaining = neuron.membrane.data[0]
+    np.testing.assert_allclose(current * steps, remaining + total_spikes, atol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, (20,), elements=st.floats(-3, 3, allow_nan=False, allow_infinity=False, width=32)), st.floats(0.3, 2.0))
+def test_triangular_surrogate_nonnegative_bounded_and_peaked(u, v_th):
+    surrogate = TriangularSurrogate()
+    grads = surrogate(u, v_th)
+    assert (grads >= 0).all()
+    assert (grads <= v_th + 1e-9).all()
+    assert surrogate(np.array([v_th]), v_th)[0] == np.float64(v_th)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (12, 9), elements=st.floats(-1, 1, allow_nan=False, allow_infinity=False, width=32)))
+def test_device_roundtrip_error_bounded_by_quantization(weights):
+    device = RRAMDeviceModel(HardwareConfig.paper_default())
+    max_abs = float(np.max(np.abs(weights)))
+    if max_abs == 0:
+        return
+    recovered = device.perturb_weights(weights, sigma=0.0, rng=np.random.default_rng(0))
+    # With zero variation the only error sources are the 8-bit weight and
+    # 4-bit conductance quantization: bounded by one conductance LSB.
+    lsb = max_abs / (HardwareConfig.paper_default().conductance_levels - 1)
+    assert np.abs(recovered - weights).max() <= lsb + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 512),   # in channels
+    st.integers(1, 512),   # out channels
+    st.integers(1, 5),     # kernel
+    st.integers(1, 1024),  # output positions
+    st.floats(0.0, 1.0),   # activity
+)
+def test_layer_mapping_counts_are_consistent(c_in, c_out, kernel, positions, activity):
+    config = HardwareConfig.paper_default()
+    geometry = LayerGeometry(
+        name="layer",
+        kind="conv",
+        in_channels=c_in,
+        out_channels=c_out,
+        kernel_size=kernel,
+        output_positions=positions,
+        input_activity=activity,
+        weight_rows=kernel * kernel * c_in,
+        weight_cols=c_out,
+    )
+    mapping = LayerMapping.from_geometry(geometry, config)
+    # Enough crossbars to hold every weight cell.
+    total_cells = geometry.weight_rows * geometry.weight_cols * config.cells_per_weight
+    assert mapping.num_crossbars * config.crossbar_size**2 >= total_cells
+    # Resource hierarchy is consistent.
+    assert mapping.num_pes * config.crossbars_per_pe >= mapping.num_crossbars
+    assert mapping.num_tiles * config.crossbars_per_tile >= mapping.num_crossbars
+    # Event counts are non-negative and activity-bounded.
+    assert 0 <= mapping.row_activations <= positions * geometry.weight_rows * mapping.col_splits + 1e-6
+    assert mapping.lif_updates == positions * c_out

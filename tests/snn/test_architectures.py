@@ -1,0 +1,122 @@
+"""Tests for the spiking VGG / ResNet builders and tdBN."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.snn import (
+    ARCHITECTURES,
+    RESNET_PRESETS,
+    SpikingResidualBlock,
+    TemporalBatchNorm2d,
+    VGG_PRESETS,
+    build_architecture,
+    spiking_resnet,
+    spiking_vgg,
+)
+
+
+class TestVGGBuilder:
+    def test_tiny_preset_forward(self):
+        model = spiking_vgg("tiny", num_classes=7, input_size=8, default_timesteps=2)
+        output = model.forward(np.random.default_rng(0).random((2, 3, 8, 8)).astype(np.float32))
+        assert output.final().shape == (2, 7)
+
+    def test_width_multiplier_scales_parameters(self):
+        narrow = spiking_vgg("tiny", input_size=8, width_multiplier=0.5)
+        wide = spiking_vgg("tiny", input_size=8, width_multiplier=1.0)
+        assert narrow.num_parameters() < wide.num_parameters()
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            spiking_vgg("vgg99")
+
+    def test_vgg16_preset_has_thirteen_conv_blocks(self):
+        conv_entries = [entry for entry in VGG_PRESETS["vgg16"] if entry != "M"]
+        assert len(conv_entries) == 13  # VGG-16 = 13 conv + 3 FC (classifier here)
+
+    def test_custom_channels_and_classes(self):
+        model = spiking_vgg("vgg5", num_classes=4, in_channels=1, input_size=16)
+        out = model.forward(np.zeros((1, 1, 16, 16), dtype=np.float32), 1)
+        assert out.final().shape == (1, 4)
+
+    def test_norm_options(self):
+        for norm in ("bn", "tdbn", "none"):
+            model = spiking_vgg("tiny", input_size=8, norm=norm)
+            out = model.forward(np.random.default_rng(1).random((1, 3, 8, 8)).astype(np.float32), 1)
+            assert np.isfinite(out.final().data).all()
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            spiking_vgg("tiny", input_size=8, norm="layernorm")
+
+
+class TestResNetBuilder:
+    def test_tiny_preset_forward(self):
+        model = spiking_resnet("tiny", num_classes=6, input_size=8, default_timesteps=2)
+        output = model.forward(np.random.default_rng(0).random((2, 3, 8, 8)).astype(np.float32))
+        assert output.final().shape == (2, 6)
+
+    def test_resnet19_preset_structure(self):
+        assert RESNET_PRESETS["resnet19"]["blocks"] == (3, 3, 2)
+        assert RESNET_PRESETS["resnet19"]["widths"] == (128, 256, 512)
+
+    def test_residual_block_projection_when_shape_changes(self):
+        block = SpikingResidualBlock(4, 8, stride=2)
+        assert block._has_projection
+        out = block(Tensor(np.random.default_rng(1).random((2, 4, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_residual_block_identity_shortcut(self):
+        block = SpikingResidualBlock(4, 4, stride=1)
+        assert not block._has_projection
+        out = block(Tensor(np.zeros((1, 4, 6, 6), dtype=np.float32)))
+        assert out.shape == (1, 4, 6, 6)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            spiking_resnet("resnet50")
+
+    def test_odd_input_size_handled(self):
+        model = spiking_resnet("tiny", input_size=10, num_classes=3)
+        out = model.forward(np.zeros((1, 3, 10, 10), dtype=np.float32), 1)
+        assert out.final().shape == (1, 3)
+
+
+class TestRegistry:
+    def test_families_registered(self):
+        assert "vgg" in ARCHITECTURES
+        assert "resnet" in ARCHITECTURES
+
+    def test_build_architecture_dispatch(self):
+        model = build_architecture("vgg", preset="tiny", input_size=8)
+        assert model.model_name == "spiking-tiny"
+
+
+class TestTemporalBatchNorm:
+    def test_scaling_by_threshold(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(0.0, 2.0, size=(16, 3, 4, 4)).astype(np.float32))
+        tdbn = TemporalBatchNorm2d(3, v_threshold=2.0, alpha=1.0)
+        out = tdbn(x)
+        # Normalized to zero mean, std = alpha * v_th.
+        assert abs(float(out.data.mean())) < 0.05
+        assert float(out.data.std()) == pytest.approx(2.0, rel=0.1)
+
+    def test_eval_mode_uses_running_statistics(self):
+        tdbn = TemporalBatchNorm2d(2, v_threshold=1.0)
+        x = Tensor(np.random.default_rng(1).normal(size=(8, 2, 3, 3)).astype(np.float32))
+        tdbn(x)  # training pass updates running stats
+        tdbn.eval()
+        out = tdbn(x)
+        assert np.isfinite(out.data).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TemporalBatchNorm2d(0)
+        with pytest.raises(ValueError):
+            TemporalBatchNorm2d(3, v_threshold=-1.0)
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            TemporalBatchNorm2d(3)(Tensor(np.zeros((2, 3))))

@@ -1,0 +1,73 @@
+"""Tests for input encoders (direct, Poisson, event-frame)."""
+
+import numpy as np
+import pytest
+
+from repro.snn import DirectEncoder, EventFrameEncoder, PoissonEncoder, build_encoder
+
+
+class TestDirectEncoder:
+    def test_same_frame_every_timestep(self):
+        encoder = DirectEncoder()
+        x = np.random.default_rng(0).random((2, 3, 4, 4)).astype(np.float32)
+        assert np.allclose(encoder(x, 0).data, encoder(x, 7).data)
+
+    def test_preserves_values(self):
+        encoder = DirectEncoder()
+        x = np.full((1, 1, 2, 2), 0.37, dtype=np.float32)
+        assert np.allclose(encoder(x, 0).data, 0.37)
+
+
+class TestPoissonEncoder:
+    def test_output_binary(self):
+        encoder = PoissonEncoder(seed=0)
+        frame = encoder(np.full((4, 3, 8, 8), 0.5), 0)
+        assert set(np.unique(frame.data)).issubset({0.0, 1.0})
+
+    def test_rate_matches_intensity(self):
+        encoder = PoissonEncoder(seed=1)
+        frames = [encoder(np.full((1, 1, 32, 32), 0.3), t).data for t in range(50)]
+        assert np.mean(frames) == pytest.approx(0.3, abs=0.03)
+
+    def test_different_timesteps_differ(self):
+        encoder = PoissonEncoder(seed=2)
+        x = np.full((1, 1, 16, 16), 0.5)
+        assert not np.allclose(encoder(x, 0).data, encoder(x, 1).data)
+
+    def test_clipping_out_of_range(self):
+        encoder = PoissonEncoder(seed=3)
+        frame = encoder(np.full((1, 1, 8, 8), 2.0), 0)
+        assert np.all(frame.data == 1.0)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            PoissonEncoder(gain=0.0)
+
+
+class TestEventFrameEncoder:
+    def test_selects_requested_frame(self):
+        encoder = EventFrameEncoder()
+        stream = np.zeros((2, 4, 1, 3, 3), dtype=np.float32)
+        stream[:, 2] = 1.0
+        assert np.allclose(encoder(stream, 2).data, 1.0)
+        assert np.allclose(encoder(stream, 0).data, 0.0)
+
+    def test_pads_with_last_frame(self):
+        encoder = EventFrameEncoder()
+        stream = np.zeros((1, 3, 1, 2, 2), dtype=np.float32)
+        stream[:, -1] = 0.5
+        assert np.allclose(encoder(stream, 9).data, 0.5)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            EventFrameEncoder()(np.zeros((2, 3, 4, 4)), 0)
+
+
+class TestBuildEncoder:
+    @pytest.mark.parametrize("name,cls", [("direct", DirectEncoder), ("poisson", PoissonEncoder), ("event", EventFrameEncoder)])
+    def test_known_names(self, name, cls):
+        assert isinstance(build_encoder(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_encoder("fourier")

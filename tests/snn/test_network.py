@@ -1,0 +1,116 @@
+"""Tests for the temporally-unrolled SpikingNetwork and TemporalOutput."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Flatten, Linear, Sequential
+from repro.snn import (
+    ConvSpikeBlock,
+    DirectEncoder,
+    LIFNeuron,
+    SpikingNetwork,
+    TemporalOutput,
+    cumulative_mean_logits,
+)
+from repro.autograd import Tensor
+
+
+def build_minimal_network(timesteps=4, num_classes=5, channels=2, size=6):
+    features = Sequential(ConvSpikeBlock(channels, 4, norm="bn"))
+    classifier = Sequential(Flatten(), Linear(4 * size * size, num_classes))
+    return SpikingNetwork(features, classifier, default_timesteps=timesteps)
+
+
+class TestForward:
+    def test_per_timestep_output_count(self):
+        model = build_minimal_network()
+        x = np.random.default_rng(0).random((3, 2, 6, 6)).astype(np.float32)
+        output = model.forward(x, 4)
+        assert output.num_timesteps == 4
+        assert all(logits.shape == (3, 5) for logits in output.per_timestep)
+
+    def test_default_timesteps_used(self):
+        model = build_minimal_network(timesteps=3)
+        output = model.forward(np.zeros((1, 2, 6, 6), dtype=np.float32))
+        assert output.num_timesteps == 3
+
+    def test_invalid_timesteps(self):
+        model = build_minimal_network()
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((1, 2, 6, 6), dtype=np.float32), 0)
+
+    def test_state_reset_between_forwards(self):
+        model = build_minimal_network()
+        x = np.random.default_rng(1).random((2, 2, 6, 6)).astype(np.float32)
+        first = model.forward(x, 3).final().data
+        second = model.forward(x, 3).final().data
+        assert np.allclose(first, second)
+
+    def test_predict_returns_labels(self):
+        model = build_minimal_network()
+        predictions = model.predict(np.random.default_rng(2).random((4, 2, 6, 6)).astype(np.float32))
+        assert predictions.shape == (4,)
+        assert predictions.dtype == np.int64
+        assert (predictions >= 0).all() and (predictions < 5).all()
+
+    def test_predict_restores_training_mode(self):
+        model = build_minimal_network()
+        model.train()
+        model.predict(np.zeros((1, 2, 6, 6), dtype=np.float32))
+        assert model.training
+
+
+class TestTemporalOutput:
+    def test_cumulative_mean_matches_manual(self):
+        logits = [Tensor(np.array([[float(t)]])) for t in range(1, 5)]
+        cumulative = cumulative_mean_logits(logits)
+        expected = [1.0, 1.5, 2.0, 2.5]
+        assert [float(c.data[0, 0]) for c in cumulative] == pytest.approx(expected)
+
+    def test_final_equals_mean_of_all(self):
+        model = build_minimal_network()
+        x = np.random.default_rng(3).random((2, 2, 6, 6)).astype(np.float32)
+        output = model.forward(x, 4)
+        manual = np.mean([o.data for o in output.per_timestep], axis=0)
+        assert np.allclose(output.final().data, manual, atol=1e-6)
+
+    def test_cumulative_numpy_shape(self):
+        model = build_minimal_network()
+        output = model.forward(np.zeros((2, 2, 6, 6), dtype=np.float32), 3)
+        assert output.cumulative_numpy().shape == (3, 2, 5)
+        assert output.per_timestep_numpy().shape == (3, 2, 5)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            TemporalOutput().final()
+
+
+class TestStateManagement:
+    def test_lif_layers_enumeration(self):
+        model = build_minimal_network()
+        assert len(model.lif_layers()) == 1
+
+    def test_spike_statistics_collected(self):
+        model = build_minimal_network()
+        model.reset_spike_statistics()
+        model.forward(np.random.default_rng(4).random((2, 2, 6, 6)).astype(np.float32), 3)
+        stats = model.spike_statistics()
+        assert len(stats) == 1
+        (entry,) = stats.values()
+        assert entry["total_updates"] > 0
+        assert 0.0 <= entry["mean_rate"] <= 1.0
+
+    def test_mean_spike_rate_bounds(self):
+        model = build_minimal_network()
+        model.reset_spike_statistics()
+        model.forward(np.random.default_rng(5).random((2, 2, 6, 6)).astype(np.float32), 2)
+        assert 0.0 <= model.mean_spike_rate() <= 1.0
+
+    def test_gradient_flows_through_time(self):
+        model = build_minimal_network()
+        x = np.random.default_rng(6).random((2, 2, 6, 6)).astype(np.float32)
+        output = model.forward(x, 3)
+        output.final().sum().backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads, "no gradients reached the parameters"
+        assert any(np.abs(g).sum() > 0 for g in grads)

@@ -1,0 +1,93 @@
+"""Tests for surrogate gradient functions."""
+
+import numpy as np
+import pytest
+
+from repro.snn import (
+    SURROGATES,
+    ArctanSurrogate,
+    DspikeSurrogate,
+    RectangularSurrogate,
+    SigmoidSurrogate,
+    TriangularSurrogate,
+    build_surrogate,
+)
+
+
+class TestTriangular:
+    def test_matches_equation_four(self):
+        # Eq. 4: ds/du = max(0, V_th - |u - V_th|)
+        surrogate = TriangularSurrogate()
+        u = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 3.0])
+        expected = np.maximum(0.0, 1.0 - np.abs(u - 1.0))
+        assert np.allclose(surrogate(u, 1.0), expected)
+
+    def test_peak_at_threshold(self):
+        surrogate = TriangularSurrogate()
+        u = np.linspace(0, 2, 101)
+        grads = surrogate(u, 1.0)
+        assert u[np.argmax(grads)] == pytest.approx(1.0)
+
+    def test_gamma_scales(self):
+        assert TriangularSurrogate(gamma=2.0)(np.array([1.0]), 1.0)[0] == pytest.approx(2.0)
+
+
+class TestRectangular:
+    def test_support_width(self):
+        surrogate = RectangularSurrogate(width=1.0)
+        assert surrogate(np.array([0.4]), 1.0)[0] == 0.0
+        assert surrogate(np.array([0.6]), 1.0)[0] == pytest.approx(1.0)
+
+    def test_area_is_one(self):
+        surrogate = RectangularSurrogate(width=0.5)
+        u = np.linspace(0, 2, 20001)
+        spacing = u[1] - u[0]
+        area = float(surrogate(u, 1.0).sum() * spacing)
+        assert area == pytest.approx(1.0, rel=1e-2)
+
+
+class TestDspike:
+    def test_peak_at_threshold_and_normalized(self):
+        surrogate = DspikeSurrogate(temperature=3.0, peak=1.0)
+        assert surrogate(np.array([1.0]), 1.0)[0] == pytest.approx(1.0)
+
+    def test_temperature_sharpens(self):
+        wide = DspikeSurrogate(temperature=1.0)
+        sharp = DspikeSurrogate(temperature=8.0)
+        off_threshold = np.array([1.6])
+        assert sharp(off_threshold, 1.0)[0] < wide(off_threshold, 1.0)[0]
+
+    def test_symmetry_around_threshold(self):
+        surrogate = DspikeSurrogate(temperature=3.0)
+        assert surrogate(np.array([0.7]), 1.0)[0] == pytest.approx(
+            surrogate(np.array([1.3]), 1.0)[0], rel=1e-6
+        )
+
+
+class TestOtherSurrogates:
+    def test_sigmoid_peak_at_threshold(self):
+        surrogate = SigmoidSurrogate(slope=4.0)
+        u = np.linspace(0, 2, 101)
+        grads = surrogate(u, 1.0)
+        assert u[np.argmax(grads)] == pytest.approx(1.0)
+
+    def test_atan_positive_everywhere(self):
+        surrogate = ArctanSurrogate()
+        assert (surrogate(np.linspace(-5, 5, 50), 1.0) > 0).all()
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["rectangular", "triangular", "dspike", "sigmoid", "atan"])
+    def test_all_registered(self, name):
+        assert name in SURROGATES
+        surrogate = build_surrogate(name)
+        grads = surrogate(np.array([1.0]), 1.0)
+        assert np.isfinite(grads).all()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_surrogate("does-not-exist")
+
+    def test_build_with_kwargs(self):
+        surrogate = build_surrogate("dspike", temperature=5.0)
+        assert surrogate.temperature == 5.0

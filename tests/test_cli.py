@@ -1,0 +1,115 @@
+"""Tests for the command-line interface (train / evaluate / sweep / chip-report)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.utils import load_json, load_state_dict
+
+
+@pytest.fixture(scope="module")
+def trained_checkpoint(tmp_path_factory):
+    """Train a tiny model through the CLI once and reuse the checkpoint."""
+    directory = tmp_path_factory.mktemp("cli")
+    checkpoint = directory / "model.npz"
+    report = directory / "report.json"
+    code = main([
+        "train",
+        "--dataset", "cifar10",
+        "--arch", "vgg",
+        "--epochs", "2",
+        "--samples", "160",
+        "--image-size", "8",
+        "--timesteps", "2",
+        "--checkpoint", str(checkpoint),
+        "--report", str(report),
+        "--seed", "3",
+    ])
+    assert code == 0
+    return checkpoint, report
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train", "--checkpoint", "x.npz"])
+        assert args.dataset == "cifar10"
+        assert args.arch == "vgg"
+        assert args.loss == "per_timestep"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--checkpoint", "x.npz", "--dataset", "imagenet"])
+
+
+class TestTrainCommand:
+    def test_checkpoint_written_and_loadable(self, trained_checkpoint):
+        checkpoint, _ = trained_checkpoint
+        state = load_state_dict(checkpoint)
+        assert any(key.endswith("weight") for key in state)
+
+    def test_report_written(self, trained_checkpoint):
+        _, report = trained_checkpoint
+        payload = load_json(report)
+        assert payload["epochs"] == 2
+        assert len(payload["eval_accuracy"]) == 2
+        assert 0.0 <= payload["final_eval_accuracy"] <= 1.0
+
+
+class TestAnalysisCommands:
+    COMMON = [
+        "--dataset", "cifar10",
+        "--arch", "vgg",
+        "--samples", "160",
+        "--image-size", "8",
+        "--timesteps", "2",
+        "--seed", "3",
+    ]
+
+    def test_evaluate_prints_static_and_dynamic(self, trained_checkpoint, capsys):
+        checkpoint, _ = trained_checkpoint
+        code = main(["evaluate", "--checkpoint", str(checkpoint), *self.COMMON])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Static SNN accuracy" in output
+        assert "DT-SNN" in output
+        assert "exits at T=1" in output
+
+    def test_sweep_without_edp(self, trained_checkpoint, capsys):
+        checkpoint, _ = trained_checkpoint
+        code = main([
+            "sweep", "--checkpoint", str(checkpoint), *self.COMMON,
+            "--thresholds", "0.1", "0.5",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Entropy-threshold sweep" in output
+        assert output.count("\n") >= 4
+
+    def test_sweep_with_edp_adds_columns(self, trained_checkpoint, capsys):
+        checkpoint, _ = trained_checkpoint
+        code = main([
+            "sweep", "--checkpoint", str(checkpoint), *self.COMMON,
+            "--thresholds", "0.2", "--with-edp",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "EDP (x static)" in output
+
+    def test_chip_report(self, trained_checkpoint, capsys):
+        checkpoint, _ = trained_checkpoint
+        code = main(["chip-report", "--checkpoint", str(checkpoint), *self.COMMON,
+                     "--max-timesteps", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Chip summary" in output
+        assert "Fig. 1A" in output
+        assert "Fig. 1B" in output
+        assert "Area breakdown" in output

@@ -1,0 +1,53 @@
+"""Package-level API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name} but it is missing"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.autograd",
+            "repro.nn",
+            "repro.snn",
+            "repro.data",
+            "repro.training",
+            "repro.core",
+            "repro.imc",
+            "repro.processors",
+            "repro.utils",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        imported = importlib.import_module(module)
+        assert hasattr(imported, "__all__")
+        for name in imported.__all__:
+            assert hasattr(imported, name), f"{module}.__all__ lists {name} but it is missing"
+
+    def test_headline_symbols_are_convenient(self):
+        # The README quickstart relies on these being importable from the root.
+        for name in (
+            "spiking_vgg",
+            "spiking_resnet",
+            "Trainer",
+            "TrainingConfig",
+            "DynamicTimestepInference",
+            "EntropyExitPolicy",
+            "IMCChip",
+            "HardwareConfig",
+            "calibrate_threshold",
+            "account_result",
+        ):
+            assert hasattr(repro, name)

@@ -1,0 +1,99 @@
+"""Tests for the Eq. 9 / Eq. 10 / TET training losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.snn.network import TemporalOutput
+from repro.training import FinalTimestepLoss, LOSSES, PerTimestepLoss, TETLoss, build_loss
+
+
+def make_output(per_timestep_values):
+    """Build a TemporalOutput from a list of (N, K) arrays."""
+    return TemporalOutput(per_timestep=[Tensor(np.asarray(v, dtype=np.float32)) for v in per_timestep_values])
+
+
+GOOD = np.array([[5.0, 0.0], [0.0, 5.0]])   # confidently correct for labels [0, 1]
+BAD = np.array([[0.0, 5.0], [5.0, 0.0]])    # confidently wrong
+LABELS = np.array([0, 1])
+
+
+class TestFinalTimestepLoss:
+    def test_low_when_final_correct(self):
+        output = make_output([BAD, GOOD, GOOD, GOOD])
+        loss = FinalTimestepLoss()(output, LABELS)
+        assert float(loss.data) < 0.5
+
+    def test_ignores_intermediate_outputs(self):
+        # Two outputs with the same cumulative mean but different intermediate
+        # trajectories must give the same Eq. 9 loss.
+        a = make_output([GOOD, GOOD])
+        b = make_output([2 * GOOD, np.zeros_like(GOOD)])
+        la = float(FinalTimestepLoss()(a, LABELS).data)
+        lb = float(FinalTimestepLoss()(b, LABELS).data)
+        assert la == pytest.approx(lb, rel=1e-5)
+
+    def test_matches_cross_entropy_on_mean(self):
+        from repro.autograd import cross_entropy
+
+        output = make_output([GOOD, BAD])
+        expected = float(cross_entropy(Tensor((GOOD + BAD) / 2.0), LABELS).data)
+        assert float(FinalTimestepLoss()(output, LABELS).data) == pytest.approx(expected, rel=1e-5)
+
+
+class TestPerTimestepLoss:
+    def test_penalizes_bad_early_outputs(self):
+        late_only = make_output([BAD, BAD, BAD, GOOD * 4])
+        always_good = make_output([GOOD, GOOD, GOOD, GOOD])
+        loss_late = float(PerTimestepLoss()(late_only, LABELS).data)
+        loss_good = float(PerTimestepLoss()(always_good, LABELS).data)
+        assert loss_late > loss_good
+
+    def test_equals_final_loss_for_single_timestep(self):
+        output = make_output([GOOD])
+        assert float(PerTimestepLoss()(output, LABELS).data) == pytest.approx(
+            float(FinalTimestepLoss()(output, LABELS).data), rel=1e-6
+        )
+
+    def test_gradient_reaches_all_timesteps(self):
+        tensors = [Tensor(GOOD.copy(), requires_grad=True) for _ in range(3)]
+        output = TemporalOutput(per_timestep=tensors)
+        PerTimestepLoss()(output, LABELS).backward()
+        assert all(t.grad is not None for t in tensors)
+
+    def test_final_loss_gradient_still_reaches_early_timesteps_through_mean(self):
+        tensors = [Tensor(GOOD.copy(), requires_grad=True) for _ in range(3)]
+        output = TemporalOutput(per_timestep=tensors)
+        FinalTimestepLoss()(output, LABELS).backward()
+        # Early outputs contribute to the final mean, so they get gradient too,
+        # but the per-timestep loss weights them more heavily (paper Sec. III-A(b)).
+        assert all(t.grad is not None for t in tensors)
+
+
+class TestTETLoss:
+    def test_uses_instantaneous_outputs(self):
+        # Cumulative mean is good at every horizon, but the instantaneous
+        # second output is bad; TET must penalize it more than Eq. 10 does.
+        output = make_output([GOOD * 2, BAD])
+        tet = float(TETLoss()(output, LABELS).data)
+        per_t = float(PerTimestepLoss()(output, LABELS).data)
+        assert tet > per_t
+
+    def test_equal_for_constant_outputs(self):
+        output = make_output([GOOD, GOOD])
+        assert float(TETLoss()(output, LABELS).data) == pytest.approx(
+            float(PerTimestepLoss()(output, LABELS).data), rel=1e-5
+        )
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["final", "per_timestep", "tet"])
+    def test_build_loss(self, name):
+        assert build_loss(name).name == name
+
+    def test_registry_contents(self):
+        assert set(LOSSES.names()) >= {"final", "per_timestep", "tet"}
+
+    def test_unknown_loss(self):
+        with pytest.raises(KeyError):
+            build_loss("focal")

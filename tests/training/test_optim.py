@@ -1,0 +1,128 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.training import SGD, Adam, ConstantLR, CosineAnnealingLR, StepLR
+
+
+def make_param(value=1.0, grad=0.5):
+    param = Parameter(np.array([value], dtype=np.float32))
+    param.grad = np.array([grad], dtype=np.float32)
+    return param
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = make_param(1.0, 0.5)
+        SGD([param], lr=0.1, momentum=0.0, weight_decay=0.0).step()
+        assert param.data[0] == pytest.approx(0.95)
+
+    def test_weight_decay_adds_l2_pull(self):
+        param = make_param(1.0, 0.0)
+        SGD([param], lr=0.1, momentum=0.0, weight_decay=0.1).step()
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.1)
+
+    def test_momentum_accelerates(self):
+        param_plain = make_param(1.0, 0.5)
+        param_momentum = make_param(1.0, 0.5)
+        plain = SGD([param_plain], lr=0.1, momentum=0.0, weight_decay=0.0)
+        momentum = SGD([param_momentum], lr=0.1, momentum=0.9, weight_decay=0.0)
+        for _ in range(3):
+            param_plain.grad = np.array([0.5], dtype=np.float32)
+            param_momentum.grad = np.array([0.5], dtype=np.float32)
+            plain.step()
+            momentum.step()
+        assert param_momentum.data[0] < param_plain.data[0]
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.array([2.0], dtype=np.float32))
+        SGD([param], lr=0.1).step()
+        assert param.data[0] == pytest.approx(2.0)
+
+    def test_zero_grad(self):
+        param = make_param()
+        optimizer = SGD([param], lr=0.1)
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_minimizes_quadratic(self):
+        # f(w) = (w - 3)^2; gradient 2(w - 3)
+        param = Parameter(np.array([0.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, momentum=0.9, weight_decay=0.0)
+        for _ in range(100):
+            param.grad = 2.0 * (param.data - 3.0)
+            optimizer.step()
+        assert param.data[0] == pytest.approx(3.0, abs=1e-2)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        param = Parameter(np.array([0.0], dtype=np.float32))
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(200):
+            param.grad = 2.0 * (param.data - 3.0)
+            optimizer.step()
+        assert param.data[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param()], lr=0.1, betas=(1.0, 0.999))
+
+    def test_step_changes_parameter(self):
+        param = make_param(1.0, 0.5)
+        Adam([param], lr=0.01).step()
+        assert param.data[0] != 1.0
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=0.1):
+        return SGD([make_param()], lr=lr)
+
+    def test_cosine_decays_to_min(self):
+        optimizer = self._optimizer(0.1)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.001)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.001, abs=1e-6)
+
+    def test_cosine_monotonically_decreasing(self):
+        optimizer = self._optimizer(0.1)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=8)
+        lrs = [scheduler.step() for _ in range(8)]
+        assert all(lrs[i] >= lrs[i + 1] for i in range(len(lrs) - 1))
+
+    def test_cosine_halfway_point(self):
+        optimizer = self._optimizer(0.2)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.0)
+        for _ in range(5):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1, rel=1e-3)
+
+    def test_step_lr_milestones(self):
+        optimizer = self._optimizer(1.0)
+        scheduler = StepLR(optimizer, milestones=[2, 4], gamma=0.1)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)
+
+    def test_constant_lr(self):
+        optimizer = self._optimizer(0.05)
+        scheduler = ConstantLR(optimizer)
+        for _ in range(5):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_invalid_total_epochs(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), total_epochs=0)

@@ -1,0 +1,139 @@
+"""Tests for metrics and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_cifar10_like, train_test_split
+from repro.snn import spiking_vgg
+from repro.training import (
+    Trainer,
+    TrainingConfig,
+    accuracy_from_logits,
+    collect_cumulative_logits,
+    confusion_matrix,
+    evaluate_accuracy,
+    evaluate_per_timestep_accuracy,
+    train_model,
+)
+from repro.utils import seed_everything
+
+
+class TestMetrics:
+    def test_accuracy_from_logits(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0], [2.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy_from_logits(logits, labels) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]), 2)
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+        assert matrix.sum() == 3
+
+    def test_collect_cumulative_logits_shapes(self, trained_model, tiny_loaders):
+        _, test_loader = tiny_loaders
+        collected = collect_cumulative_logits(trained_model, test_loader, timesteps=3)
+        assert collected["logits"].shape[0] == 3
+        assert collected["logits"].shape[1] == collected["labels"].shape[0]
+        assert collected["logits"].shape[2] == 10
+
+    def test_evaluate_accuracy_matches_last_timestep(self, trained_model, tiny_loaders):
+        _, test_loader = tiny_loaders
+        per_t = evaluate_per_timestep_accuracy(trained_model, test_loader, timesteps=4)
+        full = evaluate_accuracy(trained_model, test_loader, timesteps=4)
+        assert full == pytest.approx(per_t[-1])
+
+    def test_per_timestep_accuracy_length(self, trained_model, tiny_loaders):
+        _, test_loader = tiny_loaders
+        per_t = evaluate_per_timestep_accuracy(trained_model, test_loader, timesteps=4)
+        assert len(per_t) == 4
+        assert all(0.0 <= a <= 1.0 for a in per_t)
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig().validate()
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0).validate()
+
+    def test_invalid_optimizer(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="lion").validate()
+
+    def test_invalid_scheduler(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(scheduler="poly").validate()
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def small_data(self):
+        seed_everything(21)
+        dataset = make_cifar10_like(num_samples=120, image_size=8, seed=11)
+        train, test = train_test_split(dataset, 0.25, seed=2)
+        return (
+            DataLoader(train, batch_size=30, seed=1),
+            DataLoader(test, batch_size=30, shuffle=False),
+        )
+
+    def test_loss_decreases_over_training(self, small_data):
+        seed_everything(3)
+        model = spiking_vgg("tiny", num_classes=10, input_size=8, default_timesteps=2)
+        trainer = Trainer(model, TrainingConfig(epochs=4, timesteps=2, learning_rate=0.1))
+        result = trainer.fit(*small_data)
+        assert result.train_loss_history[-1] < result.train_loss_history[0]
+
+    def test_accuracy_beats_chance(self, small_data):
+        seed_everything(4)
+        model = spiking_vgg("tiny", num_classes=10, input_size=8, default_timesteps=2)
+        result = Trainer(
+            model, TrainingConfig(epochs=5, timesteps=2, learning_rate=0.15)
+        ).fit(*small_data)
+        assert result.final_eval_accuracy > 0.2  # chance level is 0.1
+
+    def test_result_histories_have_epoch_length(self, small_data):
+        seed_everything(5)
+        model = spiking_vgg("tiny", num_classes=10, input_size=8, default_timesteps=2)
+        result = Trainer(model, TrainingConfig(epochs=3, timesteps=2)).fit(*small_data)
+        assert result.epochs_run == 3
+        assert len(result.train_loss_history) == 3
+        assert len(result.eval_accuracy_history) == 3
+        assert result.best_eval_accuracy() >= result.final_eval_accuracy - 1e-9
+
+    def test_training_without_eval_loader(self, small_data):
+        seed_everything(6)
+        train_loader, _ = small_data
+        model = spiking_vgg("tiny", num_classes=10, input_size=8, default_timesteps=2)
+        result = Trainer(model, TrainingConfig(epochs=1, timesteps=2)).fit(train_loader)
+        assert result.eval_accuracy_history == []
+        assert result.final_eval_accuracy == 0.0
+
+    def test_adam_and_constant_schedule(self, small_data):
+        seed_everything(7)
+        model = spiking_vgg("tiny", num_classes=10, input_size=8, default_timesteps=2)
+        config = TrainingConfig(
+            epochs=1, timesteps=2, optimizer="adam", scheduler="constant", learning_rate=0.01
+        )
+        result = Trainer(model, config).fit(*small_data)
+        assert result.epochs_run == 1
+
+    def test_train_model_convenience(self, small_data):
+        seed_everything(8)
+        model = spiking_vgg("tiny", num_classes=10, input_size=8, default_timesteps=2)
+        result = train_model(model, *small_data, config=TrainingConfig(epochs=1, timesteps=2))
+        assert result.epochs_run == 1
+
+    def test_gradient_clipping_applied(self, small_data):
+        seed_everything(9)
+        train_loader, _ = small_data
+        model = spiking_vgg("tiny", num_classes=10, input_size=8, default_timesteps=2)
+        trainer = Trainer(
+            model, TrainingConfig(epochs=1, timesteps=2, grad_clip=1e-6, learning_rate=0.1)
+        )
+        before = [p.data.copy() for p in model.parameters()]
+        trainer.train_epoch(train_loader)
+        after = [p.data for p in model.parameters()]
+        # With an absurdly tight clip the parameters barely move.
+        max_change = max(np.abs(a - b).max() for a, b in zip(after, before))
+        assert max_change < 1e-2
