@@ -17,11 +17,17 @@ contribution (DT-SNN) on top:
 * :mod:`repro.imc` — the tiled RRAM in-memory-computing chip model: mapping,
   energy/latency/area, sigma-E module, device variation.
 * :mod:`repro.processors` — general digital processor throughput models.
+* :mod:`repro.serve` — the continuous-batching inference runtime: a bounded
+  admission queue, a slot-based engine that refills early-exit slots
+  mid-horizon, a threaded server with backpressure and graceful drain,
+  serving telemetry (latency percentiles, exit histograms, per-request
+  energy/EDP) and an SLA-aware adaptive threshold controller.
 
 The most common entry points are re-exported here for convenience::
 
     from repro import spiking_vgg, Trainer, TrainingConfig
     from repro import DynamicTimestepInference, EntropyExitPolicy, IMCChip
+    from repro import Server, LoadGenerator, request_stream
 """
 
 from .core import (
@@ -47,6 +53,16 @@ from .data import (
 )
 from .imc import HardwareConfig, IMCChip, with_device_variation
 from .processors import DigitalProcessorModel, WallClockProfiler
+from .serve import (
+    AdaptiveThresholdController,
+    ContinuousBatcher,
+    InferenceEngine,
+    LoadGenerator,
+    Server,
+    Telemetry,
+    calibrated_threshold_bounds,
+    request_stream,
+)
 from .snn import SpikingNetwork, spiking_resnet, spiking_vgg
 from .training import Trainer, TrainingConfig, evaluate_per_timestep_accuracy, train_model
 from .utils import seed_everything
@@ -85,4 +101,12 @@ __all__ = [
     "with_device_variation",
     "DigitalProcessorModel",
     "WallClockProfiler",
+    "Server",
+    "InferenceEngine",
+    "ContinuousBatcher",
+    "Telemetry",
+    "AdaptiveThresholdController",
+    "calibrated_threshold_bounds",
+    "LoadGenerator",
+    "request_stream",
 ]

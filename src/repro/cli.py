@@ -1,6 +1,6 @@
 """Command-line interface for the DT-SNN reproduction.
 
-Four subcommands cover the day-to-day workflow a user of the library needs
+Six subcommands cover the day-to-day workflow a user of the library needs
 without writing Python:
 
 * ``train``      — train a spiking VGG/ResNet on one of the synthetic datasets
@@ -11,12 +11,19 @@ without writing Python:
                    for a grid of entropy thresholds.
 * ``chip-report``— map a checkpoint onto the Table-I IMC chip and print the
                    energy/latency/area breakdowns.
+* ``serve``      — run the continuous-batching serving runtime over a
+                   deterministic request stream and print the telemetry
+                   (``--self-test`` verifies serve-path equivalence and exits
+                   non-zero on failure).
+* ``loadgen``    — sweep offered arrival rates against the serving runtime
+                   and print the achieved throughput / latency table.
 
 Example
 -------
     python -m repro.cli train --dataset cifar10 --arch vgg --epochs 6 \
         --checkpoint /tmp/dtsnn.npz
     python -m repro.cli evaluate --checkpoint /tmp/dtsnn.npz --dataset cifar10
+    python -m repro.cli serve --checkpoint /tmp/dtsnn.npz --num-requests 256
 """
 
 from __future__ import annotations
@@ -27,7 +34,14 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from .core import account_result, calibrate_threshold, compare_to_static, sweep_thresholds
+from .core import (
+    DynamicTimestepInference,
+    EntropyExitPolicy,
+    account_result,
+    calibrate_threshold,
+    compare_to_static,
+    sweep_thresholds,
+)
 from .data import (
     DataLoader,
     SyntheticDVSConfig,
@@ -38,6 +52,13 @@ from .data import (
     train_test_split,
 )
 from .imc import IMCChip, format_breakdown, format_table
+from .serve import (
+    AdaptiveThresholdController,
+    LoadGenerator,
+    Server,
+    calibrated_threshold_bounds,
+    request_stream,
+)
 from .snn import EventFrameEncoder, spiking_resnet, spiking_vgg
 from .training import (
     Trainer,
@@ -138,7 +159,48 @@ def build_parser() -> argparse.ArgumentParser:
     chip.add_argument("--checkpoint", required=True)
     chip.add_argument("--max-timesteps", type=int, default=8,
                       help="horizon for the energy/latency scaling table")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the continuous-batching serving runtime over a request stream"
+    )
+    _add_serving_arguments(serve)
+    serve.add_argument("--rate", type=float, default=None,
+                       help="offered load in requests/s (default: closed-loop)")
+    serve.add_argument("--self-test", action="store_true",
+                       help="small deterministic run verifying serve-path equivalence; "
+                            "exits non-zero on failure")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="sweep offered arrival rates against the serving runtime"
+    )
+    _add_serving_arguments(loadgen)
+    loadgen.add_argument("--rates", type=float, nargs="+", default=[100.0, 300.0, 1000.0],
+                         help="offered loads (requests/s) to sweep")
+    loadgen.add_argument("--shed", action="store_true",
+                         help="drop requests on a full queue instead of blocking the "
+                              "arrival process")
     return parser
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_common_arguments(parser)
+    parser.add_argument("--checkpoint", default=None,
+                        help="trained checkpoint; omitted = train briefly in-process")
+    parser.add_argument("--train-epochs", type=int, default=4,
+                        help="epochs for the in-process fallback training (no --checkpoint)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="entropy threshold; omitted = calibrate to iso-accuracy")
+    parser.add_argument("--tolerance", type=float, default=0.005,
+                        help="accuracy tolerance for threshold calibration")
+    parser.add_argument("--batch-width", type=int, default=8)
+    parser.add_argument("--queue-capacity", type=int, default=64)
+    parser.add_argument("--num-requests", type=int, default=256)
+    parser.add_argument("--stream-seed", type=int, default=0,
+                        help="seed of the deterministic request stream")
+    parser.add_argument("--target-p95-ms", type=float, default=None,
+                        help="enable the adaptive threshold controller with this p95 SLA")
+    parser.add_argument("--with-energy", action="store_true",
+                        help="price every request on the Table-I IMC chip")
 
 
 # --------------------------------------------------------------------------- #
@@ -251,11 +313,187 @@ def _command_chip_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _prepare_serving(args: argparse.Namespace):
+    """Dataset + model + calibrated policy shared by ``serve`` and ``loadgen``."""
+    seed_everything(args.seed)
+    train, test = _build_dataset(args)
+    if args.checkpoint:
+        model = _load_model(args, train.num_classes, train.sample_shape[-3])
+    else:
+        print(f"no --checkpoint given: training in-process for {args.train_epochs} epochs")
+        model = _build_model(args, train.num_classes, train.sample_shape[-3])
+        Trainer(
+            model,
+            TrainingConfig(
+                epochs=args.train_epochs, timesteps=args.timesteps, learning_rate=0.15
+            ),
+        ).fit(
+            DataLoader(train, batch_size=32, seed=args.seed),
+            DataLoader(test, batch_size=64, shuffle=False),
+        )
+    loader = DataLoader(test, batch_size=64, shuffle=False)
+    collected = collect_cumulative_logits(model, loader, timesteps=args.timesteps)
+
+    if args.threshold is not None:
+        threshold = args.threshold
+    else:
+        point = calibrate_threshold(
+            collected["logits"], collected["labels"], tolerance=args.tolerance
+        )
+        threshold = point.threshold
+        print(f"calibrated entropy threshold: {threshold:.4f} "
+              f"(accuracy {point.accuracy:.4f}, avg T {point.average_timesteps:.2f})")
+    policy = EntropyExitPolicy(threshold=min(threshold, 1.0))
+
+    controller = None
+    if args.target_p95_ms is not None:
+        low, high = calibrated_threshold_bounds(collected["logits"], collected["labels"])
+        controller = AdaptiveThresholdController(
+            policy=policy,
+            target_p95_latency=args.target_p95_ms / 1000.0,
+            min_threshold=low,
+            max_threshold=max(high, low),
+        )
+        print(f"adaptive controller: p95 SLA {args.target_p95_ms:.1f} ms, "
+              f"threshold bounds [{low:.4f}, {high:.4f}]")
+    cost_model = None
+    if args.with_energy:
+        cost_model = IMCChip.from_network(model, test.inputs[:4], num_classes=train.num_classes)
+    return model, test, collected, policy, controller, cost_model
+
+
+def _build_server(args: argparse.Namespace, model, policy, controller, cost_model) -> Server:
+    return Server(
+        model,
+        policy,
+        max_timesteps=args.timesteps,
+        batch_width=args.batch_width,
+        queue_capacity=args.queue_capacity,
+        cost_model=cost_model,
+        controller=controller,
+    )
+
+
+def _print_serving_report(args: argparse.Namespace, report, server: Server) -> None:
+    stats = server.stats()
+    rows = [
+        ["offered requests", float(report.offered)],
+        ["completed", float(report.completed)],
+        ["dropped (backpressure)", float(report.dropped)],
+        ["throughput (req/s)", report.throughput_rps],
+        ["latency p50 (ms)", 1000.0 * stats.get("latency_p50", 0.0)],
+        ["latency p95 (ms)", 1000.0 * stats.get("latency_p95", 0.0)],
+        ["avg exit timesteps", report.average_exit_timesteps()],
+        ["batch occupancy", stats.get("occupancy_mean", 0.0)],
+    ]
+    accuracy = report.accuracy()
+    if accuracy is not None:
+        rows.append(["accuracy (%)", 100.0 * accuracy])
+    if "energy_mean" in stats:
+        rows.append(["mean energy / request", stats["energy_mean"]])
+        rows.append(["mean EDP / request", stats["edp_mean"]])
+    if "threshold" in stats:
+        rows.append(["final threshold", stats["threshold"]])
+    print(format_table(["metric", "value"], rows, title="Serving report",
+                       float_format="{:.3f}"))
+    if report.results:
+        histogram = server.telemetry.exit_histogram(args.timesteps)
+        print()
+        print(format_table(
+            ["exit T", "requests", "share (%)"],
+            [[t, int(count), 100.0 * count / max(1, report.completed)]
+             for t, count in enumerate(histogram, start=1)],
+            title="Exit-timestep histogram", float_format="{:.1f}"))
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.self_test:
+        args.checkpoint = None
+        args.samples = min(args.samples, 160)
+        args.num_requests = min(args.num_requests, 96)
+        args.train_epochs = min(args.train_epochs, 4)
+        if args.target_p95_ms is not None:
+            # The equivalence reference assumes one fixed threshold for the
+            # whole stream; a mid-run controller adjustment would make the
+            # self-test fail spuriously.
+            print("self-test: ignoring --target-p95-ms (needs a fixed threshold)")
+            args.target_p95_ms = None
+    model, test, collected, policy, controller, cost_model = _prepare_serving(args)
+    server = _build_server(args, model, policy, controller, cost_model).start()
+    stream = list(request_stream(test, args.num_requests, seed=args.stream_seed))
+    generator = LoadGenerator(server, rate=args.rate)
+    report = generator.run(iter(stream))
+    server.shutdown(drain=True)
+    _print_serving_report(args, report, server)
+
+    if not args.self_test:
+        return 0
+    # Self-test: the serve path must reproduce the cached-logits fast path
+    # bitwise on the identical stream, and drain must complete every request.
+    failures = []
+    if report.completed != len(stream):
+        failures.append(f"drain incomplete: {report.completed}/{len(stream)} requests")
+    inputs = np.stack([inputs for inputs, _ in stream])
+    reference_logits = []
+    with_chunks = range(0, inputs.shape[0], 64)
+    for start in with_chunks:
+        chunk = inputs[start:start + 64]
+        output = model.forward(chunk, args.timesteps)
+        reference_logits.append(output.cumulative_numpy())
+    reference = DynamicTimestepInference(
+        policy=EntropyExitPolicy(policy.threshold), max_timesteps=args.timesteps
+    ).infer_from_logits(np.concatenate(reference_logits, axis=1))
+    by_id = sorted(report.results, key=lambda r: r.request_id)
+    predictions = np.array([r.prediction for r in by_id])
+    exits = np.array([r.exit_timestep for r in by_id])
+    if not np.array_equal(predictions, reference.predictions):
+        failures.append("serve predictions diverge from infer_from_logits")
+    if not np.array_equal(exits, reference.exit_timesteps):
+        failures.append("serve exit timesteps diverge from infer_from_logits")
+    if failures:
+        for failure in failures:
+            print(f"SELF-TEST FAIL: {failure}")
+        return 1
+    print(f"SELF-TEST PASS: {len(stream)} requests, serve path bitwise-identical "
+          "to infer_from_logits, drain complete")
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    model, test, collected, policy, controller, cost_model = _prepare_serving(args)
+    base_threshold = policy.threshold
+    rows = []
+    for rate in args.rates:
+        policy.threshold = base_threshold  # each rate starts from the same knob
+        server = _build_server(args, model, policy, controller, cost_model).start()
+        stream = request_stream(test, args.num_requests, seed=args.stream_seed)
+        generator = LoadGenerator(server, rate=rate, block=not args.shed)
+        report = generator.run(stream)
+        server.shutdown(drain=True)
+        stats = server.stats()
+        rows.append([
+            rate,
+            report.throughput_rps,
+            1000.0 * stats.get("latency_p50", 0.0),
+            1000.0 * stats.get("latency_p95", 0.0),
+            report.average_exit_timesteps(),
+            float(report.dropped),
+            stats.get("threshold", base_threshold),
+        ])
+    print(format_table(
+        ["offered (req/s)", "achieved (req/s)", "p50 (ms)", "p95 (ms)",
+         "avg T", "dropped", "final threshold"],
+        rows, title="Load sweep", float_format="{:.2f}"))
+    return 0
+
+
 _COMMANDS = {
     "train": _command_train,
     "evaluate": _command_evaluate,
     "sweep": _command_sweep,
     "chip-report": _command_chip_report,
+    "serve": _command_serve,
+    "loadgen": _command_loadgen,
 }
 
 

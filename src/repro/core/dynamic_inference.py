@@ -163,11 +163,22 @@ class DynamicTimestepInference:
     ) -> DynamicInferenceResult:
         """Sequentially process timesteps, stopping as soon as every sample exits.
 
-        For a batch, timestep ``t+1`` is only computed if at least one sample
-        is still undecided; per-sample accounting still uses each sample's own
-        exit time.  With batch size 1 this is exactly the paper's deployment
-        behaviour (the σ–E module terminates inference and the next input is
-        loaded).
+        The batch is *compacted* to the undecided subset after every timestep:
+        once a sample satisfies the exit policy its row (inputs, running logit
+        sum and every LIF membrane row) is dropped, so subsequent timesteps run
+        the SNN forward only for samples that still need them — exited samples
+        cost zero FLOPs.  Per-sample results are scattered back into the
+        original batch order, and the outcome is identical to running the full
+        batch every timestep (the per-sample dynamics are independent; see
+        :meth:`infer_from_logits`).  With batch size 1 this is exactly the
+        paper's deployment behaviour (the σ–E module terminates inference and
+        the next input is loaded).
+
+        Stochastic encoders (``deterministic = False``, e.g. Poisson rate
+        coding) draw from a shared RNG whose consumption depends on the batch
+        shape, so for them the full batch is encoded and evaluated every
+        timestep — preserving the exact pre-compaction draw sequence — and
+        only the early-stopping of the loop is kept.
         """
         if self.model is None:
             raise ValueError("a model is required for sequential inference")
@@ -180,28 +191,39 @@ class DynamicTimestepInference:
         exit_timesteps = np.full(num_samples, self.max_timesteps, dtype=np.int64)
         predictions = np.zeros(num_samples, dtype=np.int64)
         scores = np.zeros(num_samples, dtype=np.float64)
-        undecided = np.ones(num_samples, dtype=bool)
+        # Indices (into the original batch) of samples still running.
+        active = np.arange(num_samples, dtype=np.int64)
+        compact = getattr(model.encoder, "deterministic", True)
 
         try:
             with no_grad():
                 model.reset_state()
                 running_sum: Optional[np.ndarray] = None
                 for t in range(self.max_timesteps):
-                    frame = model.encoder(inputs, t)
+                    frame = model.encoder(inputs if not compact else inputs[active], t)
                     spikes = model.features(frame)
                     logits = model.classifier(spikes).data
                     running_sum = logits if running_sum is None else running_sum + logits
+                    # Without compaction the running sum spans the full batch;
+                    # restrict the exit decision to the still-active rows.
                     cumulative = running_sum / float(t + 1)
+                    if not compact:
+                        cumulative = cumulative[active]
 
-                    exit_now = self.policy.should_exit(cumulative) & undecided
+                    exit_now = self.policy.should_exit(cumulative)
                     if t == self.max_timesteps - 1:
-                        exit_now = undecided
+                        exit_now = np.ones(active.shape[0], dtype=bool)
                     if exit_now.any():
-                        exit_timesteps[exit_now] = t + 1
-                        predictions[exit_now] = np.argmax(cumulative[exit_now], axis=-1)
-                        scores[exit_now] = self.policy.score(cumulative[exit_now])
-                        undecided &= ~exit_now
-                    if not undecided.any():
+                        exited = active[exit_now]
+                        exit_timesteps[exited] = t + 1
+                        predictions[exited] = np.argmax(cumulative[exit_now], axis=-1)
+                        scores[exited] = self.policy.score(cumulative[exit_now])
+                        active = active[~exit_now]
+                        if compact:
+                            keep = ~exit_now
+                            running_sum = running_sum[keep]
+                            model.compact_state(keep)
+                    if active.size == 0:
                         break
         finally:
             model.train(was_training)

@@ -116,6 +116,12 @@ class DataLoader:
         Reshuffle the sample order at the start of every epoch.
     transform:
         Optional callable applied to the input batch (augmentation).
+    deterministic:
+        When True, every ``__iter__`` re-derives its generator from ``seed``
+        so that each epoch — and each loader constructed with the same
+        ``seed`` — replays the *identical* sample order and augmentation
+        draws.  Serving load generators and equivalence tests use this to
+        replay identical request streams.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class DataLoader:
         drop_last: bool = False,
         transform: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
         seed: Optional[int] = None,
+        deterministic: bool = False,
     ):
         check_positive("batch_size", batch_size)
         self.dataset = dataset
@@ -133,6 +140,8 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self.transform = transform
+        self.deterministic = deterministic
+        self._seed = 0 if seed is None else int(seed)
         self._rng = spawn_rng(seed)
 
     def __len__(self) -> int:
@@ -142,9 +151,10 @@ class DataLoader:
         return full
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        rng = np.random.default_rng(self._seed) if self.deterministic else self._rng
         order = np.arange(len(self.dataset))
         if self.shuffle:
-            self._rng.shuffle(order)
+            rng.shuffle(order)
         for start in range(0, len(order), self.batch_size):
             indices = order[start : start + self.batch_size]
             if self.drop_last and indices.shape[0] < self.batch_size:
@@ -152,5 +162,5 @@ class DataLoader:
             inputs = self.dataset.inputs[indices]
             labels = self.dataset.labels[indices]
             if self.transform is not None:
-                inputs = self.transform(inputs, self._rng)
+                inputs = self.transform(inputs, rng)
             yield inputs, labels

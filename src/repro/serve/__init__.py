@@ -1,0 +1,66 @@
+"""repro.serve — a continuous-batching inference runtime for DT-SNN.
+
+The paper shows that input-aware dynamic timesteps save compute per sample;
+this package turns that saving into *throughput*.  The pieces, front to back:
+
+* :class:`Request` / :class:`Response` / :class:`AdmissionQueue` — a bounded
+  admission queue with blocking or fail-fast backpressure.
+* :class:`InferenceEngine` — slot-based dynamic-timestep inference over a
+  :class:`~repro.snn.SpikingNetwork`: one batched forward per timestep at a
+  width equal to the number of live requests, with per-slot membrane state,
+  local timestep counters and running logit sums.
+* :class:`ContinuousBatcher` — refills slots freed by early exits from the
+  queue *mid-horizon*, so the SNN always runs at full occupancy.
+* :class:`Server` — worker threads, futures, graceful drain.
+* :class:`Telemetry` — latency percentiles, exit-timestep histograms, queue
+  depth, occupancy and per-request energy/EDP via ``repro.imc``.
+* :class:`AdaptiveThresholdController` — holds a p95 latency SLA by nudging
+  the entropy threshold between calibrated accuracy bounds.
+* :class:`LoadGenerator` / :func:`request_stream` — deterministic open- and
+  closed-loop load for benchmarks and tests.
+
+Quickstart::
+
+    from repro.serve import Server, request_stream, LoadGenerator
+    from repro.core import EntropyExitPolicy
+
+    server = Server(model, EntropyExitPolicy(0.2), batch_width=8).start()
+    report = LoadGenerator(server).run(request_stream(test_set, 256, seed=0))
+    server.shutdown()
+    print(report.throughput_rps, server.stats()["latency_p95"])
+"""
+
+from .batcher import ContinuousBatcher
+from .controller import AdaptiveThresholdController, calibrated_threshold_bounds
+from .engine import CompletedSample, InferenceEngine
+from .loadgen import LoadGenerator, LoadReport, request_stream
+from .request import (
+    AdmissionQueue,
+    QueueClosedError,
+    QueueFullError,
+    Request,
+    RequestResult,
+    Response,
+)
+from .server import Server, ServerClosedError
+from .telemetry import Telemetry
+
+__all__ = [
+    "Request",
+    "RequestResult",
+    "Response",
+    "AdmissionQueue",
+    "QueueFullError",
+    "QueueClosedError",
+    "InferenceEngine",
+    "CompletedSample",
+    "ContinuousBatcher",
+    "Server",
+    "ServerClosedError",
+    "Telemetry",
+    "AdaptiveThresholdController",
+    "calibrated_threshold_bounds",
+    "LoadGenerator",
+    "LoadReport",
+    "request_stream",
+]

@@ -1,0 +1,138 @@
+"""Continuous batching: keep the SNN forward pass at full occupancy.
+
+A static batcher waits for a whole batch, runs it to completion, then starts
+the next one — every early exit leaves a dead slot for the rest of the
+horizon.  The :class:`ContinuousBatcher` instead treats the timestep loop as
+the scheduling quantum: after every engine step it refills the slots freed by
+early-exiting samples from the admission queue, splicing new requests in
+*mid-horizon* with fresh membrane state.  The effect is that the compute the
+exit policy saves is immediately reinvested in queued traffic, which is how
+DT-SNN's average-timestep reduction turns into requests/second.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from ..core.accounting import InferenceCostModel
+from .controller import AdaptiveThresholdController
+from .engine import InferenceEngine
+from .request import AdmissionQueue, RequestResult
+from .telemetry import Telemetry
+
+__all__ = ["ContinuousBatcher"]
+
+
+class ContinuousBatcher:
+    """Runs one engine at a fixed maximum width against an admission queue.
+
+    Parameters
+    ----------
+    engine:
+        The slot-based inference engine (owns the model and exit policy).
+    queue:
+        Bounded admission queue shared with the server front-end.
+    batch_width:
+        Maximum number of concurrently active slots.
+    telemetry:
+        Metric sink; one is created when omitted.
+    cost_model:
+        Optional per-inference cost model (e.g. :class:`repro.imc.IMCChip`);
+        when present every completed request is priced at its own exit
+        timestep, exactly like :func:`repro.core.account_result`.
+    controller:
+        Optional SLA threshold controller, consulted after completions.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        queue: AdmissionQueue,
+        batch_width: int = 8,
+        telemetry: Optional[Telemetry] = None,
+        cost_model: Optional[InferenceCostModel] = None,
+        controller: Optional[AdaptiveThresholdController] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if batch_width < 1:
+            raise ValueError("batch_width must be >= 1")
+        self.engine = engine
+        self.queue = queue
+        self.batch_width = int(batch_width)
+        self.telemetry = telemetry or Telemetry()
+        self.cost_model = cost_model
+        self.controller = controller
+        self.clock = clock
+
+    # ------------------------------------------------------------------ #
+    def _fill_slots(self, wait_timeout: Optional[float] = None) -> int:
+        """Splice queued requests into free slots; returns admissions."""
+        admitted = 0
+        while self.engine.active_count < self.batch_width:
+            if admitted == 0 and self.engine.idle and wait_timeout:
+                item = self.queue.get(timeout=wait_timeout)
+            else:
+                item = self.queue.get_nowait()
+            if item is None:
+                break
+            request, response = item
+            self.engine.admit(request, response, start_time=self.clock())
+            admitted += 1
+        return admitted
+
+    def _complete(self, finished) -> List[RequestResult]:
+        now = self.clock()
+        results: List[RequestResult] = []
+        for sample in finished:
+            energy = edp = None
+            if self.cost_model is not None:
+                energy = float(self.cost_model.energy(sample.exit_timestep))
+                edp = energy * float(self.cost_model.latency(sample.exit_timestep))
+            result = RequestResult(
+                request_id=sample.request.request_id,
+                prediction=sample.prediction,
+                exit_timestep=sample.exit_timestep,
+                score=sample.score,
+                label=sample.request.label,
+                threshold=sample.threshold,
+                arrival_time=sample.request.arrival_time,
+                start_time=sample.start_time,
+                finish_time=now,
+                energy=energy,
+                edp=edp,
+            )
+            self.telemetry.record_completion(result)
+            if self.controller is not None:
+                self.controller.on_completion(result, self.telemetry)
+            results.append(result)
+            # Resolve the future last so a waiting client observes telemetry
+            # that already includes its own request.
+            sample.response.set_result(result)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def run_once(self, wait_timeout: Optional[float] = None) -> List[RequestResult]:
+        """Refill slots, advance one timestep, resolve completions."""
+        self._fill_slots(wait_timeout=wait_timeout)
+        if self.engine.idle:
+            # Idle poll: nothing admitted, nothing to step — don't let gauge
+            # samples accumulate (or skew toward idle periods) while waiting.
+            return []
+        self.telemetry.record_queue_depth(self.queue.depth())
+        self.telemetry.record_occupancy(self.engine.active_count, self.batch_width)
+        return self._complete(self.engine.step())
+
+    def run_until_drained(self, wait_timeout: float = 0.05) -> int:
+        """Serve until the queue is closed-and-empty and all slots finished.
+
+        This is the graceful-drain loop: with the queue still open it keeps
+        waiting for traffic; once :meth:`AdmissionQueue.close` is called it
+        finishes the backlog and every in-flight sample, then returns the
+        number of requests completed.
+        """
+        completed = 0
+        while True:
+            completed += len(self.run_once(wait_timeout=wait_timeout))
+            if self.engine.idle and self.queue.depth() == 0 and self.queue.closed:
+                return completed

@@ -1,0 +1,130 @@
+"""SLA-aware adaptation of the entropy-exit threshold under load.
+
+The entropy threshold θ is DT-SNN's single inference-time knob: raising it
+makes samples exit earlier (cheaper, faster, slightly riskier), lowering it
+spends more timesteps per sample.  Under a latency SLA that knob becomes a
+feedback control: when the rolling p95 latency exceeds the target the
+controller nudges θ toward its *aggressive* bound so the batcher frees slots
+faster; when there is headroom it relaxes θ back toward the *conservative*
+bound to recover accuracy.  Both bounds come from offline threshold
+calibration (:func:`repro.core.calibrate_threshold`), so the controller can
+never push the operating point outside the accuracy envelope the operator
+signed off on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.policies import ExitPolicy
+from ..core.threshold import calibrate_threshold
+from .request import RequestResult
+from .telemetry import Telemetry
+
+__all__ = ["AdaptiveThresholdController", "calibrated_threshold_bounds"]
+
+
+def calibrated_threshold_bounds(
+    cumulative_logits: np.ndarray,
+    labels: np.ndarray,
+    tight_tolerance: float = 0.0,
+    loose_tolerance: float = 0.02,
+) -> Tuple[float, float]:
+    """Derive (conservative, aggressive) θ bounds from calibration sweeps.
+
+    The conservative bound is the iso-accuracy operating point (accuracy drop
+    ≤ ``tight_tolerance``); the aggressive bound allows ``loose_tolerance``
+    accuracy drop in exchange for earlier exits under overload.
+    """
+    tight = calibrate_threshold(cumulative_logits, labels, tolerance=tight_tolerance)
+    loose = calibrate_threshold(cumulative_logits, labels, tolerance=loose_tolerance)
+    low, high = sorted((tight.threshold, loose.threshold))
+    return float(low), float(high)
+
+
+@dataclass
+class AdaptiveThresholdController:
+    """Multiplicative-increase feedback controller for the exit threshold.
+
+    Parameters
+    ----------
+    policy:
+        The live exit policy whose ``threshold`` attribute is nudged in
+        place.  For entropy policies a *higher* threshold exits earlier; set
+        ``aggressive_is_higher=False`` for confidence/margin policies where
+        the direction is inverted.
+    target_p95_latency:
+        The SLA, in the same (seconds) units the telemetry clock uses.
+    min_threshold / max_threshold:
+        Hard bounds (typically from :func:`calibrated_threshold_bounds`);
+        the controller clamps to them unconditionally.
+    step:
+        Multiplicative adjustment factor per decision (> 1).
+    deadband:
+        Fractional hysteresis around the target inside which no adjustment
+        is made, preventing oscillation.
+    adjust_every:
+        Number of completions between control decisions.
+    """
+
+    policy: ExitPolicy
+    target_p95_latency: float
+    min_threshold: float
+    max_threshold: float
+    step: float = 1.25
+    deadband: float = 0.1
+    adjust_every: int = 16
+    aggressive_is_higher: bool = True
+    history: List[Tuple[float, float]] = field(default_factory=list)  # (p95, θ)
+    _since_last: int = 0
+
+    def __post_init__(self):
+        if not hasattr(self.policy, "threshold"):
+            raise ValueError("policy must expose a mutable 'threshold' attribute")
+        if not 0 < self.min_threshold <= self.max_threshold:
+            raise ValueError("need 0 < min_threshold <= max_threshold")
+        if self.target_p95_latency <= 0:
+            raise ValueError("target_p95_latency must be positive")
+        if self.step <= 1.0:
+            raise ValueError("step must be > 1")
+        if self.adjust_every < 1:
+            raise ValueError("adjust_every must be >= 1")
+        # Start from a bounds-respecting threshold.
+        self.policy.threshold = self._clamp(self.policy.threshold)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def threshold(self) -> float:
+        return float(self.policy.threshold)
+
+    def _clamp(self, value: float) -> float:
+        return float(min(max(value, self.min_threshold), self.max_threshold))
+
+    # ------------------------------------------------------------------ #
+    def on_completion(self, result: RequestResult, telemetry: Telemetry) -> None:
+        """Called by the batcher after every completed request."""
+        self._since_last += 1
+        if self._since_last < self.adjust_every:
+            return
+        self._since_last = 0
+        p95 = telemetry.recent_p95()
+        if p95 is None:
+            return
+        self.observe_p95(p95)
+
+    def observe_p95(self, p95: float) -> float:
+        """Apply one control decision for an observed p95 latency; return θ."""
+        current = float(self.policy.threshold)
+        if p95 > self.target_p95_latency * (1.0 + self.deadband):
+            updated = current * self.step if self.aggressive_is_higher else current / self.step
+        elif p95 < self.target_p95_latency * (1.0 - self.deadband):
+            updated = current / self.step if self.aggressive_is_higher else current * self.step
+        else:
+            updated = current
+        updated = self._clamp(updated)
+        self.policy.threshold = updated
+        self.history.append((float(p95), updated))
+        return updated

@@ -1,0 +1,179 @@
+"""Synchronous slot-based inference engine over a :class:`SpikingNetwork`.
+
+The engine owns a variable set of *slots*, one in-flight request each.  A call
+to :meth:`step` advances every occupied slot by one timestep of the SNN in a
+single batched forward pass, applies the exit policy per slot, and returns the
+slots that finished.  Because each slot carries its own local timestep counter
+and running logit sum — and every LIF membrane row belongs to exactly one
+slot — requests can be admitted *mid-horizon* into slots freed by early exits
+(continuous batching) and each sample's trajectory is bitwise identical to
+running it alone (see :meth:`repro.core.DynamicTimestepInference.infer_from_logits`).
+That identity requires a *deterministic* encoder (direct or event-frame, the
+paper's settings); a stochastic encoder such as Poisson rate coding draws
+from a shared RNG, so its spike trains inherently depend on batch composition.
+
+Exited samples are compacted out immediately, so the forward width always
+equals the number of live requests: early exit buys back real FLOPs, which is
+what the serving layer converts into throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..core.policies import ExitPolicy
+from ..snn.encoding import DirectEncoder
+from ..snn.network import SpikingNetwork
+from .request import Request, Response
+
+__all__ = ["CompletedSample", "InferenceEngine"]
+
+
+@dataclass
+class CompletedSample:
+    """A request that satisfied the exit policy (or hit the horizon)."""
+
+    request: Request
+    response: Response
+    prediction: int
+    exit_timestep: int
+    score: float
+    threshold: Optional[float]
+    start_time: float
+
+
+@dataclass
+class _Slot:
+    request: Request
+    response: Response
+    start_time: float
+    local_t: int = 0
+
+
+class InferenceEngine:
+    """Batched dynamic-timestep inference with per-slot state management."""
+
+    def __init__(
+        self,
+        model: SpikingNetwork,
+        policy: ExitPolicy,
+        max_timesteps: Optional[int] = None,
+    ):
+        if max_timesteps is None:
+            max_timesteps = model.default_timesteps
+        if max_timesteps < 1:
+            raise ValueError("max_timesteps must be a positive integer")
+        self.model = model
+        self.policy = policy
+        self.max_timesteps = int(max_timesteps)
+        model.eval()
+        model.reset_state()
+        self._slots: List[_Slot] = []
+        self._running_sum: Optional[np.ndarray] = None  # (active, num_classes)
+        # Work counters: the serving benchmark compares these against the
+        # static baseline (active_count * steps == SNN forward rows executed).
+        self.total_steps = 0
+        self.total_sample_timesteps = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active_count(self) -> int:
+        return len(self._slots)
+
+    @property
+    def idle(self) -> bool:
+        return not self._slots
+
+    # ------------------------------------------------------------------ #
+    def admit(self, request: Request, response: Response, start_time: float) -> None:
+        """Occupy a slot with a fresh request (membrane rows start at zero)."""
+        self._slots.append(_Slot(request=request, response=response, start_time=start_time))
+        self.model.extend_state(1)
+        if self._running_sum is not None:
+            fresh = np.zeros((1, self._running_sum.shape[1]), dtype=self._running_sum.dtype)
+            self._running_sum = np.concatenate([self._running_sum, fresh], axis=0)
+
+    def fail_active(self, exception: BaseException) -> int:
+        """Abort every in-flight request (non-graceful shutdown)."""
+        failed = 0
+        for slot in self._slots:
+            slot.response.set_exception(exception)
+            failed += 1
+        self._slots = []
+        self._running_sum = None
+        self.model.reset_state()
+        return failed
+
+    # ------------------------------------------------------------------ #
+    def _encode(self, inputs: np.ndarray, local_ts: np.ndarray) -> Tensor:
+        """Encode each slot's input at that slot's *own* timestep index."""
+        encoder = self.model.encoder
+        unique = np.unique(local_ts)
+        if isinstance(encoder, DirectEncoder) or unique.size == 1:
+            # Direct encoding ignores the timestep; a homogeneous batch needs
+            # only one call either way.
+            return encoder(inputs, int(unique[0]))
+        frames: Optional[np.ndarray] = None
+        for t in unique:
+            rows = np.where(local_ts == t)[0]
+            frame = encoder(inputs[rows], int(t)).data
+            if frames is None:
+                frames = np.zeros((inputs.shape[0],) + frame.shape[1:], dtype=frame.dtype)
+            frames[rows] = frame
+        return Tensor(frames)
+
+    def step(self) -> List[CompletedSample]:
+        """Advance all occupied slots one timestep; return completed requests."""
+        if not self._slots:
+            return []
+        inputs = np.stack([slot.request.inputs for slot in self._slots]).astype(
+            np.float32, copy=False
+        )
+        local_ts = np.array([slot.local_t for slot in self._slots], dtype=np.int64)
+
+        with no_grad():
+            frame = self._encode(inputs, local_ts)
+            spikes = self.model.features(frame)
+            logits = self.model.classifier(spikes).data
+
+        if self._running_sum is None:
+            self._running_sum = np.zeros_like(logits)
+        self._running_sum = self._running_sum + logits
+        horizon_used = local_ts + 1
+        cumulative = self._running_sum / horizon_used[:, None].astype(self._running_sum.dtype)
+
+        exit_now = self.policy.should_exit(cumulative) | (horizon_used >= self.max_timesteps)
+        self.total_steps += 1
+        self.total_sample_timesteps += len(self._slots)
+
+        completed: List[CompletedSample] = []
+        if exit_now.any():
+            exit_rows = np.where(exit_now)[0]
+            predictions = np.argmax(cumulative[exit_rows], axis=-1)
+            scores = np.asarray(self.policy.score(cumulative[exit_rows]), dtype=np.float64)
+            threshold = getattr(self.policy, "threshold", None)
+            for row, prediction, score in zip(exit_rows, predictions, scores):
+                slot = self._slots[row]
+                completed.append(
+                    CompletedSample(
+                        request=slot.request,
+                        response=slot.response,
+                        prediction=int(prediction),
+                        exit_timestep=int(horizon_used[row]),
+                        score=float(score),
+                        threshold=None if threshold is None else float(threshold),
+                        start_time=slot.start_time,
+                    )
+                )
+            keep = ~exit_now
+            self._slots = [slot for slot, k in zip(self._slots, keep) if k]
+            self._running_sum = self._running_sum[keep]
+            self.model.compact_state(keep)
+
+        for slot in self._slots:
+            slot.local_t += 1
+        return completed

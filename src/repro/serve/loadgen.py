@@ -1,0 +1,143 @@
+"""Deterministic load generation for the serving runtime.
+
+The generator replays a seeded stream of single-sample requests against a
+:class:`repro.serve.Server`, either *closed-loop* (submit as fast as
+backpressure allows — measures capacity) or *open-loop* at a fixed arrival
+rate (measures latency under a given offered load).  Streams are derived from
+a dataset with a seeded permutation, so two runs — e.g. a static-T baseline
+and a DT-SNN run, or a test and its reference — see byte-identical inputs in
+identical order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.datasets import ArrayDataset
+from .request import QueueFullError, RequestResult
+from .server import Server
+
+__all__ = ["request_stream", "LoadReport", "LoadGenerator"]
+
+
+def request_stream(
+    dataset: ArrayDataset,
+    num_requests: int,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> Iterator[Tuple[np.ndarray, int]]:
+    """Yield ``num_requests`` deterministic ``(input, label)`` pairs.
+
+    The stream walks seeded permutations of the dataset, wrapping around with
+    a fresh permutation when it runs past the end, so arbitrarily long runs
+    stay deterministic and balanced.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    rng = np.random.default_rng(seed)
+    emitted = 0
+    while emitted < num_requests:
+        order = rng.permutation(len(dataset)) if shuffle else np.arange(len(dataset))
+        for index in order:
+            if emitted >= num_requests:
+                return
+            yield dataset.inputs[index], int(dataset.labels[index])
+            emitted += 1
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    offered: int
+    completed: int
+    dropped: int
+    duration: float
+    results: List[RequestResult] = field(default_factory=list)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def accuracy(self) -> Optional[float]:
+        flags = [r.correct for r in self.results if r.correct is not None]
+        if not flags:
+            return None
+        return float(np.mean(flags))
+
+    def average_exit_timesteps(self) -> float:
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.exit_timestep for r in self.results]))
+
+
+class LoadGenerator:
+    """Submits a request stream to a server and gathers the outcome.
+
+    Parameters
+    ----------
+    server:
+        A started :class:`Server`.
+    rate:
+        Offered load in requests/second; ``None`` means closed-loop.
+    block:
+        Closed-loop runs block on backpressure (True); open-loop runs
+        typically use ``block=False`` so overload shows up as drops rather
+        than as a silently throttled arrival process.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        rate: Optional[float] = None,
+        block: bool = True,
+        submit_timeout: Optional[float] = 30.0,
+        result_timeout: Optional[float] = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for closed-loop)")
+        self.server = server
+        self.rate = rate
+        self.block = block
+        self.submit_timeout = submit_timeout
+        self.result_timeout = result_timeout
+        self.clock = clock
+        self.sleep = sleep
+
+    def run(self, stream: Iterable[Tuple[np.ndarray, Optional[int]]]) -> LoadReport:
+        """Drive the whole stream, wait for every accepted request."""
+        start = self.clock()
+        responses = []
+        offered = dropped = 0
+        for index, (inputs, label) in enumerate(stream):
+            if self.rate is not None:
+                scheduled = start + index / self.rate
+                delay = scheduled - self.clock()
+                if delay > 0:
+                    self.sleep(delay)
+            offered += 1
+            try:
+                responses.append(
+                    self.server.submit(
+                        inputs, label, block=self.block, timeout=self.submit_timeout
+                    )
+                )
+            except QueueFullError:
+                dropped += 1
+        results = [response.result(timeout=self.result_timeout) for response in responses]
+        duration = self.clock() - start
+        return LoadReport(
+            offered=offered,
+            completed=len(results),
+            dropped=dropped,
+            duration=duration,
+            results=results,
+            stats=self.server.stats(),
+        )

@@ -1,0 +1,223 @@
+"""Request / response primitives and the bounded admission queue.
+
+A serving front-end accepts single-sample inference requests and returns
+futures.  The admission queue is the backpressure point: it has a hard
+capacity, and a submitter either blocks (optionally with a timeout) or gets
+an immediate :class:`QueueFullError`, so an overloaded server sheds load at
+the door instead of accumulating unbounded latency.
+
+All timestamps are taken from an injectable monotonic clock so that tests and
+the load generator can reason about latency deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Request",
+    "RequestResult",
+    "Response",
+    "AdmissionQueue",
+    "QueueFullError",
+    "QueueClosedError",
+]
+
+
+class QueueFullError(RuntimeError):
+    """Raised when the admission queue is at capacity and blocking is off."""
+
+
+class QueueClosedError(RuntimeError):
+    """Raised when submitting to a queue that has been closed (draining server)."""
+
+
+@dataclass
+class Request:
+    """A single-sample inference request.
+
+    ``inputs`` holds one sample *without* the batch axis (shape equal to the
+    dataset's ``sample_shape``); the batcher stacks requests into batches.
+    """
+
+    request_id: int
+    inputs: np.ndarray
+    label: Optional[int] = None
+    arrival_time: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RequestResult:
+    """Everything the server knows about one completed request."""
+
+    request_id: int
+    prediction: int
+    exit_timestep: int
+    score: float
+    label: Optional[int] = None
+    threshold: Optional[float] = None
+    arrival_time: float = 0.0
+    start_time: float = 0.0
+    finish_time: float = 0.0
+    energy: Optional[float] = None
+    edp: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting for a batch slot."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Time spent occupying a batch slot."""
+        return self.finish_time - self.start_time
+
+    @property
+    def correct(self) -> Optional[bool]:
+        if self.label is None:
+            return None
+        return bool(self.prediction == self.label)
+
+
+class Response:
+    """A minimal thread-safe future resolved by the serving worker."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result: Optional[RequestResult] = None
+        self._exception: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, result: RequestResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exception: BaseException) -> None:
+        self._exception = exception
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> RequestResult:
+        """Block until the request completes; raise its failure if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request did not complete within the timeout")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+
+class AdmissionQueue:
+    """Bounded FIFO of ``(Request, Response)`` pairs with blocking semantics.
+
+    ``close()`` rejects further submissions while letting the worker drain
+    what is already queued — the graceful-shutdown half of backpressure.
+    """
+
+    def __init__(self, capacity: int = 64, clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.clock = clock
+        self._items: Deque[Tuple[Request, Response]] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def depth(self) -> int:
+        return len(self)
+
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        request: Request,
+        response: Response,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Enqueue a request, blocking for a slot or raising on backpressure."""
+        with self._not_full:
+            if self._closed:
+                raise QueueClosedError("admission queue is closed")
+            if len(self._items) >= self.capacity:
+                if not block:
+                    raise QueueFullError(
+                        f"admission queue is at capacity ({self.capacity})"
+                    )
+                deadline = None if timeout is None else self.clock() + timeout
+                while len(self._items) >= self.capacity and not self._closed:
+                    remaining = None if deadline is None else deadline - self.clock()
+                    if remaining is not None and remaining <= 0:
+                        raise QueueFullError(
+                            f"admission queue stayed full for {timeout:.3f}s"
+                        )
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise QueueClosedError("admission queue closed while waiting")
+            request.arrival_time = self.clock()
+            self._items.append((request, response))
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Tuple[Request, Response]]:
+        """Dequeue the oldest request, or None on timeout / closed-and-empty."""
+        with self._not_empty:
+            if not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def get_nowait(self) -> Optional[Tuple[Request, Response]]:
+        with self._lock:
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Reject new submissions; already-queued requests remain drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def drain_pending(self) -> int:
+        """Fail every queued request (non-graceful shutdown); returns the count."""
+        with self._lock:
+            failed = 0
+            while self._items:
+                _, response = self._items.popleft()
+                response.set_exception(QueueClosedError("server shut down before serving"))
+                failed += 1
+            self._not_full.notify_all()
+            return failed

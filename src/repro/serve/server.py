@@ -1,0 +1,202 @@
+"""Threaded serving front-end around the continuous batcher.
+
+:class:`Server` owns the admission queue, one worker thread per engine, and
+the lifecycle: ``start()`` → ``submit()`` futures → ``drain()`` (finish all
+accepted work, reject new) or ``shutdown(drain=False)`` (abort in-flight).
+Multiple workers each need their *own* model instance (LIF membrane state is
+per-engine); they share the queue, telemetry and — when adaptive — the exit
+policy, so the SLA controller steers the whole fleet with one knob.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.accounting import InferenceCostModel
+from ..core.policies import ExitPolicy
+from ..snn.network import SpikingNetwork
+from .batcher import ContinuousBatcher
+from .controller import AdaptiveThresholdController
+from .engine import InferenceEngine
+from .request import (
+    AdmissionQueue,
+    QueueClosedError,
+    QueueFullError,
+    Request,
+    Response,
+)
+from .telemetry import Telemetry
+
+__all__ = ["Server", "ServerClosedError"]
+
+
+class ServerClosedError(RuntimeError):
+    """Raised when submitting to a server that is not accepting requests."""
+
+
+class Server:
+    """In-process DT-SNN inference server with continuous batching.
+
+    Parameters
+    ----------
+    model:
+        The spiking network served by the primary worker.
+    policy:
+        Exit policy shared by all workers (and mutated by the controller).
+    extra_models:
+        Additional model replicas; each gets its own worker thread and
+        engine.  Replicas must not share parameters *state* — build them
+        separately or deep-copy the primary.
+    batch_width:
+        Maximum concurrent slots per worker.
+    queue_capacity:
+        Admission-queue bound (the backpressure limit).
+    cost_model:
+        Optional per-request energy/latency pricer (e.g. ``IMCChip``).
+    controller:
+        Optional :class:`AdaptiveThresholdController` holding a latency SLA.
+    """
+
+    def __init__(
+        self,
+        model: SpikingNetwork,
+        policy: ExitPolicy,
+        max_timesteps: Optional[int] = None,
+        batch_width: int = 8,
+        queue_capacity: int = 64,
+        extra_models: Sequence[SpikingNetwork] = (),
+        cost_model: Optional[InferenceCostModel] = None,
+        controller: Optional[AdaptiveThresholdController] = None,
+        telemetry: Optional[Telemetry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.clock = clock
+        self.telemetry = telemetry or Telemetry()
+        self.queue = AdmissionQueue(capacity=queue_capacity, clock=clock)
+        self.policy = policy
+        self.batchers: List[ContinuousBatcher] = [
+            ContinuousBatcher(
+                InferenceEngine(m, policy, max_timesteps=max_timesteps),
+                self.queue,
+                batch_width=batch_width,
+                telemetry=self.telemetry,
+                cost_model=cost_model,
+                controller=controller,
+                clock=clock,
+            )
+            for m in (model, *extra_models)
+        ]
+        self.max_timesteps = self.batchers[0].engine.max_timesteps
+        self._ids = itertools.count()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "Server":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for index, batcher in enumerate(self.batchers):
+            thread = threading.Thread(
+                target=self._worker, args=(batcher,), name=f"repro-serve-{index}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def _worker(self, batcher: ContinuousBatcher) -> None:
+        try:
+            while not self._stop.is_set():
+                batcher.run_once(wait_timeout=0.02)
+                if batcher.engine.idle and self.queue.closed and self.queue.depth() == 0:
+                    break
+        except BaseException as error:  # noqa: BLE001 - a dead worker must not
+            # strand futures: fail everything it owned and stop admissions so
+            # clients see the error instead of hanging until their timeout.
+            failure = ServerClosedError(f"serving worker crashed: {error!r}")
+            failure.__cause__ = error
+            batcher.engine.fail_active(failure)
+            self.queue.close()
+            self.queue.drain_pending()
+            raise
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Stop admissions, finish every accepted request, stop the workers."""
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the server; with ``drain=False`` abort queued/in-flight work."""
+        if drain:
+            self.drain(timeout=timeout)
+            return
+        self.queue.close()
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self.queue.drain_pending()
+        for batcher in self.batchers:
+            batcher.engine.fail_active(ServerClosedError("server shut down"))
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Client API
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        inputs: np.ndarray,
+        label: Optional[int] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Response:
+        """Enqueue one sample; returns a future.
+
+        With ``block=False`` a full queue raises :class:`QueueFullError`
+        immediately (load shedding); otherwise the caller waits for a slot,
+        up to ``timeout`` seconds.
+        """
+        if not self._started:
+            raise ServerClosedError("server not started")
+        request = Request(
+            request_id=next(self._ids),
+            inputs=np.asarray(inputs, dtype=np.float32),
+            label=None if label is None else int(label),
+        )
+        response = Response()
+        try:
+            self.queue.put(request, response, block=block, timeout=timeout)
+        except QueueFullError:
+            self.telemetry.record_rejection()
+            raise
+        except QueueClosedError as error:
+            raise ServerClosedError(str(error)) from error
+        return response
+
+    def predict(self, inputs: np.ndarray, timeout: Optional[float] = None) -> int:
+        """Convenience wrapper: submit one sample and wait for its prediction."""
+        return self.submit(inputs).result(timeout=timeout).prediction
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        """Telemetry snapshot plus live queue / threshold gauges."""
+        stats = self.telemetry.snapshot()
+        stats["queue_depth"] = float(self.queue.depth())
+        stats["num_workers"] = float(len(self.batchers))
+        threshold = getattr(self.policy, "threshold", None)
+        if threshold is not None:
+            stats["threshold"] = float(threshold)
+        return stats

@@ -1,0 +1,171 @@
+"""Serving telemetry: latency percentiles, exit histograms, energy, queues.
+
+Everything the operator of a DT-SNN serving deployment looks at lives here:
+
+* per-request end-to-end latency / queue delay / service time percentiles,
+* the exit-timestep histogram (the serving-time mirror of the paper's Fig. 5
+  pie charts — it shows where the continuous batcher gets its free slots),
+* queue-depth and batch-occupancy gauges,
+* per-request energy and energy-delay product priced through any
+  :class:`repro.core.InferenceCostModel` (e.g. the Table-I IMC chip),
+* a rolling latency window consumed by the SLA threshold controller.
+
+The class is thread-safe: the batcher worker records completions while
+submitter threads read snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .request import RequestResult
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Accumulates per-request serving metrics."""
+
+    def __init__(self, window: int = 256, gauge_window: int = 4096):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if gauge_window < 1:
+            raise ValueError("gauge_window must be >= 1")
+        self._lock = threading.Lock()
+        self._results: List[RequestResult] = []
+        self._recent_latencies: Deque[float] = deque(maxlen=window)
+        # Gauges are sampled on every batcher step; bound them so a
+        # long-running server cannot grow memory without traffic.
+        self._queue_depths: Deque[int] = deque(maxlen=gauge_window)
+        self._occupancies: Deque[float] = deque(maxlen=gauge_window)
+        self._first_arrival: Optional[float] = None
+        self._last_finish: Optional[float] = None
+        self._rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_completion(self, result: RequestResult) -> None:
+        with self._lock:
+            self._results.append(result)
+            self._recent_latencies.append(result.latency)
+            if self._first_arrival is None or result.arrival_time < self._first_arrival:
+                self._first_arrival = result.arrival_time
+            if self._last_finish is None or result.finish_time > self._last_finish:
+                self._last_finish = result.finish_time
+
+    def record_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depths.append(int(depth))
+
+    def record_occupancy(self, active: int, width: int) -> None:
+        with self._lock:
+            self._occupancies.append(active / width if width else 0.0)
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    def results(self) -> List[RequestResult]:
+        with self._lock:
+            return list(self._results)
+
+    def recent_p95(self) -> Optional[float]:
+        """p95 latency over the rolling window (None until data arrives)."""
+        with self._lock:
+            if not self._recent_latencies:
+                return None
+            return float(np.percentile(np.asarray(self._recent_latencies), 95))
+
+    def latency_percentiles(
+        self, percentiles: Sequence[float] = (50, 90, 95, 99)
+    ) -> Dict[str, float]:
+        with self._lock:
+            latencies = np.array([r.latency for r in self._results])
+        if latencies.size == 0:
+            return {}
+        return {f"p{p:g}": float(np.percentile(latencies, p)) for p in percentiles}
+
+    def exit_histogram(self, max_timesteps: int) -> np.ndarray:
+        """Count of completed requests per exit timestep 1..T."""
+        with self._lock:
+            exits = np.array([r.exit_timestep for r in self._results], dtype=np.int64)
+        return np.bincount(exits, minlength=max_timesteps + 1)[1:]
+
+    def throughput(self) -> Optional[float]:
+        """Completed requests per second over the observed serving interval."""
+        with self._lock:
+            count = len(self._results)
+            first, last = self._first_arrival, self._last_finish
+        if count == 0 or first is None or last is None or last <= first:
+            return None
+        return count / (last - first)
+
+    def accuracy(self) -> Optional[float]:
+        with self._lock:
+            flags = [r.correct for r in self._results if r.correct is not None]
+        if not flags:
+            return None
+        return float(np.mean(flags))
+
+    def snapshot(self) -> Dict[str, float]:
+        """One flat dict with every headline serving metric."""
+        with self._lock:
+            results = list(self._results)
+            depths = list(self._queue_depths)
+            occupancies = list(self._occupancies)
+            rejected = self._rejected
+        stats: Dict[str, float] = {
+            "completed": float(len(results)),
+            "rejected": float(rejected),
+        }
+        if results:
+            latencies = np.array([r.latency for r in results])
+            delays = np.array([r.queue_delay for r in results])
+            exits = np.array([r.exit_timestep for r in results], dtype=np.float64)
+            stats.update(
+                {
+                    "latency_p50": float(np.percentile(latencies, 50)),
+                    "latency_p95": float(np.percentile(latencies, 95)),
+                    "latency_p99": float(np.percentile(latencies, 99)),
+                    "latency_mean": float(latencies.mean()),
+                    "queue_delay_mean": float(delays.mean()),
+                    "average_exit_timesteps": float(exits.mean()),
+                }
+            )
+            throughput = self.throughput()
+            if throughput is not None:
+                stats["throughput_rps"] = throughput
+            accuracy = self.accuracy()
+            if accuracy is not None:
+                stats["accuracy"] = accuracy
+            energies = [r.energy for r in results if r.energy is not None]
+            if energies:
+                stats["energy_mean"] = float(np.mean(energies))
+                stats["energy_total"] = float(np.sum(energies))
+            edps = [r.edp for r in results if r.edp is not None]
+            if edps:
+                stats["edp_mean"] = float(np.mean(edps))
+        if depths:
+            stats["queue_depth_mean"] = float(np.mean(depths))
+            stats["queue_depth_max"] = float(np.max(depths))
+        if occupancies:
+            stats["occupancy_mean"] = float(np.mean(occupancies))
+        return stats

@@ -25,6 +25,10 @@ class DirectEncoder:
     """Repeat the same analog input at every timestep (the paper's choice)."""
 
     name = "direct"
+    # Deterministic encoders produce the same frame for a sample regardless of
+    # batch composition, which is what lets dynamic inference compact batches
+    # (and the serving engine splice slots) without changing any trajectory.
+    deterministic = True
 
     def __call__(self, x: np.ndarray, timestep: int) -> Tensor:
         return Tensor(np.asarray(x, dtype=np.float32))
@@ -43,6 +47,7 @@ class PoissonEncoder:
     """
 
     name = "poisson"
+    deterministic = False  # draws from a shared RNG: batch composition matters
 
     def __init__(self, gain: float = 1.0, seed: Optional[int] = None):
         check_positive("gain", gain)
@@ -68,6 +73,7 @@ class EventFrameEncoder:
     """
 
     name = "event"
+    deterministic = True
 
     def __call__(self, x: np.ndarray, timestep: int) -> Tensor:
         x = np.asarray(x, dtype=np.float32)

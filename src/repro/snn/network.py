@@ -118,6 +118,27 @@ class SpikingNetwork(Module):
         for layer in self.lif_layers():
             layer.reset_state()
 
+    def compact_state(self, keep: np.ndarray) -> None:
+        """Drop membrane rows of samples that left the batch (early exit).
+
+        ``keep`` is a boolean mask or an index array over the current batch
+        axis; the surviving rows keep their membrane trajectories so the
+        remaining samples continue exactly as if the batch had never been
+        wider (the per-sample dynamics are independent).
+        """
+        for layer in self.lif_layers():
+            layer.compact_state_rows(keep)
+
+    def extend_state(self, count: int) -> None:
+        """Append ``count`` fresh rows to every membrane (newly admitted samples)."""
+        for layer in self.lif_layers():
+            layer.extend_state_rows(count)
+
+    def reset_state_rows(self, rows: np.ndarray) -> None:
+        """Reset the membrane of specific batch rows to a fresh state in place."""
+        for layer in self.lif_layers():
+            layer.reset_state_rows(rows)
+
     def reset_spike_statistics(self) -> None:
         """Clear the per-layer spike counters used by the IMC activity model."""
         for layer in self.lif_layers():

@@ -86,6 +86,34 @@ class LIFNeuron(Module):
         self.total_neuron_updates = 0.0
 
     # ------------------------------------------------------------------ #
+    # Per-row (per-sample) state surgery for batched early exit / serving.
+    #
+    # A zero membrane row is indistinguishable from a fresh state: with hard
+    # reset the first integration gives ``0 * tau + current = current`` and
+    # with soft reset the same, which is exactly what ``membrane is None``
+    # produces.  That identity is what lets a serving batcher splice a new
+    # request into a slot mid-horizon without touching the other rows.
+    # ------------------------------------------------------------------ #
+    def compact_state_rows(self, keep: np.ndarray) -> None:
+        """Keep only the membrane rows selected by ``keep`` (mask or indices)."""
+        if self.membrane is not None:
+            self.membrane = Tensor(self.membrane.data[keep])
+
+    def extend_state_rows(self, count: int) -> None:
+        """Append ``count`` fresh (zero) membrane rows for newly admitted samples."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count and self.membrane is not None:
+            data = self.membrane.data
+            fresh = np.zeros((count,) + data.shape[1:], dtype=data.dtype)
+            self.membrane = Tensor(np.concatenate([data, fresh], axis=0))
+
+    def reset_state_rows(self, rows: np.ndarray) -> None:
+        """Zero the membrane of the given batch rows (fresh state for those slots)."""
+        if self.membrane is not None:
+            self.membrane.data[rows] = 0.0
+
+    # ------------------------------------------------------------------ #
     def _fire(self, membrane: Tensor) -> Tensor:
         """Binary spike with surrogate gradient."""
         v_th = self.v_threshold

@@ -139,3 +139,74 @@ class TestSequentialInference:
         engine = DynamicTimestepInference(policy=EntropyExitPolicy(0.3), max_timesteps=3)
         with pytest.raises(ValueError):
             engine.infer(np.zeros((1, 3, 8, 8), dtype=np.float32))
+
+
+class TestCompactedSequentialPath:
+    """The sequential path compacts to the undecided subset each timestep;
+    results must stay identical to the full-batch fast path."""
+
+    def test_compaction_matches_fast_path_bitwise(
+        self, trained_model, tiny_dataset, cumulative_logits
+    ):
+        _, test = tiny_dataset
+        for threshold in (0.05, 0.3, 0.7, 0.95):
+            policy = EntropyExitPolicy(threshold=threshold)
+            sequential = DynamicTimestepInference(
+                trained_model, policy=policy, max_timesteps=4
+            ).infer(test.inputs, test.labels)
+            fast = DynamicTimestepInference(
+                policy=EntropyExitPolicy(threshold=threshold), max_timesteps=4
+            ).infer_from_logits(cumulative_logits["logits"], cumulative_logits["labels"])
+            assert np.array_equal(sequential.exit_timesteps, fast.exit_timesteps)
+            assert np.array_equal(sequential.predictions, fast.predictions)
+            np.testing.assert_allclose(sequential.scores, fast.scores, rtol=1e-6, atol=1e-7)
+
+    def test_exited_samples_cost_no_forward_work(self, trained_model, tiny_dataset):
+        """Spike-statistics updates count neuron evaluations: with early exit
+        the compacted path must do strictly less work than the full horizon."""
+        _, test = tiny_dataset
+        engine = DynamicTimestepInference(
+            trained_model, policy=EntropyExitPolicy(threshold=0.9), max_timesteps=4
+        )
+        trained_model.reset_spike_statistics()
+        result = engine.infer(test.inputs[:32])
+        compacted_updates = sum(
+            layer.total_neuron_updates for layer in trained_model.lif_layers()
+        )
+        trained_model.reset_spike_statistics()
+        trained_model.predict(test.inputs[:32], timesteps=4)
+        full_updates = sum(
+            layer.total_neuron_updates for layer in trained_model.lif_layers()
+        )
+        assert result.average_timesteps < 4.0
+        assert compacted_updates < full_updates
+        # Work is proportional to the summed per-sample exit timesteps.
+        expected_fraction = result.exit_timesteps.sum() / (32 * 4)
+        assert compacted_updates / full_updates == pytest.approx(expected_fraction)
+
+    def test_stochastic_encoder_keeps_full_batch_rng_semantics(self):
+        """Poisson encoding draws from a shared RNG, so the sequential path
+        must not compact (draw shapes would change); with aligned RNG state it
+        must still match the fast path on the collected logits."""
+        from repro.snn import PoissonEncoder, spiking_vgg
+        from repro.utils import seed_everything
+
+        seed_everything(3)
+        rng = np.random.default_rng(8)
+        inputs = rng.random((8, 3, 10, 10)).astype(np.float32)
+        model = spiking_vgg(
+            "tiny", num_classes=10, input_size=10, default_timesteps=4,
+            encoder=PoissonEncoder(seed=42),
+        )
+        model.eval()  # same normalization statistics as the inference path
+        logits = model.forward(inputs, 4).cumulative_numpy()
+        for threshold in (0.9, 0.97, 0.999):
+            model.encoder = PoissonEncoder(seed=42)  # replay identical draws
+            sequential = DynamicTimestepInference(
+                model, policy=EntropyExitPolicy(threshold), max_timesteps=4
+            ).infer(inputs)
+            fast = DynamicTimestepInference(
+                policy=EntropyExitPolicy(threshold), max_timesteps=4
+            ).infer_from_logits(logits)
+            assert np.array_equal(sequential.exit_timesteps, fast.exit_timesteps)
+            assert np.array_equal(sequential.predictions, fast.predictions)

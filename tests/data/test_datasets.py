@@ -120,3 +120,45 @@ class TestDataLoader:
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             DataLoader(make_dataset(), batch_size=0)
+
+
+class TestDeterministicReplay:
+    def test_every_epoch_replays_identical_order(self):
+        ds = make_dataset(40)
+        loader = DataLoader(ds, batch_size=8, shuffle=True, seed=4, deterministic=True)
+        first_epoch = [labels.copy() for _, labels in loader]
+        second_epoch = [labels.copy() for _, labels in loader]
+        for first, second in zip(first_epoch, second_epoch):
+            assert np.array_equal(first, second)
+
+    def test_same_seed_loaders_replay_identical_streams(self):
+        ds = make_dataset(40)
+        first = DataLoader(ds, batch_size=8, shuffle=True, seed=4, deterministic=True)
+        second = DataLoader(ds, batch_size=8, shuffle=True, seed=4, deterministic=True)
+        for (a_inputs, a_labels), (b_inputs, b_labels) in zip(first, second):
+            assert np.array_equal(a_inputs, b_inputs)
+            assert np.array_equal(a_labels, b_labels)
+
+    def test_different_seeds_differ(self):
+        ds = make_dataset(40)
+        first = next(iter(DataLoader(ds, batch_size=40, shuffle=True, seed=1, deterministic=True)))[1]
+        second = next(iter(DataLoader(ds, batch_size=40, shuffle=True, seed=2, deterministic=True)))[1]
+        assert not np.array_equal(first, second)
+
+    def test_deterministic_transform_draws_replay(self):
+        ds = make_dataset(16)
+        noise = lambda x, rng: x + rng.normal(size=x.shape).astype(np.float32)
+        loader = DataLoader(
+            ds, batch_size=8, shuffle=True, seed=4, deterministic=True, transform=noise
+        )
+        first_epoch = [inputs.copy() for inputs, _ in loader]
+        second_epoch = [inputs.copy() for inputs, _ in loader]
+        for first, second in zip(first_epoch, second_epoch):
+            assert np.array_equal(first, second)
+
+    def test_default_loader_still_reshuffles(self):
+        ds = make_dataset(40)
+        loader = DataLoader(ds, batch_size=40, shuffle=True, seed=4)
+        first_epoch = next(iter(loader))[1]
+        second_epoch = next(iter(loader))[1]
+        assert not np.array_equal(first_epoch, second_epoch)

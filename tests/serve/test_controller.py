@@ -1,0 +1,98 @@
+"""Adaptive threshold controller: SLA feedback stays inside calibrated bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core import EntropyExitPolicy
+from repro.serve import AdaptiveThresholdController, Telemetry, calibrated_threshold_bounds
+from repro.serve.request import RequestResult
+
+
+def make_controller(threshold=0.2, low=0.05, high=0.6, target=0.1, **kwargs):
+    policy = EntropyExitPolicy(threshold=threshold)
+    controller = AdaptiveThresholdController(
+        policy=policy,
+        target_p95_latency=target,
+        min_threshold=low,
+        max_threshold=high,
+        **kwargs,
+    )
+    return policy, controller
+
+
+class TestAdaptiveThresholdController:
+    def test_overload_raises_threshold_up_to_bound(self):
+        policy, controller = make_controller()
+        for _ in range(20):
+            controller.observe_p95(10.0)  # way over the 0.1s SLA
+        assert policy.threshold == pytest.approx(0.6)
+        assert all(theta <= 0.6 for _, theta in controller.history)
+
+    def test_headroom_lowers_threshold_down_to_bound(self):
+        policy, controller = make_controller()
+        for _ in range(20):
+            controller.observe_p95(0.001)  # far below the SLA
+        assert policy.threshold == pytest.approx(0.05)
+        assert all(theta >= 0.05 for _, theta in controller.history)
+
+    def test_deadband_keeps_threshold_stable(self):
+        policy, controller = make_controller(threshold=0.2, target=0.1)
+        for p95 in (0.095, 0.1, 0.105):
+            controller.observe_p95(p95)
+        assert policy.threshold == pytest.approx(0.2)
+
+    def test_initial_threshold_clamped_into_bounds(self):
+        policy, _ = make_controller(threshold=0.9, low=0.05, high=0.6)
+        assert policy.threshold == pytest.approx(0.6)
+
+    def test_inverted_direction_for_confidence_like_policies(self):
+        policy, controller = make_controller(aggressive_is_higher=False)
+        for _ in range(20):
+            controller.observe_p95(10.0)
+        assert policy.threshold == pytest.approx(0.05)
+
+    def test_on_completion_adjusts_every_n_requests(self):
+        policy, controller = make_controller(adjust_every=4)
+        telemetry = Telemetry(window=16)
+        for i in range(8):
+            result = RequestResult(
+                request_id=i, prediction=0, exit_timestep=1, score=0.0,
+                arrival_time=0.0, start_time=0.0, finish_time=10.0,  # 10s latency
+            )
+            telemetry.record_completion(result)
+            controller.on_completion(result, telemetry)
+        # 8 completions / adjust_every=4 -> exactly two control decisions.
+        assert len(controller.history) == 2
+        assert policy.threshold > 0.2  # overloaded, moved toward aggressive bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_controller(low=0.0)
+        with pytest.raises(ValueError):
+            make_controller(target=0.0)
+        with pytest.raises(ValueError):
+            make_controller(step=0.9)
+
+
+class TestCalibratedBounds:
+    def test_bounds_ordered_and_from_sweep(self, cumulative_logits):
+        low, high = calibrated_threshold_bounds(
+            cumulative_logits["logits"], cumulative_logits["labels"],
+            tight_tolerance=0.0, loose_tolerance=0.05,
+        )
+        assert 0 < low <= high <= 1.0
+
+    def test_bounds_feed_controller(self, cumulative_logits):
+        low, high = calibrated_threshold_bounds(
+            cumulative_logits["logits"], cumulative_logits["labels"]
+        )
+        policy = EntropyExitPolicy(threshold=low)
+        controller = AdaptiveThresholdController(
+            policy=policy,
+            target_p95_latency=0.05,
+            min_threshold=low,
+            max_threshold=max(high, low),
+        )
+        for _ in range(30):
+            controller.observe_p95(1.0)
+        assert low <= policy.threshold <= max(high, low)

@@ -1,0 +1,114 @@
+"""Admission queue and future primitives: capacity, backpressure, close."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdmissionQueue,
+    QueueClosedError,
+    QueueFullError,
+    Request,
+    RequestResult,
+    Response,
+)
+
+
+def make_item(request_id=0):
+    return Request(request_id=request_id, inputs=np.zeros((3, 4, 4), dtype=np.float32)), Response()
+
+
+class TestAdmissionQueue:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(capacity=4)
+        for i in range(3):
+            queue.put(*make_item(i))
+        assert [queue.get_nowait()[0].request_id for _ in range(3)] == [0, 1, 2]
+        assert queue.get_nowait() is None
+
+    def test_full_queue_raises_without_blocking(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.put(*make_item(0))
+        queue.put(*make_item(1))
+        with pytest.raises(QueueFullError):
+            queue.put(*make_item(2), block=False)
+        assert queue.depth() == 2
+
+    def test_full_queue_blocking_times_out(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.put(*make_item(0))
+        with pytest.raises(QueueFullError):
+            queue.put(*make_item(1), block=True, timeout=0.02)
+
+    def test_blocked_put_proceeds_when_slot_frees(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.put(*make_item(0))
+        done = threading.Event()
+
+        def submit():
+            queue.put(*make_item(1), block=True, timeout=5.0)
+            done.set()
+
+        thread = threading.Thread(target=submit, daemon=True)
+        thread.start()
+        assert queue.get(timeout=1.0)[0].request_id == 0
+        assert done.wait(1.0)
+        assert queue.get(timeout=1.0)[0].request_id == 1
+
+    def test_arrival_time_stamped_at_admission(self):
+        ticks = iter([10.0, 20.0])
+        queue = AdmissionQueue(capacity=2, clock=lambda: next(ticks))
+        request, response = make_item()
+        queue.put(request, response)
+        assert request.arrival_time == 10.0
+
+    def test_closed_queue_rejects_submissions_but_drains(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.put(*make_item(0))
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.put(*make_item(1))
+        assert queue.get(timeout=0.1)[0].request_id == 0
+        assert queue.get(timeout=0.1) is None  # closed and empty: no blocking
+
+    def test_drain_pending_fails_queued_futures(self):
+        queue = AdmissionQueue(capacity=4)
+        _, response = make_item(0)
+        queue.put(Request(request_id=0, inputs=np.zeros(3, dtype=np.float32)), response)
+        assert queue.drain_pending() == 1
+        with pytest.raises(QueueClosedError):
+            response.result(timeout=0.1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+class TestResponse:
+    def test_result_blocks_until_resolved(self):
+        response = Response()
+        with pytest.raises(TimeoutError):
+            response.result(timeout=0.01)
+        result = RequestResult(request_id=1, prediction=3, exit_timestep=2, score=0.1)
+        response.set_result(result)
+        assert response.done()
+        assert response.result(timeout=0.1).prediction == 3
+
+    def test_exception_propagates(self):
+        response = Response()
+        response.set_exception(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            response.result(timeout=0.1)
+
+
+class TestRequestResult:
+    def test_latency_decomposition(self):
+        result = RequestResult(
+            request_id=0, prediction=1, exit_timestep=2, score=0.0,
+            arrival_time=1.0, start_time=1.5, finish_time=3.0, label=1,
+        )
+        assert result.queue_delay == pytest.approx(0.5)
+        assert result.service_time == pytest.approx(1.5)
+        assert result.latency == pytest.approx(2.0)
+        assert result.correct is True

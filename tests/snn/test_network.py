@@ -114,3 +114,72 @@ class TestStateManagement:
         grads = [p.grad for p in model.parameters() if p.grad is not None]
         assert grads, "no gradients reached the parameters"
         assert any(np.abs(g).sum() > 0 for g in grads)
+
+
+class TestPerSlotStateSurgery:
+    """compact/extend/reset of membrane rows (the serving batcher's substrate)."""
+
+    def _run_one_step(self, model, batch=4):
+        from repro.autograd import no_grad
+        x = np.random.default_rng(11).random((batch, 2, 6, 6)).astype(np.float32)
+        model.eval()
+        with no_grad():
+            model.reset_state()
+            frame = model.encoder(x, 0)
+            model.classifier(model.features(frame))
+        return x
+
+    def test_compact_state_keeps_selected_rows(self):
+        model = build_minimal_network()
+        self._run_one_step(model, batch=4)
+        lif = model.lif_layers()[0]
+        before = lif.membrane.data.copy()
+        keep = np.array([True, False, True, False])
+        model.compact_state(keep)
+        assert lif.membrane.shape[0] == 2
+        assert np.array_equal(lif.membrane.data, before[keep])
+
+    def test_extend_state_appends_zero_rows(self):
+        model = build_minimal_network()
+        self._run_one_step(model, batch=3)
+        lif = model.lif_layers()[0]
+        before = lif.membrane.data.copy()
+        model.extend_state(2)
+        assert lif.membrane.shape[0] == 5
+        assert np.array_equal(lif.membrane.data[:3], before)
+        assert np.allclose(lif.membrane.data[3:], 0.0)
+
+    def test_reset_state_rows_zeroes_in_place(self):
+        model = build_minimal_network()
+        self._run_one_step(model, batch=3)
+        lif = model.lif_layers()[0]
+        before = lif.membrane.data.copy()
+        model.reset_state_rows(np.array([1]))
+        assert np.allclose(lif.membrane.data[1], 0.0)
+        assert np.array_equal(lif.membrane.data[[0, 2]], before[[0, 2]])
+
+    def test_zero_row_behaves_like_fresh_state(self):
+        """A zeroed membrane row must produce the same spikes as a fresh start."""
+        from repro.autograd import Tensor as T, no_grad
+        lif = LIFNeuron(tau=0.5, v_threshold=1.0)
+        current = np.random.default_rng(3).random((2, 4)).astype(np.float32) * 2.0
+        with no_grad():
+            lif.forward(T(current))
+            lif.reset_state_rows(np.array([0, 1]))
+            resumed = lif.forward(T(current)).data
+            lif.reset_state()
+            fresh = lif.forward(T(current)).data
+        assert np.array_equal(resumed, fresh)
+
+    def test_surgery_is_noop_before_first_forward(self):
+        model = build_minimal_network()
+        model.reset_state()
+        model.compact_state(np.array([True]))
+        model.extend_state(3)
+        model.reset_state_rows(np.array([0]))
+        assert all(layer.membrane is None for layer in model.lif_layers())
+
+    def test_extend_state_rejects_negative(self):
+        model = build_minimal_network()
+        with pytest.raises(ValueError):
+            model.extend_state(-1)
