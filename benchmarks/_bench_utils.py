@@ -13,6 +13,7 @@ numbers next to the regenerated ones so the *shape* comparison is explicit.
 
 from __future__ import annotations
 
+import os
 import sys
 import zlib
 from dataclasses import dataclass, field
@@ -56,6 +57,22 @@ from repro.utils import seed_everything  # noqa: E402
 # evaluation, not to the real datasets (see DESIGN.md §2).
 # --------------------------------------------------------------------------- #
 IMAGE_SIZE = 10
+
+# Smoke mode (REPRO_BENCH_SMOKE=1): the CI guard that keeps the bench suite
+# from rotting.  Every bench file runs end to end — same code paths, same
+# assertions — on smaller datasets, trading statistical fidelity of the
+# regenerated tables for wall-clock.  Epoch counts stay at full strength
+# because several benches assert properties of *converged* models (early
+# exits actually firing, accuracy orderings); shrinking only the sample
+# count keeps those properties while cutting training cost.  Absolute
+# numbers in smoke reports are NOT comparable to full runs.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in ("1", "true", "on", "yes")
+
+
+def _smoke_samples(full: int) -> int:
+    return int(full * 0.75) if SMOKE else full
+
+
 EPOCHS = 8
 MAX_TIMESTEPS = 4
 DVS_TIMESTEPS = 6
@@ -68,20 +85,20 @@ EPOCH_OVERRIDES = {"cifar10dvs": 12}
 DATASET_BUILDERS = {
     "cifar10": lambda: make_synthetic_images(
         SyntheticImageConfig(
-            num_classes=10, num_samples=420, image_size=IMAGE_SIZE,
+            num_classes=10, num_samples=_smoke_samples(420), image_size=IMAGE_SIZE,
             easy_fraction=0.65, seed=7, name="cifar10-like",
         )
     ),
     "cifar100": lambda: make_synthetic_images(
         SyntheticImageConfig(
-            num_classes=14, num_samples=480, image_size=IMAGE_SIZE,
+            num_classes=14, num_samples=_smoke_samples(480), image_size=IMAGE_SIZE,
             easy_fraction=0.45, easy_contrast=(0.6, 0.85), hard_contrast=(0.18, 0.45),
             hard_noise=0.42, clutter_strength=0.32, seed=8, name="cifar100-like",
         )
     ),
     "tinyimagenet": lambda: make_synthetic_images(
         SyntheticImageConfig(
-            num_classes=16, num_samples=480, image_size=IMAGE_SIZE,
+            num_classes=16, num_samples=_smoke_samples(480), image_size=IMAGE_SIZE,
             easy_fraction=0.35, easy_contrast=(0.5, 0.75), hard_contrast=(0.12, 0.38),
             hard_noise=0.5, clutter_strength=0.45, seed=9, name="tinyimagenet-like",
         )
@@ -89,7 +106,7 @@ DATASET_BUILDERS = {
     "cifar10dvs": lambda: make_dvs_like(
         SyntheticDVSConfig(
             num_classes=8,
-            num_samples=300,
+            num_samples=_smoke_samples(300),
             num_frames=DVS_TIMESTEPS,
             image_size=IMAGE_SIZE,
             seed=10,
@@ -233,7 +250,10 @@ class ExperimentSuite:
         return experiment
 
 
-_REPORT_PATH = Path(__file__).resolve().parent.parent / "bench_report.txt"
+# Smoke runs land in a separate file so they never clobber the real report.
+_REPORT_PATH = Path(__file__).resolve().parent.parent / (
+    "bench_report_smoke.txt" if SMOKE else "bench_report.txt"
+)
 _report_initialized = False
 
 

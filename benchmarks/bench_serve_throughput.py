@@ -26,7 +26,7 @@ Assertions (the acceptance criteria of the serving subsystem):
 import numpy as np
 import pytest
 
-from _bench_utils import emit, print_section
+from _bench_utils import SMOKE, emit, print_section
 from repro.core import DynamicTimestepInference, EntropyExitPolicy, StaticExitPolicy
 from repro.imc import format_table
 from repro.serve import LoadGenerator, Server, request_stream
@@ -96,8 +96,11 @@ def test_serve_throughput_static_vs_dtsnn(benchmark, suite):
     emit("Paper reference (Table III, VGG-16 RTX 2080Ti): static T=4 64.3 img/s, "
          "DT-SNN avg T=1.46 142.0 img/s (2.2x)")
 
-    # (1) strictly higher requests/sec on identical traffic
-    assert dynamic_report.throughput_rps > static_report.throughput_rps
+    # (1) strictly higher requests/sec on identical traffic — a wall-clock
+    # comparison, so smoke mode (noisy CI runners) skips it and keeps the
+    # deterministic work-count and equivalence checks below.
+    if not SMOKE:
+        assert dynamic_report.throughput_rps > static_report.throughput_rps
     # it must come from doing less SNN work at full occupancy
     assert dynamic_work < static_work
     # (2) equal accuracy: the calibrated point can only match or beat static

@@ -17,7 +17,11 @@ contribution (DT-SNN) on top:
 * :mod:`repro.imc` — the tiled RRAM in-memory-computing chip model: mapping,
   energy/latency/area, sigma-E module, device variation.
 * :mod:`repro.processors` — general digital processor throughput models.
-* :mod:`repro.serve` — the continuous-batching inference runtime: a bounded
+* :mod:`repro.runtime` — the graph-free inference fast path: trained
+  networks lower into a flat plan of fused NumPy kernels (stem caching,
+  preallocated buffers) that is bitwise-identical to the define-by-run
+  path and roughly halves the per-timestep forward cost.
+* :mod:`repro.serve` — the continuous-batching serving layer: a bounded
   admission queue, a slot-based engine that refills early-exit slots
   mid-horizon, a threaded server with backpressure and graceful drain,
   serving telemetry (latency percentiles, exit histograms, per-request
@@ -53,6 +57,7 @@ from .data import (
 )
 from .imc import HardwareConfig, IMCChip, with_device_variation
 from .processors import DigitalProcessorModel, WallClockProfiler
+from .runtime import CompiledPlan, PlanExecutor, compile_network
 from .serve import (
     AdaptiveThresholdController,
     ContinuousBatcher,
@@ -101,6 +106,9 @@ __all__ = [
     "with_device_variation",
     "DigitalProcessorModel",
     "WallClockProfiler",
+    "CompiledPlan",
+    "PlanExecutor",
+    "compile_network",
     "Server",
     "InferenceEngine",
     "ContinuousBatcher",

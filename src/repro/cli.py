@@ -201,6 +201,10 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
                         help="enable the adaptive threshold controller with this p95 SLA")
     parser.add_argument("--with-energy", action="store_true",
                         help="price every request on the Table-I IMC chip")
+    parser.add_argument("--reference-path", action="store_true",
+                        help="run engines on the define-by-run Tensor oracle instead of "
+                             "the compiled-plan fast path (predictions are bitwise "
+                             "identical either way; this is the slow reference)")
 
 
 # --------------------------------------------------------------------------- #
@@ -363,7 +367,7 @@ def _prepare_serving(args: argparse.Namespace):
 
 
 def _build_server(args: argparse.Namespace, model, policy, controller, cost_model) -> Server:
-    return Server(
+    server = Server(
         model,
         policy,
         max_timesteps=args.timesteps,
@@ -371,7 +375,11 @@ def _build_server(args: argparse.Namespace, model, policy, controller, cost_mode
         queue_capacity=args.queue_capacity,
         cost_model=cost_model,
         controller=controller,
+        use_runtime=False if args.reference_path else None,
     )
+    engine = server.batchers[0].engine
+    print(f"execution path: {'compiled-plan fast path' if engine.fast_path else 'Tensor reference oracle'}")
+    return server
 
 
 def _print_serving_report(args: argparse.Namespace, report, server: Server) -> None:
@@ -428,8 +436,10 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     if not args.self_test:
         return 0
-    # Self-test: the serve path must reproduce the cached-logits fast path
-    # bitwise on the identical stream, and drain must complete every request.
+    # Self-test: the serve path (by default the compiled-plan fast path) must
+    # reproduce the define-by-run Tensor oracle bitwise on the identical
+    # stream — model.forward below runs the Tensor graph — and drain must
+    # complete every request.
     failures = []
     if report.completed != len(stream):
         failures.append(f"drain incomplete: {report.completed}/{len(stream)} requests")

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..autograd import no_grad
 from ..data.datasets import DataLoader
+from ..runtime import executor_for
 from ..snn.network import SpikingNetwork
 from .entropy import normalized_entropy, softmax_probabilities
 from .policies import EntropyExitPolicy, ExitPolicy
@@ -96,9 +97,14 @@ class DynamicTimestepInference:
         model: Optional[SpikingNetwork] = None,
         policy: Optional[ExitPolicy] = None,
         max_timesteps: Optional[int] = None,
+        use_runtime: Optional[bool] = None,
     ):
         self.model = model
         self.policy = policy or EntropyExitPolicy()
+        # None defers to the REPRO_RUNTIME environment gate; False pins the
+        # define-by-run Tensor path (the reference oracle the equivalence
+        # suite compares against).
+        self.use_runtime = use_runtime
         if max_timesteps is None and model is not None:
             max_timesteps = model.default_timesteps
         if max_timesteps is None or max_timesteps < 1:
@@ -179,12 +185,20 @@ class DynamicTimestepInference:
         shape, so for them the full batch is encoded and evaluated every
         timestep — preserving the exact pre-compaction draw sequence — and
         only the early-stopping of the loop is kept.
+
+        When the model lowers into the :mod:`repro.runtime` compiled plan
+        (and ``use_runtime`` is not disabled), each timestep executes through
+        the graph-free fast path; the logits — and therefore every exit
+        decision, prediction and score — are bitwise identical to the Tensor
+        path, which remains available as the reference oracle via
+        ``use_runtime=False``.
         """
         if self.model is None:
             raise ValueError("a model is required for sequential inference")
         model = self.model
         was_training = model.training
         model.eval()
+        executor = executor_for(model, self.use_runtime)
         inputs = np.asarray(inputs, dtype=np.float32)
         num_samples = inputs.shape[0]
 
@@ -197,12 +211,18 @@ class DynamicTimestepInference:
 
         try:
             with no_grad():
-                model.reset_state()
+                if executor is None:
+                    model.reset_state()
+                else:
+                    executor.reset_state()
                 running_sum: Optional[np.ndarray] = None
                 for t in range(self.max_timesteps):
                     frame = model.encoder(inputs if not compact else inputs[active], t)
-                    spikes = model.features(frame)
-                    logits = model.classifier(spikes).data
+                    if executor is None:
+                        spikes = model.features(frame)
+                        logits = model.classifier(spikes).data
+                    else:
+                        logits = executor.step(frame.data)
                     running_sum = logits if running_sum is None else running_sum + logits
                     # Without compaction the running sum spans the full batch;
                     # restrict the exit decision to the still-active rows.
@@ -222,7 +242,10 @@ class DynamicTimestepInference:
                         if compact:
                             keep = ~exit_now
                             running_sum = running_sum[keep]
-                            model.compact_state(keep)
+                            if executor is None:
+                                model.compact_state(keep)
+                            else:
+                                executor.compact_rows(keep)
                     if active.size == 0:
                         break
         finally:

@@ -1,0 +1,139 @@
+"""repro.runtime — graph-free fused inference fast path.
+
+Inference does not need the define-by-run autograd machinery, but the seed
+implementation paid for it on every timestep anyway: each op allocated a
+:class:`~repro.autograd.Tensor`, recorded parents and a backward closure, and
+every intermediate was a fresh allocation.  This package removes that
+constant factor while keeping the results **bitwise identical**:
+
+* :func:`~repro.runtime.plan.compile_network` lowers a trained
+  :class:`~repro.snn.SpikingNetwork` into a flat register-based op list
+  (conv / norm / fused-LIF / pool / linear / residual-add).
+* :class:`~repro.runtime.executor.PlanExecutor` runs the list one timestep at
+  a time with preallocated scratch buffers (resized only when the live batch
+  width changes) and per-row state surgery mirroring the Tensor model.
+* Under direct encoding, the stateless pre-spike prefix (conv1 + norm1 — the
+  im2col patches *and* the GEMM they feed) is computed once per input and
+  replayed across all timesteps and across serve-slot lifetimes.
+
+The Tensor path stays available everywhere as the *reference oracle*: pass
+``use_runtime=False`` (or set ``REPRO_RUNTIME=0``) to
+:class:`~repro.core.DynamicTimestepInference`,
+:class:`~repro.serve.InferenceEngine` / :class:`~repro.serve.Server`, or
+:func:`~repro.training.collect_cumulative_logits`.  ``tests/equivalence``
+asserts the two paths agree bitwise on predictions, exit timesteps and
+accumulated logits across architectures, encoders and batch compositions.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import Optional
+
+import numpy as np
+
+from ..snn.encoding import DirectEncoder
+from ..snn.network import SpikingNetwork
+from .executor import PlanExecutor
+from .plan import CompiledPlan, UnsupportedModuleError, compile_network
+
+__all__ = [
+    "CompiledPlan",
+    "PlanExecutor",
+    "UnsupportedModuleError",
+    "compile_network",
+    "runtime_enabled",
+    "plan_for",
+    "executor_for",
+    "run_cumulative_logits",
+]
+
+# One compiled plan per model instance: plans hold live references to the
+# model's parameters, so recompiling per engine / per call would only waste
+# the lowering work.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[SpikingNetwork, CompiledPlan]" = (
+    weakref.WeakKeyDictionary()
+)
+_UNSUPPORTED = object()
+
+
+def runtime_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve a ``use_runtime`` flag: explicit argument wins, else the
+    ``REPRO_RUNTIME`` environment variable (default: enabled)."""
+    if override is not None:
+        return bool(override)
+    return os.environ.get("REPRO_RUNTIME", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+def plan_for(model: SpikingNetwork) -> Optional[CompiledPlan]:
+    """Compile (or fetch the cached plan for) ``model``.
+
+    Returns ``None`` when the model contains modules the fast path cannot
+    lower — the caller should silently use the Tensor oracle.
+    """
+    cached = _PLAN_CACHE.get(model)
+    if cached is _UNSUPPORTED:
+        return None
+    if cached is not None:
+        return cached
+    try:
+        plan = compile_network(model)
+    except UnsupportedModuleError:
+        _PLAN_CACHE[model] = _UNSUPPORTED
+        return None
+    _PLAN_CACHE[model] = plan
+    return plan
+
+
+def executor_for(
+    model: SpikingNetwork,
+    use_runtime: Optional[bool] = None,
+    collect_statistics: bool = True,
+) -> Optional[PlanExecutor]:
+    """A fresh executor for ``model``, or ``None`` to use the Tensor path.
+
+    The stem cache engages only under :class:`DirectEncoder` — the one
+    encoder whose frame is constant across timesteps for a given sample.
+    """
+    if not runtime_enabled(use_runtime):
+        return None
+    plan = plan_for(model)
+    if plan is None:
+        return None
+    stem = isinstance(model.encoder, DirectEncoder) and getattr(
+        model.encoder, "deterministic", False
+    )
+    return PlanExecutor(plan, stem_cache=stem, collect_statistics=collect_statistics)
+
+
+def run_cumulative_logits(
+    model: SpikingNetwork,
+    executor: PlanExecutor,
+    inputs: np.ndarray,
+    timesteps: int,
+) -> np.ndarray:
+    """Fast-path equivalent of ``model.forward(x, T).cumulative_numpy()``.
+
+    Runs the compiled plan over the horizon and accumulates the running-mean
+    logits with the exact float operations of
+    :func:`~repro.snn.network.cumulative_mean_logits` (sum, then multiply by
+    the float32 reciprocal), so the returned ``(T, N, K)`` array is bitwise
+    identical to the Tensor path's.
+    """
+    executor.reset_state()
+    inputs = np.asarray(inputs, dtype=np.float32)
+    running: Optional[np.ndarray] = None
+    levels = []
+    for t in range(timesteps):
+        frame = model.encoder(inputs, t).data
+        logits = executor.step(frame)
+        running = logits if running is None else running + logits
+        # as_tensor turns the reciprocal into a float64 0-d array; match it.
+        levels.append(running * np.asarray(1.0 / (t + 1)))
+    return np.stack(levels, axis=0)

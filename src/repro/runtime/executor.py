@@ -1,0 +1,180 @@
+"""Stateful executor for a :class:`~repro.runtime.plan.CompiledPlan`.
+
+One executor is one *inference session*: it owns the per-LIF membrane state,
+the stem cache, and every op's scratch buffers.  The state-surgery API
+(``compact_rows`` / ``extend_rows`` / ``reset_rows``) mirrors
+:class:`~repro.snn.SpikingNetwork` row for row, so the serving engine and the
+dynamic-timestep loop drive the fast path exactly the way they drove the
+Tensor model — the membrane rows of the plan and the slots of the batcher
+stay in lockstep.
+
+Scratch buffers are preallocated per op and reused across timesteps, across
+requests and across the whole serve session; they are reallocated only when
+the live batch width changes (early exits compact the batch, admissions grow
+it).  Because every kernel is bitwise-faithful to its autograd counterpart
+(see :mod:`repro.runtime.kernels`), an executor's logits are *identical* to
+the define-by-run path's logits, not merely close — which is what the
+equivalence test harness asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .plan import CompiledPlan
+
+__all__ = ["PlanExecutor"]
+
+
+class PlanExecutor:
+    """Runs a compiled plan one timestep at a time with persistent state.
+
+    Parameters
+    ----------
+    plan:
+        The lowered network.
+    stem_cache:
+        Enable caching of the stateless pre-spike prefix.  Only valid when
+        the per-timestep input frame is constant for each sample (direct
+        encoding); the caller is responsible for that guarantee.
+    collect_statistics:
+        Update each source LIF layer's spike counters exactly like the
+        Tensor path does (the IMC energy model reads them).
+    """
+
+    def __init__(self, plan: CompiledPlan, stem_cache: bool = False,
+                 collect_statistics: bool = True):
+        self.plan = plan
+        self.stem_enabled = bool(stem_cache) and plan.stem_len > 0
+        self._membranes: List[Optional[np.ndarray]] = [None] * plan.num_lif
+        self._stem: Optional[Dict[int, np.ndarray]] = None
+        self._registers: List[Optional[np.ndarray]] = [None] * plan.num_registers
+        self._scratch: List[Dict[str, np.ndarray]] = [dict() for _ in plan.ops]
+        for op in plan.ops:
+            if hasattr(op, "collect_statistics"):
+                op.collect_statistics = collect_statistics
+
+    # ------------------------------------------------------------------ #
+    # State management (mirrors SpikingNetwork's per-row surgery)
+    # ------------------------------------------------------------------ #
+    def reset_state(self) -> None:
+        """Fresh membranes and an empty stem cache (between sample streams)."""
+        self._membranes = [None] * self.plan.num_lif
+        self._stem = None
+
+    def compact_rows(self, keep: np.ndarray) -> None:
+        """Drop the state rows of samples that left the batch (early exit)."""
+        self._membranes = [
+            None if membrane is None else membrane[keep] for membrane in self._membranes
+        ]
+        if self._stem is not None:
+            self._stem = {reg: value[keep] for reg, value in self._stem.items()}
+
+    def extend_rows(self, count: int, frames: Optional[np.ndarray] = None) -> None:
+        """Append ``count`` fresh rows (newly admitted samples).
+
+        Membrane rows start at zero via the ``None == fresh`` identity (a
+        ``None`` membrane only materializes on the first integration, exactly
+        like :meth:`LIFNeuron.extend_state_rows`).  When the stem cache is
+        active, ``frames`` must hold the new samples' encoder frames so their
+        stem rows can be computed once and appended; omitting it invalidates
+        the cache, which is safe but forfeits the reuse until the next full
+        stem run.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self._membranes = [
+            None
+            if membrane is None
+            else np.concatenate(
+                [membrane, np.zeros((count,) + membrane.shape[1:], dtype=membrane.dtype)],
+                axis=0,
+            )
+            for membrane in self._membranes
+        ]
+        if self._stem is None:
+            return
+        if frames is None or frames.shape[0] != count:
+            self._stem = None
+            return
+        fresh = self._run_stem(frames, scratch=None)
+        self._stem = {
+            reg: np.concatenate([value, fresh[reg]], axis=0)
+            for reg, value in self._stem.items()
+        }
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        """Zero the membranes of specific batch rows (recycled slots)."""
+        for membrane in self._membranes:
+            if membrane is not None:
+                membrane[rows] = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _run_stem(self, frame: np.ndarray, scratch) -> Dict[int, np.ndarray]:
+        """Run the stateless prefix on ``frame``; return the live registers.
+
+        ``scratch=None`` allocates fresh arrays (used for admission-time stem
+        rows, so the main batch's reusable buffers are not disturbed).
+        """
+        plan = self.plan
+        registers: List[Optional[np.ndarray]] = [None] * plan.num_registers
+        registers[0] = frame
+        for index in range(plan.stem_len):
+            op = plan.ops[index]
+            op.run(registers, self._scratch[index] if scratch is not None else None,
+                   self._membranes)
+        return {reg: registers[reg] for reg in plan.stem_registers}
+
+    def step(self, frame: np.ndarray) -> np.ndarray:
+        """Advance one timestep; returns the classifier logits.
+
+        The returned array is freshly allocated each call (safe to alias
+        across timesteps — callers build running sums from it).  Intermediate
+        activations live in reused scratch buffers and are only valid until
+        the next call.
+        """
+        plan = self.plan
+        model = plan.model
+        if model is not None and model.training:
+            raise RuntimeError(
+                "the compiled plan is inference-only; call model.eval() first "
+                "(training-mode BatchNorm/Dropout need the autograd path)"
+            )
+        registers = self._registers
+        registers[0] = frame
+        start = 0
+        if self.stem_enabled:
+            stem = self._stem
+            rows = frame.shape[0]
+            if stem is not None and all(v.shape[0] == rows for v in stem.values()):
+                for reg, value in stem.items():
+                    registers[reg] = value
+            else:
+                self._stem = self._run_stem(frame, scratch=self._scratch)
+                for reg, value in self._stem.items():
+                    registers[reg] = value
+            start = plan.stem_len
+        for index in range(start, len(plan.ops)):
+            plan.ops[index].run(registers, self._scratch[index], self._membranes)
+        output = registers[plan.output_register]
+        # Uphold the freshness contract when the producing op hands back
+        # reused scratch (anything but a Linear head): the next step() would
+        # otherwise overwrite the caller's running sum in place.
+        return output.copy() if plan.output_needs_copy else output
+
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_rows(self) -> Optional[int]:
+        """Current state width, or ``None`` when no state has materialized."""
+        for membrane in self._membranes:
+            if membrane is not None:
+                return int(membrane.shape[0])
+        if self._stem:
+            return int(next(iter(self._stem.values())).shape[0])
+        return None

@@ -1,0 +1,430 @@
+"""Lowering a trained :class:`SpikingNetwork` into a flat inference plan.
+
+The define-by-run path re-discovers the network structure every timestep by
+walking Python objects and recording an autograd graph.  For inference the
+structure never changes, so :func:`compile_network` walks it *once* and emits
+a flat list of ops in execution order — a tiny register-based IR.  Each op
+reads one (or two) virtual registers and writes one; the executor then runs
+the list with no Module dispatch, no Tensor wrappers and no graph.
+
+The plan also records the *stem*: the prefix of ops before the first LIF
+layer.  Those ops are stateless functions of the input frame, so under a
+deterministic constant encoder (the paper's direct encoding) their output is
+identical at every timestep and can be computed once per input and replayed
+— the "im2col patches cached per input" optimization, taken to its fixed
+point (the whole pre-spike prefix is cached, not just the patches).
+
+Ops capture live references to :class:`Parameter` objects and norm modules,
+not copies of their arrays, so a plan survives ``load_state_dict`` and
+in-place optimizer updates; only derived constants (the BN denominator) are
+cached, and they refresh automatically when the running-stat buffer object
+is replaced.
+
+Anything the lowerer does not recognize raises
+:exc:`UnsupportedModuleError`; callers treat that as "use the Tensor oracle",
+so exotic models silently keep working at define-by-run speed.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from ..nn.module import Identity, Module, Sequential
+from ..snn.architectures import ConvSpikeBlock, SpikingResidualBlock
+from ..snn.network import SpikingNetwork
+from ..snn.neurons import LIFNeuron
+from ..snn.tdbn import TemporalBatchNorm2d
+from . import kernels
+
+__all__ = [
+    "UnsupportedModuleError",
+    "PlanOp",
+    "CompiledPlan",
+    "compile_network",
+]
+
+
+class UnsupportedModuleError(RuntimeError):
+    """The model contains a module the fast path cannot lower."""
+
+
+# --------------------------------------------------------------------------- #
+# Op IR
+# --------------------------------------------------------------------------- #
+class PlanOp:
+    """Base class: read ``src`` (and maybe ``src2``), write ``dst``."""
+
+    __slots__ = ("src", "dst")
+
+    def __init__(self, src: int, dst: int):
+        self.src = src
+        self.dst = dst
+
+    @property
+    def reads(self) -> Tuple[int, ...]:
+        return (self.src,)
+
+    @property
+    def is_stateful(self) -> bool:
+        return False
+
+    def run(self, regs: List[np.ndarray], scratch, state) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(r{self.src} -> r{self.dst})"
+
+
+class ConvOp(PlanOp):
+    __slots__ = ("module",)
+
+    def __init__(self, src: int, dst: int, module: Conv2d):
+        super().__init__(src, dst)
+        self.module = module
+
+    def run(self, regs, scratch, state) -> None:
+        m = self.module
+        bias = None if m.bias is None else m.bias.data
+        regs[self.dst] = kernels.conv2d_step(
+            regs[self.src], m.weight.data, bias, m.kernel_size, m.stride, m.padding, scratch
+        )
+
+
+class NormOp(PlanOp):
+    """Eval-mode BatchNorm2d / TemporalBatchNorm2d.
+
+    The reciprocal-free denominator ``sqrt(var + eps)`` is cached and
+    refreshed whenever the module's ``running_var`` buffer object changes
+    (``update_buffer`` replaces the array rather than mutating it).
+    """
+
+    __slots__ = ("module", "scale", "_std", "_std_src")
+
+    def __init__(self, src: int, dst: int, module: Module, scale: Optional[float]):
+        super().__init__(src, dst)
+        self.module = module
+        # ``as_tensor`` wraps Python scalars as float64 0-d arrays; match it.
+        self.scale = None if scale is None else np.asarray(scale)
+        self._std: Optional[np.ndarray] = None
+        self._std_src: Optional[np.ndarray] = None
+
+    def _denominator(self) -> np.ndarray:
+        running_var = self.module.running_var
+        if self._std is None or self._std_src is not running_var:
+            # Exactly the Tensor path: Tensor(var.reshape(1,C,1,1)) + eps, sqrt
+            # — including the float64 promotion from the scalar eps.
+            var = running_var.reshape(1, -1, 1, 1)
+            self._std = np.sqrt(var + np.asarray(self.module.eps))
+            self._std_src = running_var
+        return self._std
+
+    def run(self, regs, scratch, state) -> None:
+        m = self.module
+        channels = m.num_features
+        regs[self.dst] = kernels.batchnorm_step(
+            regs[self.src],
+            m.running_mean.reshape(1, -1, 1, 1),
+            self._denominator(),
+            m.weight.data.reshape(1, channels, 1, 1),
+            m.bias.data.reshape(1, channels, 1, 1),
+            self.scale,
+            scratch,
+        )
+
+
+class LIFOp(PlanOp):
+    __slots__ = ("module", "state_index", "collect_statistics")
+
+    def __init__(self, src: int, dst: int, module: LIFNeuron, state_index: int):
+        super().__init__(src, dst)
+        self.module = module
+        self.state_index = state_index
+        self.collect_statistics = True
+
+    @property
+    def is_stateful(self) -> bool:
+        return True
+
+    def run(self, regs, scratch, state) -> None:
+        m = self.module
+        spikes, membrane, spike_count = kernels.lif_step(
+            regs[self.src],
+            state[self.state_index],
+            m.tau,
+            m.v_threshold,
+            m.reset,
+            scratch,
+        )
+        state[self.state_index] = membrane
+        if self.collect_statistics:
+            # Same bookkeeping (and float accumulation order) as the layer.
+            size = float(spikes.size)
+            m.last_spike_rate = spike_count / size
+            m.total_spikes += spike_count
+            m.total_neuron_updates += size
+        regs[self.dst] = spikes
+
+
+class AvgPoolOp(PlanOp):
+    __slots__ = ("kernel", "stride")
+
+    def __init__(self, src: int, dst: int, kernel: int, stride: int):
+        super().__init__(src, dst)
+        self.kernel = kernel
+        self.stride = stride
+
+    def run(self, regs, scratch, state) -> None:
+        regs[self.dst] = kernels.avg_pool_step(regs[self.src], self.kernel, self.stride, scratch)
+
+
+class MaxPoolOp(PlanOp):
+    __slots__ = ("kernel", "stride")
+
+    def __init__(self, src: int, dst: int, kernel: int, stride: int):
+        super().__init__(src, dst)
+        self.kernel = kernel
+        self.stride = stride
+
+    def run(self, regs, scratch, state) -> None:
+        regs[self.dst] = kernels.max_pool_step(regs[self.src], self.kernel, self.stride, scratch)
+
+
+class AdaptiveAvgPoolOp(PlanOp):
+    __slots__ = ("output_size",)
+
+    def __init__(self, src: int, dst: int, output_size: int):
+        super().__init__(src, dst)
+        self.output_size = output_size
+
+    def run(self, regs, scratch, state) -> None:
+        x = regs[self.src]
+        h, w = x.shape[2], x.shape[3]
+        if h % self.output_size or w % self.output_size:
+            raise ValueError("adaptive_avg_pool2d requires divisible spatial dims")
+        kernel = h // self.output_size
+        regs[self.dst] = kernels.avg_pool_step(x, kernel, kernel, scratch)
+
+
+class FlattenOp(PlanOp):
+    __slots__ = ()
+
+    def run(self, regs, scratch, state) -> None:
+        x = regs[self.src]
+        regs[self.dst] = x.reshape(x.shape[0], -1)
+
+
+class LinearOp(PlanOp):
+    __slots__ = ("module",)
+
+    def __init__(self, src: int, dst: int, module: Linear):
+        super().__init__(src, dst)
+        self.module = module
+
+    def run(self, regs, scratch, state) -> None:
+        m = self.module
+        bias = None if m.bias is None else m.bias.data
+        regs[self.dst] = kernels.linear_step(regs[self.src], m.weight.data, bias)
+
+
+class ReLUOp(PlanOp):
+    __slots__ = ()
+
+    def run(self, regs, scratch, state) -> None:
+        regs[self.dst] = kernels.relu_step(regs[self.src], scratch)
+
+
+class AddOp(PlanOp):
+    __slots__ = ("src2",)
+
+    def __init__(self, src: int, src2: int, dst: int):
+        super().__init__(src, dst)
+        self.src2 = src2
+
+    @property
+    def reads(self) -> Tuple[int, ...]:
+        return (self.src, self.src2)
+
+    def run(self, regs, scratch, state) -> None:
+        regs[self.dst] = kernels.add_step(regs[self.src], regs[self.src2], scratch)
+
+
+# --------------------------------------------------------------------------- #
+# Lowering
+# --------------------------------------------------------------------------- #
+class _Lowering:
+    """Walks modules in forward order, emitting ops and allocating registers."""
+
+    def __init__(self):
+        self.ops: List[PlanOp] = []
+        self.next_register = 1  # register 0 is the input frame
+        self.num_lif = 0
+
+    def new_register(self) -> int:
+        register = self.next_register
+        self.next_register += 1
+        return register
+
+    # ------------------------------------------------------------------ #
+    def lower(self, module: Module, src: int) -> int:
+        """Emit ops for ``module`` reading register ``src``; return the output register."""
+        if isinstance(module, Sequential):
+            for child in module:
+                src = self.lower(child, src)
+            return src
+        if isinstance(module, ConvSpikeBlock):
+            src = self.lower(module.conv, src)
+            src = self.lower(module.norm, src)
+            return self.lower(module.lif, src)
+        if isinstance(module, SpikingResidualBlock):
+            block_in = src
+            main = self.lower(module.conv1, block_in)
+            main = self.lower(module.norm1, main)
+            main = self.lower(module.lif1, main)
+            main = self.lower(module.conv2, main)
+            main = self.lower(module.norm2, main)
+            shortcut = self.lower(module.shortcut_conv, block_in)
+            shortcut = self.lower(module.shortcut_norm, shortcut)
+            summed = self.new_register()
+            self.ops.append(AddOp(main, shortcut, summed))
+            return self.lower(module.lif2, summed)
+        if isinstance(module, Conv2d):
+            dst = self.new_register()
+            self.ops.append(ConvOp(src, dst, module))
+            return dst
+        if isinstance(module, TemporalBatchNorm2d):
+            dst = self.new_register()
+            self.ops.append(NormOp(src, dst, module, scale=module.alpha * module.v_threshold))
+            return dst
+        if isinstance(module, BatchNorm2d):
+            dst = self.new_register()
+            self.ops.append(NormOp(src, dst, module, scale=None))
+            return dst
+        if isinstance(module, LIFNeuron):
+            dst = self.new_register()
+            self.ops.append(LIFOp(src, dst, module, self.num_lif))
+            self.num_lif += 1
+            return dst
+        if isinstance(module, AvgPool2d):
+            dst = self.new_register()
+            self.ops.append(AvgPoolOp(src, dst, module.kernel_size, module.stride))
+            return dst
+        if isinstance(module, MaxPool2d):
+            dst = self.new_register()
+            self.ops.append(MaxPoolOp(src, dst, module.kernel_size, module.stride))
+            return dst
+        if isinstance(module, AdaptiveAvgPool2d):
+            dst = self.new_register()
+            self.ops.append(AdaptiveAvgPoolOp(src, dst, module.output_size))
+            return dst
+        if isinstance(module, Flatten):
+            dst = self.new_register()
+            self.ops.append(FlattenOp(src, dst))
+            return dst
+        if isinstance(module, Linear):
+            dst = self.new_register()
+            self.ops.append(LinearOp(src, dst, module))
+            return dst
+        if isinstance(module, ReLU):
+            dst = self.new_register()
+            self.ops.append(ReLUOp(src, dst))
+            return dst
+        if isinstance(module, (Identity, Dropout)):
+            # Dropout is the identity in eval mode; the plan is eval-only.
+            return src
+        raise UnsupportedModuleError(
+            f"cannot lower {type(module).__name__} into the inference fast path"
+        )
+
+
+class CompiledPlan:
+    """A lowered network: flat op list plus the stem-cache metadata.
+
+    Attributes
+    ----------
+    ops:
+        Ops in execution order (features first, classifier last).
+    num_registers:
+        Size of the virtual register file (register 0 is the input frame).
+    output_register:
+        Register holding the classifier logits after a full sweep.
+    num_lif:
+        Number of stateful LIF ops (size of the membrane state vector).
+    stem_len:
+        Number of leading *stateless* ops (everything before the first LIF).
+    stem_registers:
+        Registers written inside the stem and read beyond it — the exact set
+        an executor must restore to skip the stem from cache.
+    """
+
+    def __init__(self, model: SpikingNetwork, ops: Sequence[PlanOp], num_registers: int,
+                 output_register: int, num_lif: int):
+        # Weak reference only: plans are cached per model in a
+        # WeakKeyDictionary, and a strong reference here would pin the key
+        # (and the whole parameter set) alive forever.
+        self._model_ref = weakref.ref(model)
+        self.ops = list(ops)
+        self.num_registers = num_registers
+        self.output_register = output_register
+        self.num_lif = num_lif
+        self.stem_len = next(
+            (i for i, op in enumerate(self.ops) if op.is_stateful), 0
+        )
+        written = {op.dst for op in self.ops[: self.stem_len]}
+        read_later = {r for op in self.ops[self.stem_len :] for r in op.reads}
+        self.stem_registers: Tuple[int, ...] = tuple(sorted(written & read_later))
+        # Callers alias the returned logits across timesteps (running sums),
+        # so the output must be freshly allocated each step.  Only LinearOp
+        # allocates; every other op hands back reused scratch or a view of
+        # it, and the executor must copy in that case.
+        producer = next(
+            (op for op in reversed(self.ops) if op.dst == output_register), None
+        )
+        self.output_needs_copy = not isinstance(producer, LinearOp)
+
+    @property
+    def model(self) -> Optional[SpikingNetwork]:
+        """The source model, or ``None`` once it has been garbage-collected."""
+        return self._model_ref()
+
+    def describe(self) -> str:
+        """Human-readable op listing (debugging / tests)."""
+        lines = [
+            f"CompiledPlan(ops={len(self.ops)}, lif={self.num_lif}, "
+            f"stem={self.stem_len}, out=r{self.output_register})"
+        ]
+        for index, op in enumerate(self.ops):
+            marker = "*" if index < self.stem_len else " "
+            lines.append(f" {marker} [{index:2d}] {op.describe()}")
+        return "\n".join(lines)
+
+
+def compile_network(model: SpikingNetwork) -> CompiledPlan:
+    """Lower ``model.features`` + ``model.classifier`` into a :class:`CompiledPlan`.
+
+    Raises :exc:`UnsupportedModuleError` when the model contains a module the
+    fast path cannot express; callers should fall back to the Tensor oracle.
+    """
+    lowering = _Lowering()
+    features_out = lowering.lower(model.features, 0)
+    output_register = lowering.lower(model.classifier, features_out)
+    return CompiledPlan(
+        model=model,
+        ops=lowering.ops,
+        num_registers=lowering.next_register,
+        output_register=output_register,
+        num_lif=lowering.num_lif,
+    )

@@ -8,7 +8,9 @@ this package turns that saving into *throughput*.  The pieces, front to back:
 * :class:`InferenceEngine` — slot-based dynamic-timestep inference over a
   :class:`~repro.snn.SpikingNetwork`: one batched forward per timestep at a
   width equal to the number of live requests, with per-slot membrane state,
-  local timestep counters and running logit sums.
+  local timestep counters and running logit sums.  Steps execute through the
+  :mod:`repro.runtime` compiled-plan fast path by default (bitwise identical
+  to the Tensor path, which stays available via ``use_runtime=False``).
 * :class:`ContinuousBatcher` — refills slots freed by early exits from the
   queue *mid-horizon*, so the SNN always runs at full occupancy.
 * :class:`Server` — worker threads, futures, graceful drain.

@@ -15,6 +15,11 @@ from a shared RNG, so its spike trains inherently depend on batch composition.
 Exited samples are compacted out immediately, so the forward width always
 equals the number of live requests: early exit buys back real FLOPs, which is
 what the serving layer converts into throughput.
+
+By default each step executes through the :mod:`repro.runtime` compiled plan
+(graph-free fused kernels, per-slot stem cache) when the model lowers; the
+define-by-run Tensor path remains available as the bitwise-identical
+reference oracle via ``use_runtime=False`` or ``REPRO_RUNTIME=0``.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import numpy as np
 
 from ..autograd import Tensor, no_grad
 from ..core.policies import ExitPolicy
+from ..runtime import executor_for
 from ..snn.encoding import DirectEncoder
 from ..snn.network import SpikingNetwork
 from .request import Request, Response
@@ -62,6 +68,7 @@ class InferenceEngine:
         model: SpikingNetwork,
         policy: ExitPolicy,
         max_timesteps: Optional[int] = None,
+        use_runtime: Optional[bool] = None,
     ):
         if max_timesteps is None:
             max_timesteps = model.default_timesteps
@@ -72,6 +79,10 @@ class InferenceEngine:
         self.max_timesteps = int(max_timesteps)
         model.eval()
         model.reset_state()
+        # The compiled-plan fast path (bitwise identical to the Tensor path);
+        # None means the model did not lower or the runtime is disabled, in
+        # which case every step runs through the define-by-run oracle.
+        self._executor = executor_for(model, use_runtime)
         self._slots: List[_Slot] = []
         self._running_sum: Optional[np.ndarray] = None  # (active, num_classes)
         # Work counters: the serving benchmark compares these against the
@@ -88,11 +99,26 @@ class InferenceEngine:
     def idle(self) -> bool:
         return not self._slots
 
+    @property
+    def fast_path(self) -> bool:
+        """True when steps execute through the compiled-plan runtime."""
+        return self._executor is not None
+
     # ------------------------------------------------------------------ #
     def admit(self, request: Request, response: Response, start_time: float) -> None:
         """Occupy a slot with a fresh request (membrane rows start at zero)."""
         self._slots.append(_Slot(request=request, response=response, start_time=start_time))
-        self.model.extend_state(1)
+        if self._executor is not None:
+            frames = None
+            if self._executor.stem_enabled:
+                # Direct encoding only (the stem-cache precondition), so the
+                # timestep argument is irrelevant: this row's stateless
+                # prefix is computed once here and replayed every step of
+                # the slot's lifetime.
+                frames = self.model.encoder(request.inputs[None], 0).data
+            self._executor.extend_rows(1, frames=frames)
+        else:
+            self.model.extend_state(1)
         if self._running_sum is not None:
             fresh = np.zeros((1, self._running_sum.shape[1]), dtype=self._running_sum.dtype)
             self._running_sum = np.concatenate([self._running_sum, fresh], axis=0)
@@ -105,6 +131,8 @@ class InferenceEngine:
             failed += 1
         self._slots = []
         self._running_sum = None
+        if self._executor is not None:
+            self._executor.reset_state()
         self.model.reset_state()
         return failed
 
@@ -137,8 +165,11 @@ class InferenceEngine:
 
         with no_grad():
             frame = self._encode(inputs, local_ts)
-            spikes = self.model.features(frame)
-            logits = self.model.classifier(spikes).data
+            if self._executor is not None:
+                logits = self._executor.step(frame.data)
+            else:
+                spikes = self.model.features(frame)
+                logits = self.model.classifier(spikes).data
 
         if self._running_sum is None:
             self._running_sum = np.zeros_like(logits)
@@ -172,7 +203,10 @@ class InferenceEngine:
             keep = ~exit_now
             self._slots = [slot for slot, k in zip(self._slots, keep) if k]
             self._running_sum = self._running_sum[keep]
-            self.model.compact_state(keep)
+            if self._executor is not None:
+                self._executor.compact_rows(keep)
+            else:
+                self.model.compact_state(keep)
 
         for slot in self._slots:
             slot.local_t += 1

@@ -60,6 +60,11 @@ class Server:
         Optional per-request energy/latency pricer (e.g. ``IMCChip``).
     controller:
         Optional :class:`AdaptiveThresholdController` holding a latency SLA.
+    use_runtime:
+        Per-engine execution path: ``None`` (default) lets the
+        ``REPRO_RUNTIME`` gate pick the compiled-plan fast path when the
+        model lowers; ``False`` pins the define-by-run Tensor oracle.  Both
+        paths produce bitwise-identical predictions and exit timesteps.
     """
 
     def __init__(
@@ -74,6 +79,7 @@ class Server:
         controller: Optional[AdaptiveThresholdController] = None,
         telemetry: Optional[Telemetry] = None,
         clock: Callable[[], float] = time.monotonic,
+        use_runtime: Optional[bool] = None,
     ):
         self.clock = clock
         self.telemetry = telemetry or Telemetry()
@@ -81,7 +87,7 @@ class Server:
         self.policy = policy
         self.batchers: List[ContinuousBatcher] = [
             ContinuousBatcher(
-                InferenceEngine(m, policy, max_timesteps=max_timesteps),
+                InferenceEngine(m, policy, max_timesteps=max_timesteps, use_runtime=use_runtime),
                 self.queue,
                 batch_width=batch_width,
                 telemetry=self.telemetry,

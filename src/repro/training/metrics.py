@@ -13,6 +13,7 @@ import numpy as np
 
 from ..autograd import no_grad
 from ..data.datasets import DataLoader
+from ..runtime import executor_for, run_cumulative_logits
 from ..snn.network import SpikingNetwork
 
 __all__ = [
@@ -39,7 +40,10 @@ def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: i
 
 
 def collect_cumulative_logits(
-    model: SpikingNetwork, loader: DataLoader, timesteps: Optional[int] = None
+    model: SpikingNetwork,
+    loader: DataLoader,
+    timesteps: Optional[int] = None,
+    use_runtime: Optional[bool] = None,
 ) -> Dict[str, np.ndarray]:
     """Run the model over a loader and collect cumulative logits per timestep.
 
@@ -48,17 +52,29 @@ def collect_cumulative_logits(
     This single pass is reused by the accuracy sweep, the DT-SNN threshold
     calibration and the benchmark harness, so the expensive SNN forward runs
     once per dataset.
+
+    When the model lowers into the :mod:`repro.runtime` compiled plan (and
+    ``use_runtime`` is not disabled) the sweep executes through the
+    graph-free fast path; the returned logits are bitwise identical to the
+    Tensor path's (``use_runtime=False``), so thresholds calibrated on one
+    path are exact on the other.
     """
     was_training = model.training
     model.eval()
     horizon = timesteps or model.default_timesteps
+    executor = executor_for(model, use_runtime)
     all_logits: List[np.ndarray] = []
     all_labels: List[np.ndarray] = []
     try:
         with no_grad():
             for inputs, labels in loader:
-                output = model.forward(inputs, horizon)
-                all_logits.append(output.cumulative_numpy())
+                if executor is None:
+                    output = model.forward(inputs, horizon)
+                    all_logits.append(output.cumulative_numpy())
+                else:
+                    all_logits.append(
+                        run_cumulative_logits(model, executor, inputs, horizon)
+                    )
                 all_labels.append(labels)
     finally:
         model.train(was_training)

@@ -10,6 +10,8 @@ loss improves early-timestep accuracy.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core import (
     DynamicTimestepInference,
     EntropyExitPolicy,

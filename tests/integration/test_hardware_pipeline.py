@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core import (
     DynamicTimestepInference,
     EntropyExitPolicy,

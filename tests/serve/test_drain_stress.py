@@ -1,0 +1,174 @@
+"""Stress test: graceful drain under concurrent load, no request lost or doubled.
+
+Several client threads hammer a small server (narrow batch, shallow queue, a
+policy that produces mixed exit timesteps) while the main thread closes the
+door mid-traffic.  Mid-horizon admissions and slot compaction are happening
+constantly under that regime, which is exactly where an accounting bug —
+a request dropped during compaction, a future resolved twice during a
+splice — would surface.
+
+The invariant under test: every submitted request is either *completed
+exactly once* (its future resolves with a result, counted once by
+telemetry) or *rejected exactly once* (the submitter saw
+``ServerClosedError`` / ``QueueFullError``); the two sets partition the
+offered load, and after drain the server holds no residue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EntropyExitPolicy
+from repro.serve import QueueFullError, Server, ServerClosedError
+from repro.snn import spiking_vgg
+from repro.utils import seed_everything
+
+pytestmark = pytest.mark.slow
+
+NUM_THREADS = 4
+REQUESTS_PER_THREAD = 40
+BATCH_WIDTH = 3
+QUEUE_CAPACITY = 8
+
+
+def _spiky_model():
+    """Untrained but actually-firing model with a spread of exit timesteps."""
+    seed_everything(77)
+    model = spiking_vgg("tiny", num_classes=6, input_size=8, default_timesteps=4)
+    for name, parameter in model.named_parameters():
+        if name.startswith("classifier"):
+            parameter.data = parameter.data * np.float32(25.0)
+    return model
+
+
+class _Client(threading.Thread):
+    """Closed-loop submitter recording one terminal outcome per request."""
+
+    def __init__(self, server, inputs, labels, offset):
+        super().__init__(daemon=True)
+        self.server = server
+        self.inputs = inputs
+        self.labels = labels
+        self.offset = offset
+        self.futures = []  # (expected_label, response)
+        self.rejected = 0
+
+    def run(self):
+        for index in range(REQUESTS_PER_THREAD):
+            sample = (self.offset + index) % self.inputs.shape[0]
+            try:
+                response = self.server.submit(
+                    self.inputs[sample],
+                    label=int(self.labels[sample]),
+                    block=True,
+                    timeout=5.0,
+                )
+            except (ServerClosedError, QueueFullError):
+                self.rejected += 1
+            else:
+                self.futures.append((int(self.labels[sample]), response))
+
+
+def test_graceful_drain_under_concurrent_load():
+    model = _spiky_model()
+    rng = np.random.default_rng(123)
+    inputs = rng.random((32, 3, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 6, size=32)
+
+    server = Server(
+        model,
+        EntropyExitPolicy(0.9),
+        batch_width=BATCH_WIDTH,
+        queue_capacity=QUEUE_CAPACITY,
+    ).start()
+
+    clients = [
+        _Client(server, inputs, labels, offset=i * 7) for i in range(NUM_THREADS)
+    ]
+    for client in clients:
+        client.start()
+
+    # Close the door once a good chunk of traffic has been accepted, while
+    # clients are still submitting: the race between submit() and close() is
+    # the scenario under test.
+    while server.telemetry.completed < (NUM_THREADS * REQUESTS_PER_THREAD) // 3:
+        time.sleep(0.001)
+    server.drain(timeout=60.0)
+    for client in clients:
+        client.join(timeout=60.0)
+        assert not client.is_alive(), "client thread wedged after drain"
+
+    # ---------------- accounting invariants ---------------- #
+    offered = NUM_THREADS * REQUESTS_PER_THREAD
+    accepted = sum(len(client.futures) for client in clients)
+    rejected = sum(client.rejected for client in clients)
+    assert accepted + rejected == offered
+
+    # Every accepted request completed exactly once, with a coherent result.
+    results = []
+    for client in clients:
+        for expected_label, response in client.futures:
+            assert response.done(), "drain returned but a future is unresolved"
+            result = response.result(timeout=0.0)
+            assert result.label == expected_label
+            assert 1 <= result.exit_timestep <= 4
+            results.append(result)
+    assert len(results) == accepted
+
+    # No double completion: ids unique, telemetry agrees with the futures.
+    request_ids = [result.request_id for result in results]
+    assert len(set(request_ids)) == len(request_ids)
+    assert server.telemetry.completed == accepted
+
+    # No residue: engine drained, queue empty and closed.
+    for batcher in server.batchers:
+        assert batcher.engine.idle
+    assert server.queue.depth() == 0
+    assert server.queue.closed
+
+    # The regime really exercised continuous batching: exits were mixed
+    # (compaction) and more requests flowed than slots exist (admissions
+    # mid-horizon).
+    exit_timesteps = {result.exit_timestep for result in results}
+    assert len(exit_timesteps) >= 2, "policy produced uniform exits; stress degenerate"
+    assert accepted > BATCH_WIDTH
+
+
+def test_drain_race_with_rejected_submitters_leaves_clean_server():
+    """Submissions that lose the race to close() must fail fast, not hang."""
+    model = _spiky_model()
+    rng = np.random.default_rng(5)
+    inputs = rng.random((8, 3, 8, 8)).astype(np.float32)
+
+    server = Server(
+        model, EntropyExitPolicy(0.9), batch_width=2, queue_capacity=4
+    ).start()
+    barrier = threading.Barrier(3)
+    outcomes = []
+
+    def late_submitter():
+        barrier.wait()
+        try:
+            response = server.submit(inputs[0], block=True, timeout=2.0)
+            outcomes.append(("accepted", response))
+        except (ServerClosedError, QueueFullError) as error:
+            outcomes.append(("rejected", error))
+
+    threads = [threading.Thread(target=late_submitter) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # submitters are in flight right as the drain begins
+    server.drain(timeout=30.0)
+    for thread in threads:
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+    assert len(outcomes) == 2
+    for kind, payload in outcomes:
+        if kind == "accepted":
+            assert payload.result(timeout=5.0).exit_timestep >= 1
+    assert server.queue.depth() == 0
