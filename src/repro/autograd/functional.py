@@ -4,6 +4,11 @@ These functions are the NumPy-autograd equivalents of ``torch.nn.functional``
 used by the original DT-SNN implementation: 2D convolution (via im2col),
 average/max pooling, linear layers, softmax / log-softmax, cross-entropy, and
 one-hot encoding.
+
+Scalar coefficients (the dropout keep-scale, pooling reciprocals, softmax
+shifts) follow the weak-scalar float32 policy of
+:mod:`repro.autograd.dtypes`: they adopt the activation dtype, so no
+operator here promotes the dataflow to float64 (docs/NUMERICS.md).
 """
 
 from __future__ import annotations

@@ -11,8 +11,12 @@ custom gradients (used by the surrogate spike function, Eq. 4 of the paper).
 
 Design notes
 ------------
-* ``Tensor.data`` is always a ``numpy.ndarray`` with dtype ``float32`` unless
-  the caller explicitly requests another float dtype.
+* ``Tensor.data`` is always a ``numpy.ndarray`` with dtype ``float32``: the
+  stack is *weak-scalar float32* (see :mod:`repro.autograd.dtypes` and
+  ``docs/NUMERICS.md``), so Python scalars entering an op adopt float32
+  instead of promoting the computation to float64.  Setting
+  ``REPRO_FLOAT64=1`` restores the legacy behaviour (scalars materialize as
+  float64 0-d arrays and float64 inputs pass through construction).
 * Gradients are accumulated into ``Tensor.grad`` (a NumPy array of the same
   shape) by :meth:`Tensor.backward`.
 * Graph nodes record their parents and a backward closure.  ``backward``
@@ -28,6 +32,8 @@ import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .dtypes import DEFAULT_DTYPE, coerce_array
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
@@ -72,7 +78,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
     array = np.asarray(value, dtype=dtype)
@@ -80,7 +86,15 @@ def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
 
 
 def as_tensor(value: ArrayLike, requires_grad: bool = False) -> "Tensor":
-    """Convert ``value`` to a :class:`Tensor`, passing tensors through."""
+    """Convert ``value`` to a :class:`Tensor`, passing tensors through.
+
+    This is the single chokepoint every scalar operand of a Tensor op flows
+    through: construction routes the value to
+    :func:`repro.autograd.dtypes.coerce_array`, so under the default policy
+    a Python scalar becomes a float32 0-d array (weak-scalar float32) and
+    under ``REPRO_FLOAT64=1`` it becomes the legacy float64 0-d array that
+    promotes everything downstream.
+    """
     if isinstance(value, Tensor):
         return value
     return Tensor(value, requires_grad=requires_grad)
@@ -103,10 +117,10 @@ class Tensor:
     ):
         if isinstance(data, Tensor):
             data = data.data
-        array = np.asarray(data)
-        if array.dtype not in (np.float32, np.float64):
-            array = array.astype(np.float32)
-        self.data: np.ndarray = array
+        # Dtype policy (docs/NUMERICS.md): float32 storage for everything,
+        # including float64 inputs, which the seed silently passed through;
+        # REPRO_FLOAT64=1 restores that legacy passthrough.
+        self.data: np.ndarray = coerce_array(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = parents

@@ -5,6 +5,13 @@ DT-SNN exit decision and by the sigma-E hardware module model.  The entropy is
 normalized by ``log K`` so it always lies in ``(0, 1]`` regardless of the
 number of classes, which lets a single threshold value be meaningful across
 datasets.
+
+Dtype note: this module is *decision-side* — it consumes finished float32
+logits and deliberately scores them in float64 (exp/log precision near the
+exit threshold), which is outside the network dataflow's weak-scalar
+float32 policy (docs/NUMERICS.md).  Both execution paths feed it bitwise-
+identical logits, so the scores — and every exit decision — agree bitwise
+across paths too.
 """
 
 from __future__ import annotations

@@ -94,6 +94,14 @@ class BatchNorm2d(Module):
     is the "optional normalization layer placed between conv and LIF" the
     paper describes (Sec. II).  The threshold-dependent variant used by the
     tdBN baseline lives in :mod:`repro.snn.tdbn`.
+
+    The scalar ``eps`` in ``var + eps`` adopts the activation dtype (weak-
+    scalar float32; docs/NUMERICS.md), so normalization no longer promotes
+    everything downstream to float64 the way the seed implementation did.
+    When this layer directly follows a convolution inside a
+    :class:`~repro.snn.ConvSpikeBlock` / ``SpikingResidualBlock``, frozen
+    inference folds it into the conv GEMM entirely
+    (:mod:`repro.snn.folding`).
     """
 
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):

@@ -13,9 +13,25 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, coerce_array
 
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList", "Identity"]
+
+
+def _coerce_buffer(value) -> np.ndarray:
+    """Apply the dtype policy (docs/NUMERICS.md) to a buffer array.
+
+    Float buffers follow the same weak-scalar float32 rule as Tensor data —
+    in particular a checkpoint whose running stats arrive as float64 must
+    not smuggle float64 into the dataflow (it would poison the folded
+    conv+norm cache on the fast path while the Tensor path re-coerces,
+    breaking the bitwise path-vs-path contract).  Non-float buffers pass
+    through untouched.
+    """
+    array = np.asarray(value)
+    if np.issubdtype(array.dtype, np.floating):
+        return coerce_array(array)
+    return array
 
 
 class Parameter(Tensor):
@@ -46,14 +62,14 @@ class Module:
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register a non-trainable array that is part of the state dict."""
-        self._buffers[name] = np.asarray(value)
+        self._buffers[name] = _coerce_buffer(value)
         object.__setattr__(self, name, self._buffers[name])
 
     def update_buffer(self, name: str, value: np.ndarray) -> None:
         """Overwrite a previously registered buffer (e.g. BN running stats)."""
         if name not in self._buffers:
             raise KeyError(f"buffer {name!r} was never registered")
-        self._buffers[name] = np.asarray(value)
+        self._buffers[name] = _coerce_buffer(value)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------ #

@@ -16,6 +16,12 @@ constant factor while keeping the results **bitwise identical**:
   im2col patches *and* the GEMM they feed) is computed once per input and
   replayed across all timesteps and across serve-slot lifetimes.
 
+The whole pipeline runs weak-scalar float32 (docs/NUMERICS.md): plans,
+scratch buffers and membrane state never contain a float64 array unless the
+``REPRO_FLOAT64=1`` legacy escape hatch is set, in which case the kernels
+reproduce the seed's float64 scalar promotion bit for bit and conv/norm
+folding is disabled.
+
 The Tensor path stays available everywhere as the *reference oracle*: pass
 ``use_runtime=False`` (or set ``REPRO_RUNTIME=0``) to
 :class:`~repro.core.DynamicTimestepInference`,
@@ -33,6 +39,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..autograd.dtypes import float64_enabled, scalar_operand
 from ..snn.encoding import DirectEncoder
 from ..snn.network import SpikingNetwork
 from .executor import PlanExecutor
@@ -76,11 +83,15 @@ def plan_for(model: SpikingNetwork) -> Optional[CompiledPlan]:
 
     Returns ``None`` when the model contains modules the fast path cannot
     lower — the caller should silently use the Tensor oracle.
+
+    A cached plan is reused only when it was compiled under the current
+    ``REPRO_FLOAT64`` dtype-policy mode; flipping the mode (legacy float64
+    promotion vs weak-scalar float32 + conv/norm folding) recompiles.
     """
     cached = _PLAN_CACHE.get(model)
     if cached is _UNSUPPORTED:
         return None
-    if cached is not None:
+    if cached is not None and cached.float64_mode == float64_enabled():
         return cached
     try:
         plan = compile_network(model)
@@ -123,8 +134,8 @@ def run_cumulative_logits(
     Runs the compiled plan over the horizon and accumulates the running-mean
     logits with the exact float operations of
     :func:`~repro.snn.network.cumulative_mean_logits` (sum, then multiply by
-    the float32 reciprocal), so the returned ``(T, N, K)`` array is bitwise
-    identical to the Tensor path's.
+    the reciprocal at the policy scalar dtype), so the returned ``(T, N, K)``
+    array is bitwise identical to the Tensor path's.
     """
     executor.reset_state()
     inputs = np.asarray(inputs, dtype=np.float32)
@@ -134,6 +145,7 @@ def run_cumulative_logits(
         frame = model.encoder(inputs, t).data
         logits = executor.step(frame)
         running = logits if running is None else running + logits
-        # as_tensor turns the reciprocal into a float64 0-d array; match it.
-        levels.append(running * np.asarray(1.0 / (t + 1)))
+        # The reciprocal adopts the logits dtype exactly like as_tensor does
+        # on the Tensor path (float64 under the legacy escape hatch).
+        levels.append(running * scalar_operand(1.0 / (t + 1), running.dtype))
     return np.stack(levels, axis=0)

@@ -42,6 +42,18 @@ class PlanExecutor:
     collect_statistics:
         Update each source LIF layer's spike counters exactly like the
         Tensor path does (the IMC energy model reads them).
+
+    Dtype guarantees
+    ----------------
+    Under the default weak-scalar float32 policy (docs/NUMERICS.md) every
+    array an executor owns — registers, scratch buffers, membranes, stem
+    rows, returned logits — is float32 (boolean fire/relu masks aside), and
+    the results are bitwise-identical to the define-by-run Tensor oracle
+    (``use_runtime=False`` / ``REPRO_RUNTIME=0``), which remains available
+    everywhere as the reference.  Under ``REPRO_FLOAT64=1`` the same
+    bitwise contract holds against the legacy float64-promoting Tensor
+    path.  Executors are mode-bound at construction: flip the flag, then
+    build a fresh executor (``plan_for`` recompiles automatically).
     """
 
     def __init__(self, plan: CompiledPlan, stem_cache: bool = False,

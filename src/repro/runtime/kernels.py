@@ -11,15 +11,17 @@ work is *identical*, not merely close.
 
 Dtype discipline
 ----------------
-``as_tensor`` wraps Python scalars via ``np.asarray(scalar)``, i.e. as
-*float64* 0-d arrays, so the Tensor path silently promotes to float64 at
-every scalar-involving op (the BN ``var + eps``, the LIF ``membrane * tau``,
-the cumulative ``* (1/t)``).  The kernels reproduce that promotion exactly:
-scalars that the Tensor path routes through ``as_tensor`` are materialized
-with a bare ``np.asarray`` here, and every buffer takes the dtype NumPy's
-promotion rules dictate.  Collapsing the stack to true float32 would change
-results at the ulp level and is deliberately left to a future PR (see the
-ROADMAP).
+The stack is weak-scalar float32 (:mod:`repro.autograd.dtypes`,
+docs/NUMERICS.md): scalars that the Tensor path routes through
+``as_tensor`` adopt the dtype of the array they combine with, so every
+buffer here is float32 under the default policy.  The kernels materialize
+their scalar constants through the same
+:func:`~repro.autograd.dtypes.scalar_operand` helper, which keeps them
+bitwise-faithful in *either* mode — under ``REPRO_FLOAT64=1`` the helper
+reproduces the seed's float64 0-d scalars and the buffers promote exactly
+like the legacy Tensor path did.  The ``np.result_type`` plumbing is kept
+for that reason: it collapses to float32 everywhere by default and tracks
+the legacy promotion chain under the escape hatch.
 
 Buffer discipline
 -----------------
@@ -41,6 +43,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..autograd.dtypes import scalar_operand
 from ..autograd.ops import conv_output_size
 
 __all__ = [
@@ -159,9 +162,14 @@ def batchnorm_step(
     """Eval-mode (temporal) batch norm as one fused elementwise chain.
 
     Mirrors the Tensor op order *and dtype promotion* exactly — subtract in
-    the input dtype, divide by the float64 ``sqrt(var + eps)`` denominator,
-    scale by gamma, (tdBN threshold scale,) add beta.  Regrouping the
-    constants (e.g. folding ``gamma / std``) would change float rounding.
+    the input dtype, divide by the ``sqrt(var + eps)`` denominator, scale by
+    gamma, (tdBN threshold scale,) add beta.  Regrouping the constants here
+    would change float rounding relative to the unfused Tensor modules, so
+    this kernel stays op-faithful.  Under the default policy it runs only
+    for norm layers standing *outside* a conv→norm block pair (those fold
+    into the conv GEMM via :mod:`repro.snn.folding` on both paths); under
+    ``REPRO_FLOAT64=1`` folding is disabled and block norms run through
+    this kernel too, reproducing the legacy promotion chain.
     """
     sub = ensure_buffer(scratch, "sub", x.shape, np.result_type(x.dtype, mean.dtype))
     np.subtract(x, mean, out=sub)
@@ -188,15 +196,17 @@ def lif_step(
     reset ``u * (1 - s)`` or soft reset ``u - s*V_th`` — and returns
     ``(spikes, new_membrane, spike_count)``.  A ``membrane`` of ``None`` (or
     of a stale shape) is a fresh state, matching the layer's semantics.  The
-    scalars ``tau`` and ``V_th`` go through ``np.asarray`` (float64), exactly
-    like ``as_tensor`` does on the Tensor path.
+    scalars ``tau`` and ``V_th`` are materialized with
+    :func:`~repro.autograd.dtypes.scalar_operand`, exactly the dtype
+    ``as_tensor`` gives them on the Tensor path (float32 under the default
+    policy, float64 under ``REPRO_FLOAT64=1``).
     """
     if membrane is not None and membrane.shape != current.shape:
         membrane = None
     if membrane is None:
         u = current
     else:
-        tau_scalar = np.asarray(tau)
+        tau_scalar = scalar_operand(tau, membrane.dtype)
         u = ensure_buffer(
             scratch, "u", current.shape,
             np.result_type(membrane.dtype, tau_scalar.dtype, current.dtype),
@@ -215,8 +225,9 @@ def lif_step(
         tmp = ensure_buffer(scratch, "tmp", u.shape, spikes.dtype)
         np.subtract(1.0, spikes, out=tmp)
     else:
-        # membrane - spikes * V_th: the scalar multiply promotes to float64.
-        v_th_scalar = np.asarray(v_threshold)
+        # membrane - spikes * V_th: the scalar adopts the spike dtype (or
+        # promotes to float64 under the legacy escape hatch).
+        v_th_scalar = scalar_operand(v_threshold, spikes.dtype)
         tmp = ensure_buffer(
             scratch, "tmp", u.shape, np.result_type(spikes.dtype, v_th_scalar.dtype)
         )

@@ -16,9 +16,18 @@ point (the whole pre-spike prefix is cached, not just the patches).
 
 Ops capture live references to :class:`Parameter` objects and norm modules,
 not copies of their arrays, so a plan survives ``load_state_dict`` and
-in-place optimizer updates; only derived constants (the BN denominator) are
-cached, and they refresh automatically when the running-stat buffer object
-is replaced.
+in-place optimizer updates; derived constants (the BN denominator, the
+folded conv+norm weights) are cached and refresh automatically when a
+source parameter/buffer array object is replaced.
+
+Inside :class:`~repro.snn.architectures.ConvSpikeBlock` and
+``SpikingResidualBlock``, the conv→norm pair lowers to a *single* GEMM with
+the norm folded into the weights (:mod:`repro.snn.folding`) — the same
+folded arrays the Tensor path consumes during frozen inference, which is
+what keeps the two paths bitwise-identical.  Under ``REPRO_FLOAT64=1`` the
+plan reverts to the seed's unfused, float64-promoting op sequence
+(:mod:`repro.autograd.dtypes`), and :func:`repro.runtime.plan_for`
+recompiles cached plans whenever that mode flag changes.
 
 Anything the lowerer does not recognize raises
 :exc:`UnsupportedModuleError`; callers treat that as "use the Tensor oracle",
@@ -32,6 +41,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..autograd.dtypes import float64_enabled, scalar_operand
 from ..nn.layers import (
     AdaptiveAvgPool2d,
     AvgPool2d,
@@ -117,18 +127,20 @@ class NormOp(PlanOp):
     def __init__(self, src: int, dst: int, module: Module, scale: Optional[float]):
         super().__init__(src, dst)
         self.module = module
-        # ``as_tensor`` wraps Python scalars as float64 0-d arrays; match it.
-        self.scale = None if scale is None else np.asarray(scale)
+        # The scalar adopts the parameter dtype (weak-scalar float32), or
+        # float64 under the legacy escape hatch — exactly what as_tensor
+        # gives it on the Tensor path.
+        self.scale = None if scale is None else scalar_operand(scale, np.float32)
         self._std: Optional[np.ndarray] = None
         self._std_src: Optional[np.ndarray] = None
 
     def _denominator(self) -> np.ndarray:
         running_var = self.module.running_var
         if self._std is None or self._std_src is not running_var:
-            # Exactly the Tensor path: Tensor(var.reshape(1,C,1,1)) + eps, sqrt
-            # — including the float64 promotion from the scalar eps.
+            # Exactly the Tensor path: Tensor(var.reshape(1,C,1,1)) + eps,
+            # sqrt — with eps materialized at the policy scalar dtype.
             var = running_var.reshape(1, -1, 1, 1)
-            self._std = np.sqrt(var + np.asarray(self.module.eps))
+            self._std = np.sqrt(var + scalar_operand(self.module.eps, var.dtype))
             self._std_src = running_var
         return self._std
 
@@ -143,6 +155,32 @@ class NormOp(PlanOp):
             m.bias.data.reshape(1, channels, 1, 1),
             self.scale,
             scratch,
+        )
+
+
+class FoldedConvNormOp(PlanOp):
+    """A conv→norm pair executed as one GEMM with the norm folded in.
+
+    The folded ``(weight, bias)`` arrays come from the *shared*
+    :class:`~repro.snn.folding.FoldedConvNorm` cache owned by the source
+    block — the same object the Tensor path reads during frozen inference —
+    so both execution paths consume identical constants and the bitwise
+    path-vs-path contract survives folding.  The cache refreshes itself when
+    any source parameter/buffer array object is replaced.
+    """
+
+    __slots__ = ("conv", "folded")
+
+    def __init__(self, src: int, dst: int, conv: Conv2d, folded):
+        super().__init__(src, dst)
+        self.conv = conv
+        self.folded = folded
+
+    def run(self, regs, scratch, state) -> None:
+        weight, bias = self.folded.arrays()
+        regs[self.dst] = kernels.conv2d_step(
+            regs[self.src], weight, bias,
+            self.conv.kernel_size, self.conv.stride, self.conv.padding, scratch,
         )
 
 
@@ -279,6 +317,16 @@ class _Lowering:
         return register
 
     # ------------------------------------------------------------------ #
+    def _lower_conv_norm(self, conv: Module, norm: Module, folded, src: int) -> int:
+        """Lower a block's conv→norm pair, folded into one GEMM when the
+        Tensor path folds it too (same gate, same shared cache)."""
+        if folded is not None and folded.active:
+            dst = self.new_register()
+            self.ops.append(FoldedConvNormOp(src, dst, conv, folded))
+            return dst
+        src = self.lower(conv, src)
+        return self.lower(norm, src)
+
     def lower(self, module: Module, src: int) -> int:
         """Emit ops for ``module`` reading register ``src``; return the output register."""
         if isinstance(module, Sequential):
@@ -286,18 +334,16 @@ class _Lowering:
                 src = self.lower(child, src)
             return src
         if isinstance(module, ConvSpikeBlock):
-            src = self.lower(module.conv, src)
-            src = self.lower(module.norm, src)
+            src = self._lower_conv_norm(module.conv, module.norm, module.folded, src)
             return self.lower(module.lif, src)
         if isinstance(module, SpikingResidualBlock):
             block_in = src
-            main = self.lower(module.conv1, block_in)
-            main = self.lower(module.norm1, main)
+            main = self._lower_conv_norm(module.conv1, module.norm1, module.folded1, block_in)
             main = self.lower(module.lif1, main)
-            main = self.lower(module.conv2, main)
-            main = self.lower(module.norm2, main)
-            shortcut = self.lower(module.shortcut_conv, block_in)
-            shortcut = self.lower(module.shortcut_norm, shortcut)
+            main = self._lower_conv_norm(module.conv2, module.norm2, module.folded2, main)
+            shortcut = self._lower_conv_norm(
+                module.shortcut_conv, module.shortcut_norm, module.folded_shortcut, block_in
+            )
             summed = self.new_register()
             self.ops.append(AddOp(main, shortcut, summed))
             return self.lower(module.lif2, summed)
@@ -380,6 +426,10 @@ class CompiledPlan:
         self.num_registers = num_registers
         self.output_register = output_register
         self.num_lif = num_lif
+        # Dtype-policy mode this plan was lowered under: folding decisions
+        # and scalar constants are mode-dependent, so plan_for() recompiles
+        # when REPRO_FLOAT64 changes between compilation and use.
+        self.float64_mode = float64_enabled()
         self.stem_len = next(
             (i for i, op in enumerate(self.ops) if op.is_stateful), 0
         )
@@ -416,7 +466,18 @@ def compile_network(model: SpikingNetwork) -> CompiledPlan:
     """Lower ``model.features`` + ``model.classifier`` into a :class:`CompiledPlan`.
 
     Raises :exc:`UnsupportedModuleError` when the model contains a module the
-    fast path cannot express; callers should fall back to the Tensor oracle.
+    fast path cannot express; callers should fall back to the Tensor oracle
+    (``use_runtime=False`` / ``REPRO_RUNTIME=0``), which remains available
+    everywhere and produces bitwise-identical results.
+
+    Dtype guarantees: under the default weak-scalar float32 policy
+    (docs/NUMERICS.md) every register, scratch buffer and membrane the plan
+    touches is float32, and block-level conv→norm pairs are folded into
+    single GEMMs exactly as the Tensor path folds them during frozen
+    inference.  Under ``REPRO_FLOAT64=1`` the plan instead reproduces the
+    seed's unfused ops and float64 scalar promotion, bit for bit.  The plan
+    records the mode it was compiled under (:attr:`CompiledPlan.float64_mode`);
+    :func:`repro.runtime.plan_for` recompiles on a mode mismatch.
     """
     lowering = _Lowering()
     features_out = lowering.lower(model.features, 0)

@@ -106,7 +106,18 @@ class InferenceEngine:
 
     # ------------------------------------------------------------------ #
     def admit(self, request: Request, response: Response, start_time: float) -> None:
-        """Occupy a slot with a fresh request (membrane rows start at zero)."""
+        """Occupy a slot with a fresh request (membrane rows start at zero).
+
+        Admission may happen *mid-horizon*: the new row is spliced into the
+        live batch while other slots are partway through their timestep
+        loops, and the per-sample trajectory is bitwise-identical to running
+        the request alone (fresh zero membranes, per-slot timestep counters,
+        deterministic encoding).  On the compiled-plan fast path the slot's
+        stateless stem prefix is computed once here (float32, one row) and
+        replayed from cache for every subsequent :meth:`step` of the slot's
+        lifetime; the Tensor oracle (``use_runtime=False``) performs the
+        same splice through :meth:`SpikingNetwork.extend_state`.
+        """
         self._slots.append(_Slot(request=request, response=response, start_time=start_time))
         if self._executor is not None:
             frames = None

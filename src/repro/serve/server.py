@@ -64,7 +64,18 @@ class Server:
         Per-engine execution path: ``None`` (default) lets the
         ``REPRO_RUNTIME`` gate pick the compiled-plan fast path when the
         model lowers; ``False`` pins the define-by-run Tensor oracle.  Both
-        paths produce bitwise-identical predictions and exit timesteps.
+        paths produce bitwise-identical predictions and exit timesteps, so
+        the oracle switch is a pure speed/debuggability trade.
+
+    Dtype guarantees
+    ----------------
+    All served inference runs weak-scalar float32 (docs/NUMERICS.md): input
+    frames are encoded to float32, every activation / membrane / logit the
+    workers produce is float32, and frozen conv+norm pairs execute as folded
+    single GEMMs on both paths.  Only decision-side score bookkeeping
+    (entropy values reported in telemetry) uses float64.  Setting
+    ``REPRO_FLOAT64=1`` before constructing the server restores the legacy
+    float64-promoting numerics on both paths at once.
     """
 
     def __init__(

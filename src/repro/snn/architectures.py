@@ -16,10 +16,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..autograd import Tensor, functional as F, is_grad_enabled
 from ..nn import AvgPool2d, BatchNorm2d, Conv2d, Flatten, Identity, Linear, Sequential
 from ..nn.module import Module
 from ..utils.registry import Registry
 from .encoding import DirectEncoder
+from .folding import fold_candidate
 from .neurons import LIFNeuron
 from .network import SpikingNetwork
 from .surrogate import SurrogateGradient, TriangularSurrogate
@@ -68,6 +70,36 @@ def _make_norm(norm: str, channels: int, v_threshold: float) -> Module:
     raise ValueError(f"unknown norm {norm!r}; expected 'bn', 'tdbn' or 'none'")
 
 
+def _conv_norm_forward(conv: Module, norm: Module, folded, x, training: bool):
+    """Run a conv→norm pair, using the folded single-GEMM form when frozen.
+
+    Folding applies only during frozen inference — eval mode with gradient
+    recording off — and only under the default float32 dtype policy; every
+    other situation (training-mode statistics, surrogate-gradient backward,
+    ``REPRO_FLOAT64=1`` legacy numerics) runs the unfused modules.  The
+    compiled plan folds the *same* pairs from the *same* cache, so the
+    define-by-run oracle and the runtime fast path stay bitwise-identical
+    (see :mod:`repro.snn.folding` and docs/NUMERICS.md).
+
+    Instance-level ``forward`` overrides (the IMC mapper temporarily wraps
+    conv/linear forwards to trace geometry and input activity) also disable
+    folding, so instrumentation observes the real per-layer dataflow.
+    """
+    instrumented = "forward" in conv.__dict__ or "forward" in norm.__dict__
+    if (
+        folded is not None
+        and not training
+        and not instrumented
+        and not is_grad_enabled()
+        and folded.active
+    ):
+        weight, bias = folded.arrays()
+        return F.conv2d(
+            x, Tensor(weight), Tensor(bias), stride=conv.stride, padding=conv.padding
+        )
+    return norm(conv(x))
+
+
 class ConvSpikeBlock(Module):
     """``g_l`` of Eq. 1: convolution, optional normalization, LIF firing."""
 
@@ -87,9 +119,12 @@ class ConvSpikeBlock(Module):
         self.conv = Conv2d(in_channels, out_channels, kernel_size, stride=stride, padding=padding)
         self.norm = _make_norm(norm, out_channels, v_threshold)
         self.lif = LIFNeuron(tau=tau, v_threshold=v_threshold, surrogate=surrogate)
+        # Eval-time conv+norm fold (shared with the compiled plan, which is
+        # what keeps the two execution paths bitwise-identical after folding).
+        self.folded = fold_candidate(self.conv, self.norm)
 
     def forward(self, x):
-        return self.lif(self.norm(self.conv(x)))
+        return self.lif(_conv_norm_forward(self.conv, self.norm, self.folded, x, self.training))
 
 
 class SpikingResidualBlock(Module):
@@ -125,11 +160,16 @@ class SpikingResidualBlock(Module):
             self.shortcut_conv = Identity()
             self.shortcut_norm = Identity()
             self._has_projection = False
+        self.folded1 = fold_candidate(self.conv1, self.norm1)
+        self.folded2 = fold_candidate(self.conv2, self.norm2)
+        self.folded_shortcut = fold_candidate(self.shortcut_conv, self.shortcut_norm)
 
     def forward(self, x):
-        out = self.lif1(self.norm1(self.conv1(x)))
-        out = self.norm2(self.conv2(out))
-        shortcut = self.shortcut_norm(self.shortcut_conv(x))
+        out = self.lif1(_conv_norm_forward(self.conv1, self.norm1, self.folded1, x, self.training))
+        out = _conv_norm_forward(self.conv2, self.norm2, self.folded2, out, self.training)
+        shortcut = _conv_norm_forward(
+            self.shortcut_conv, self.shortcut_norm, self.folded_shortcut, x, self.training
+        )
         return self.lif2(out + shortcut)
 
 

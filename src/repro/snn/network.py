@@ -31,7 +31,10 @@ def cumulative_mean_logits(per_timestep: Sequence[Tensor]) -> List[Tensor]:
     """Running mean of the classifier outputs: ``f_t(x) = (1/t) sum_{k<=t} o_k``.
 
     The returned tensors stay attached to the autograd graph, so they can be
-    used directly in the Eq. 10 training loss.
+    used directly in the Eq. 10 training loss.  The ``1/t`` reciprocal
+    adopts the logits' float32 dtype (weak-scalar policy, docs/NUMERICS.md);
+    :func:`repro.runtime.run_cumulative_logits` mirrors the same scalar so
+    the fast path's accumulation is bitwise-identical.
     """
     cumulative: List[Tensor] = []
     running: Optional[Tensor] = None

@@ -12,6 +12,11 @@ The paper uses a *hard* reset: after a spike the membrane potential is set to
 zero, ``u <- u * (1 - s)``.  A *soft* (subtractive) reset ``u <- u - s*V_th``
 is also provided because the IMC literature sometimes prefers it; tests cover
 both.
+
+Dtype: the scalar coefficients (``tau``, ``V_th``) adopt the membrane dtype
+(weak-scalar float32; docs/NUMERICS.md), so the membrane trajectory stays
+float32 across timesteps instead of silently promoting to float64 on the
+first leak multiply as the seed implementation did.
 """
 
 from __future__ import annotations

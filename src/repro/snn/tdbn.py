@@ -86,6 +86,8 @@ class TemporalBatchNorm2d(Module):
         else:
             mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
             var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        # The scalars (eps, alpha * V_th) adopt the activation dtype via the
+        # as_tensor chokepoint — weak-scalar float32 (docs/NUMERICS.md).
         normalized = (x - mean) / (var + self.eps).sqrt()
         scale = self.alpha * self.v_threshold
         gamma = self.weight.reshape(1, self.num_features, 1, 1)

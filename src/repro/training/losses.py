@@ -13,6 +13,9 @@ Three losses from the paper and its baselines:
 
 All losses consume a :class:`~repro.snn.network.TemporalOutput` so the
 trainer can switch between them with a single configuration string.
+
+The ``1/T`` averaging reciprocals adopt the loss dtype (weak-scalar float32,
+docs/NUMERICS.md) instead of promoting the backward pass to float64.
 """
 
 from __future__ import annotations

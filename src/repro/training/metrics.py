@@ -57,7 +57,9 @@ def collect_cumulative_logits(
     ``use_runtime`` is not disabled) the sweep executes through the
     graph-free fast path; the returned logits are bitwise identical to the
     Tensor path's (``use_runtime=False``), so thresholds calibrated on one
-    path are exact on the other.
+    path are exact on the other.  The logits are float32 end to end — the
+    ``1/t`` averaging follows the weak-scalar dtype policy
+    (docs/NUMERICS.md) on both paths.
     """
     was_training = model.training
     model.eval()

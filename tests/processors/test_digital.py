@@ -96,9 +96,19 @@ class TestWallClockProfiler:
 
     def test_more_timesteps_is_slower(self, profiler_inputs):
         profiler, inputs = profiler_inputs
-        fast = profiler.measure_static(inputs, timesteps=1)
-        slow = profiler.measure_static(inputs, timesteps=4)
-        assert slow.mean_latency_ms > fast.mean_latency_ms
+        # Best of two windows per horizon: each window is only a few ms, so
+        # a single gen-2 GC pause landing inside one (which late in a long
+        # suite it deterministically does) would otherwise flip the
+        # comparison.
+        fast = min(
+            profiler.measure_static(inputs, timesteps=1).mean_latency_ms
+            for _ in range(2)
+        )
+        slow = min(
+            profiler.measure_static(inputs, timesteps=4).mean_latency_ms
+            for _ in range(2)
+        )
+        assert slow > fast
 
     def test_dynamic_average_timesteps_below_max(self, profiler_inputs):
         profiler, inputs = profiler_inputs

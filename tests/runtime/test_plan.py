@@ -17,12 +17,17 @@ from repro.runtime import (
     run_cumulative_logits,
     runtime_enabled,
 )
-from repro.runtime.plan import ConvOp, LIFOp, LinearOp, NormOp
+from repro.runtime.plan import ConvOp, FoldedConvNormOp, LIFOp, LinearOp, NormOp
 from repro.serve import InferenceEngine
 from repro.snn import SpikingNetwork, spiking_resnet, spiking_vgg
 from repro.snn.encoding import EventFrameEncoder, PoissonEncoder
 from repro.snn.neurons import LIFNeuron
+from repro.autograd import float64_enabled
 from repro.utils import seed_everything
+
+requires_default_policy = pytest.mark.skipif(
+    float64_enabled(), reason="suite is running under REPRO_FLOAT64=1"
+)
 
 
 def _tiny_vgg():
@@ -45,7 +50,31 @@ class _Opaque(Module):
 
 
 class TestLowering:
+    @requires_default_policy
     def test_vgg_op_sequence_and_stem(self):
+        plan = compile_network(_tiny_vgg())
+        kinds = [type(op).__name__ for op in plan.ops]
+        # Block-level conv->norm pairs fold into single GEMM ops.
+        assert kinds == [
+            "FoldedConvNormOp", "LIFOp", "AvgPoolOp",
+            "FoldedConvNormOp", "LIFOp", "AvgPoolOp",
+            "FlattenOp", "LinearOp",
+        ]
+        # Everything before the first LIF is the cacheable stem: the folded
+        # conv1+bn1 GEMM.
+        assert plan.stem_len == 1
+        assert isinstance(plan.ops[0], FoldedConvNormOp)
+        assert isinstance(plan.ops[plan.stem_len], LIFOp)
+        # Only the folded conv output crosses the stem boundary.
+        assert plan.stem_registers == (plan.ops[0].dst,)
+        assert isinstance(plan.ops[-1], LinearOp)
+        assert plan.output_register == plan.ops[-1].dst
+        assert plan.num_lif == 2
+        assert "FoldedConvNormOp" in plan.describe()
+
+    def test_vgg_unfused_lowering_under_float64_mode(self, monkeypatch):
+        """The legacy escape hatch restores the seed's unfused op sequence."""
+        monkeypatch.setenv("REPRO_FLOAT64", "1")
         plan = compile_network(_tiny_vgg())
         kinds = [type(op).__name__ for op in plan.ops]
         assert kinds == [
@@ -53,17 +82,18 @@ class TestLowering:
             "ConvOp", "NormOp", "LIFOp", "AvgPoolOp",
             "FlattenOp", "LinearOp",
         ]
-        # Everything before the first LIF is the cacheable stem: conv1 + bn1.
         assert plan.stem_len == 2
-        assert isinstance(plan.ops[0], ConvOp)
-        assert isinstance(plan.ops[1], NormOp)
-        assert isinstance(plan.ops[plan.stem_len], LIFOp)
-        # Only the norm output crosses the stem boundary.
-        assert plan.stem_registers == (plan.ops[1].dst,)
-        assert isinstance(plan.ops[-1], LinearOp)
-        assert plan.output_register == plan.ops[-1].dst
-        assert plan.num_lif == 2
-        assert "ConvOp" in plan.describe()
+        assert plan.float64_mode is True
+
+    def test_plan_cache_recompiles_on_mode_flip(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLOAT64", raising=False)
+        model = _tiny_vgg()
+        default_plan = plan_for(model)
+        assert default_plan.float64_mode is False
+        monkeypatch.setenv("REPRO_FLOAT64", "1")
+        legacy_plan = plan_for(model)
+        assert legacy_plan is not default_plan
+        assert legacy_plan.float64_mode is True
 
     def test_resnet_residual_lowering(self):
         seed_everything(2)

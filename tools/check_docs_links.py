@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in the docs tree resolve.
+
+Scans README.md and every ``docs/*.md`` for inline links/images
+(``[text](target)``), skips external (``http(s)://``, ``mailto:``) and
+pure-anchor targets, and verifies each remaining target exists relative to
+the file containing the link.  Exits non-zero listing every broken link.
+
+Run from anywhere: paths are resolved against the repository root (the
+parent of this script's directory).  CI runs this as the docs link-check
+step.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline Markdown link or image: [text](target) — target taken up to the
+# first closing paren (no nested parens in this repo's docs).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        # Strip an anchor suffix; what must exist is the file itself.
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: broken link -> {target}"
+            )
+    return errors
+
+
+def main() -> int:
+    files = iter_doc_files()
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {len(files)} file(s)")
+        return 1
+    print(f"docs link check: {len(files)} file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
