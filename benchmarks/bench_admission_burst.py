@@ -1,0 +1,184 @@
+"""Admission cost under bursty traffic — batched vs per-request admission.
+
+The seed engine admitted one request at a time: every admission paid a
+single-row stem GEMM plus an ``np.concatenate`` of the running sum and of
+*every* LIF membrane — O(burst^2) array traffic per fill round, all of it on
+the serving hot path.  ``InferenceEngine.admit_batch`` (driven by
+``ContinuousBatcher._fill_slots``) drains the whole round first and extends
+state once, computing the burst's stem prefix in one batched GEMM.
+
+Two measurements:
+
+1. *Admission microbenchmark* — time to splice a burst of B queued requests
+   into a live mid-horizon engine, batched (one ``admit_batch``) vs
+   sequential (B x ``admit``, the seed's admission pattern).  The headline
+   number is us **per request**: flat in B for the batched path.
+2. *Served throughput under a bursty arrival profile* — the load generator's
+   burst mode (groups of B arrivals land at one instant, average rate
+   unchanged), end to end through the server.
+
+Assertions: batched admission is never slower than sequential at burst >= 8,
+its per-request cost stays flat (<= 2x the burst-1 cost at burst 32), and
+the bursty-profile serve run completes every request with decisions
+identical to the smooth-profile run.  Wall-clock gates are skipped in smoke
+mode; the determinism checks always run.
+"""
+
+import time
+
+import numpy as np
+
+from _bench_utils import SMOKE, emit, print_section
+from repro.core import EntropyExitPolicy
+from repro.imc import format_table
+from repro.serve import (
+    InferenceEngine,
+    LoadGenerator,
+    Request,
+    Response,
+    Server,
+    request_stream,
+)
+
+BURSTS = (1, 2, 8, 32)
+MICRO_ROUNDS = 30
+NUM_REQUESTS = 160
+BATCH_WIDTH = 8
+STREAM_SEED = 23
+SERVE_BURSTS = (1, 16)
+
+
+def _primed_engine(experiment, width=4):
+    """An engine mid-horizon: ``width`` live slots, one step taken — the
+    realistic splice target (running sums and membranes exist)."""
+    engine = InferenceEngine(
+        experiment.model, EntropyExitPolicy(0.0), max_timesteps=experiment.timesteps
+    )
+    for index in range(width):
+        engine.admit(
+            Request(request_id=-1 - index, inputs=experiment.test_dataset.inputs[index]),
+            Response(),
+            0.0,
+        )
+    engine.step()
+    return engine
+
+
+def _time_admission(experiment, burst, batched):
+    """Mean seconds per fill round of ``burst`` admissions."""
+    inputs = experiment.test_dataset.inputs
+    total = 0.0
+    for round_index in range(MICRO_ROUNDS):
+        engine = _primed_engine(experiment)
+        admissions = [
+            (
+                Request(request_id=index, inputs=inputs[(round_index + index) % len(inputs)]),
+                Response(),
+                0.0,
+            )
+            for index in range(burst)
+        ]
+        start = time.perf_counter()
+        if batched:
+            engine.admit_batch(admissions)
+        else:
+            for request, response, stamp in admissions:
+                engine.admit(request, response, stamp)
+        total += time.perf_counter() - start
+    return total / MICRO_ROUNDS
+
+
+def _serve_bursty(experiment, threshold, stream, rate, burst):
+    server = Server(
+        experiment.model,
+        EntropyExitPolicy(threshold),
+        max_timesteps=experiment.timesteps,
+        batch_width=BATCH_WIDTH,
+        queue_capacity=max(64, 2 * max(SERVE_BURSTS)),
+    ).start()
+    report = LoadGenerator(server, rate=rate, burst=burst).run(iter(stream))
+    server.shutdown(drain=True)
+    return report, server.stats()
+
+
+def test_admission_burst_cost(benchmark, suite):
+    experiment = suite.get("vgg", "cifar10")
+    experiment.model.eval()
+    point = experiment.calibrated_point(tolerance=0.0)
+    stream = list(
+        request_stream(experiment.test_dataset, NUM_REQUESTS, seed=STREAM_SEED)
+    )
+
+    def run():
+        micro = {}
+        for burst in BURSTS:
+            batched_s = _time_admission(experiment, burst, batched=True)
+            sequential_s = _time_admission(experiment, burst, batched=False)
+            micro[burst] = (batched_s, sequential_s)
+        # Pick an offered rate the server can absorb so the burst profile —
+        # not the rate — is the variable: closed-loop capacity * 0.7.
+        capacity_probe, _ = _serve_bursty(
+            experiment, point.threshold, stream, rate=None, burst=1
+        )
+        rate = max(50.0, 0.7 * capacity_probe.throughput_rps)
+        serve = {
+            burst: _serve_bursty(experiment, point.threshold, stream, rate, burst)
+            for burst in SERVE_BURSTS
+        }
+        return micro, serve, rate
+
+    micro, serve, rate = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_section("Admission cost under bursty traffic — batched vs per-request")
+    rows = [
+        [
+            burst,
+            1e6 * sequential_s / burst,
+            1e6 * batched_s / burst,
+            sequential_s / batched_s,
+        ]
+        for burst, (batched_s, sequential_s) in micro.items()
+    ]
+    emit(format_table(
+        ["burst size", "per-request seq (us)", "per-request batched (us)", "speedup"],
+        rows, float_format="{:.2f}"))
+
+    emit(f"\nServed stream ({NUM_REQUESTS} requests, offered {rate:.0f} req/s, "
+         f"width {BATCH_WIDTH}):")
+    serve_rows = []
+    for burst, (report, stats) in serve.items():
+        serve_rows.append([
+            f"burst={burst}",
+            report.throughput_rps,
+            1000.0 * stats.get("latency_p50", 0.0),
+            1000.0 * stats.get("latency_p95", 0.0),
+            float(report.completed),
+        ])
+    emit(format_table(
+        ["arrival profile", "req/s", "p50 (ms)", "p95 (ms)", "completed"],
+        serve_rows, float_format="{:.2f}"))
+
+    # Determinism: the arrival profile must not change any decision.
+    decisions = {}
+    for burst, (report, _) in serve.items():
+        decisions[burst] = {
+            r.request_id: (r.prediction, r.exit_timestep) for r in report.results
+        }
+        assert report.completed == NUM_REQUESTS
+    assert decisions[SERVE_BURSTS[0]] == decisions[SERVE_BURSTS[1]]
+    emit("\nburst-profile decisions identical to smooth-profile decisions "
+         "(per-sample batch invariance at the admission boundary)")
+
+    if SMOKE:
+        return
+    # Batched admission must win where it matters (real bursts)...
+    for burst in (8, 32):
+        batched_s, sequential_s = micro[burst]
+        assert batched_s <= sequential_s, (
+            f"batched admission slower than sequential at burst {burst}"
+        )
+    # ...and its per-request cost must stay flat in the burst size.
+    flat_reference = micro[1][0]
+    assert micro[32][0] / 32 <= 2.0 * flat_reference, (
+        "per-request batched admission cost grew with burst size"
+    )

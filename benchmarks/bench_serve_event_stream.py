@@ -1,0 +1,121 @@
+"""Event-stream (DVS replay) serving — the content-keyed stem cache engaging.
+
+Direct-encoding serve traffic has always had its conv1+norm1 stem cached per
+slot (the frame is constant over a sample's horizon).  Event-stream encoders
+break that assumption — every timestep sees a different frame — so until now
+DVS serving paid the full stem on every step.  The content-keyed stem memo
+(:class:`repro.runtime.StemCache`) restores the skip for *replayed* clips:
+frames are memoized by their exact bytes, so the second time any clip's
+timestep-t frame passes through the server — same request, a retry, or a
+popular clip requested by another client — its stem rows are assembled from
+cache instead of recomputed.
+
+The benchmark serves the same deterministic DVS request stream (which wraps
+around the test set, i.e. every pass after the first is pure replay) twice:
+
+* cold  — memo disabled (``encoder.frame_cacheable = False``), the pre-PR
+  behaviour;
+* warm  — memo enabled, after a priming pass that fills the cache the way
+  live traffic would.
+
+Assertions: the warm run's decisions are identical to the cold run's (the
+cache must be bitwise-invisible), the memo actually engages (hit rate > 50%
+on replayed traffic), and warm throughput beats cold throughput (wall-clock,
+skipped in smoke mode).
+"""
+
+import numpy as np
+
+from _bench_utils import SMOKE, emit, print_section
+from repro.core import EntropyExitPolicy
+from repro.imc import format_table
+from repro.runtime import plan_for
+from repro.serve import LoadGenerator, Server, request_stream
+
+NUM_REQUESTS = 120
+BATCH_WIDTH = 8
+STREAM_SEED = 29
+
+
+def _serve(experiment, threshold, stream):
+    server = Server(
+        experiment.model,
+        EntropyExitPolicy(threshold),
+        max_timesteps=experiment.timesteps,
+        batch_width=BATCH_WIDTH,
+        queue_capacity=64,
+    ).start()
+    report = LoadGenerator(server).run(iter(stream))
+    server.shutdown(drain=True)
+    return report, server.stats()
+
+
+def test_serve_event_stream_stem_cache(benchmark, suite):
+    experiment = suite.get("vgg", "cifar10dvs")
+    model = experiment.model
+    model.eval()
+    encoder = model.encoder
+    point = experiment.calibrated_point(tolerance=0.0)
+    stream = list(
+        request_stream(experiment.test_dataset, NUM_REQUESTS, seed=STREAM_SEED)
+    )
+
+    def run():
+        # Cold: the pre-PR configuration — no memo attached to executors.
+        encoder.frame_cacheable = False
+        cold_report, cold_stats = _serve(experiment, point.threshold, stream)
+
+        # Warm: memo on; one priming pass fills it, the measured pass replays.
+        encoder.frame_cacheable = True
+        plan = plan_for(model)
+        plan.stem_cache.clear()
+        _serve(experiment, point.threshold, stream)
+        hits_before, misses_before = plan.stem_cache.hits, plan.stem_cache.misses
+        warm_report, warm_stats = _serve(experiment, point.threshold, stream)
+        hit_rate = (plan.stem_cache.hits - hits_before) / max(
+            1,
+            (plan.stem_cache.hits - hits_before)
+            + (plan.stem_cache.misses - misses_before),
+        )
+        return cold_report, cold_stats, warm_report, warm_stats, hit_rate
+
+    cold_report, cold_stats, warm_report, warm_stats, hit_rate = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    print_section("Event-stream serving (DVS replay) — content-keyed stem cache")
+    rows = []
+    for name, report, stats in (
+        ("cold (no stem memo)", cold_report, cold_stats),
+        ("warm (memo, replayed)", warm_report, warm_stats),
+    ):
+        rows.append([
+            name,
+            report.throughput_rps,
+            1000.0 * stats.get("latency_p50", 0.0),
+            1000.0 * stats.get("latency_p95", 0.0),
+            report.average_exit_timesteps(),
+            100.0 * (report.accuracy() or 0.0),
+        ])
+    emit(format_table(
+        ["configuration", "req/s", "p50 (ms)", "p95 (ms)", "avg T", "accuracy (%)"],
+        rows, float_format="{:.2f}"))
+    emit(f"\nstem-memo hit rate on replayed traffic: {100.0 * hit_rate:.1f}% "
+         f"({len(plan_for(model).stem_cache)} cached frames)")
+    speedup = warm_report.throughput_rps / max(1e-9, cold_report.throughput_rps)
+    emit(f"replayed-clip serve speedup: {speedup:.2f}x "
+         f"({cold_report.throughput_rps:.1f} -> {warm_report.throughput_rps:.1f} req/s)")
+
+    # The cache must be bitwise-invisible to every decision.
+    cold = {r.request_id: (r.prediction, r.exit_timestep) for r in cold_report.results}
+    warm = {r.request_id: (r.prediction, r.exit_timestep) for r in warm_report.results}
+    assert cold == warm, "stem memo changed a serving decision"
+    assert cold_report.completed == warm_report.completed == NUM_REQUESTS
+    # The memo must actually engage on replayed clips.
+    assert hit_rate > 0.5, f"stem memo barely engaged (hit rate {hit_rate:.2%})"
+
+    if SMOKE:
+        return
+    assert warm_report.throughput_rps > cold_report.throughput_rps, (
+        "stem memo failed to lift replayed event-stream throughput"
+    )

@@ -166,6 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serving_arguments(serve)
     serve.add_argument("--rate", type=float, default=None,
                        help="offered load in requests/s (default: closed-loop)")
+    serve.add_argument("--burst", type=int, default=1,
+                       help="arrival burst size at the offered rate (bursty admission)")
     serve.add_argument("--self-test", action="store_true",
                        help="small deterministic run verifying serve-path equivalence; "
                             "exits non-zero on failure")
@@ -194,6 +196,9 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
                         help="accuracy tolerance for threshold calibration")
     parser.add_argument("--batch-width", type=int, default=8)
     parser.add_argument("--queue-capacity", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker threads serving the model; with >1 the replicas "
+                             "share one compiled plan (requires the fast path)")
     parser.add_argument("--num-requests", type=int, default=256)
     parser.add_argument("--stream-seed", type=int, default=0,
                         help="seed of the deterministic request stream")
@@ -373,12 +378,16 @@ def _build_server(args: argparse.Namespace, model, policy, controller, cost_mode
         max_timesteps=args.timesteps,
         batch_width=args.batch_width,
         queue_capacity=args.queue_capacity,
+        num_workers=args.workers,
         cost_model=cost_model,
         controller=controller,
         use_runtime=False if args.reference_path else None,
     )
     engine = server.batchers[0].engine
-    print(f"execution path: {'compiled-plan fast path' if engine.fast_path else 'Tensor reference oracle'}")
+    path = "compiled-plan fast path" if engine.fast_path else "Tensor reference oracle"
+    workers = len(server.batchers)
+    sharing = " (one shared plan)" if workers > 1 else ""
+    print(f"execution path: {path}; {workers} worker(s){sharing}")
     return server
 
 
@@ -429,7 +438,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     model, test, collected, policy, controller, cost_model = _prepare_serving(args)
     server = _build_server(args, model, policy, controller, cost_model).start()
     stream = list(request_stream(test, args.num_requests, seed=args.stream_seed))
-    generator = LoadGenerator(server, rate=args.rate)
+    generator = LoadGenerator(server, rate=args.rate, burst=args.burst)
     report = generator.run(iter(stream))
     server.shutdown(drain=True)
     _print_serving_report(args, report, server)

@@ -15,6 +15,12 @@ constant factor while keeping the results **bitwise identical**:
 * Under direct encoding, the stateless pre-spike prefix (conv1 + norm1 — the
   im2col patches *and* the GEMM they feed) is computed once per input and
   replayed across all timesteps and across serve-slot lifetimes.
+* Plans are immutable and shared through the process-wide
+  :data:`plan_registry` (one plan per model instance, N executors — e.g. N
+  serving workers — each with private state), and time-varying deterministic
+  encoders get a shared content-keyed stem memo
+  (:class:`~repro.runtime.plan.StemCache`) that lets replayed event-stream
+  clips skip the stem too.
 
 The whole pipeline runs weak-scalar float32 (docs/NUMERICS.md): plans,
 scratch buffers and membrane state never contain a float64 array unless the
@@ -34,35 +40,36 @@ accumulated logits across architectures, encoders and batch compositions.
 from __future__ import annotations
 
 import os
-import weakref
 from typing import Optional
 
 import numpy as np
 
-from ..autograd.dtypes import float64_enabled, scalar_operand
+from ..autograd.dtypes import scalar_operand
 from ..snn.encoding import DirectEncoder
 from ..snn.network import SpikingNetwork
 from .executor import PlanExecutor
-from .plan import CompiledPlan, UnsupportedModuleError, compile_network
+from .plan import (
+    CompiledPlan,
+    PlanRegistry,
+    StemCache,
+    UnsupportedModuleError,
+    compile_network,
+    plan_registry,
+)
 
 __all__ = [
     "CompiledPlan",
     "PlanExecutor",
+    "PlanRegistry",
+    "StemCache",
     "UnsupportedModuleError",
     "compile_network",
     "runtime_enabled",
     "plan_for",
+    "plan_registry",
     "executor_for",
     "run_cumulative_logits",
 ]
-
-# One compiled plan per model instance: plans hold live references to the
-# model's parameters, so recompiling per engine / per call would only waste
-# the lowering work.
-_PLAN_CACHE: "weakref.WeakKeyDictionary[SpikingNetwork, CompiledPlan]" = (
-    weakref.WeakKeyDictionary()
-)
-_UNSUPPORTED = object()
 
 
 def runtime_enabled(override: Optional[bool] = None) -> bool:
@@ -79,27 +86,19 @@ def runtime_enabled(override: Optional[bool] = None) -> bool:
 
 
 def plan_for(model: SpikingNetwork) -> Optional[CompiledPlan]:
-    """Compile (or fetch the cached plan for) ``model``.
+    """The shared compiled plan for ``model`` (compiling on first use).
 
     Returns ``None`` when the model contains modules the fast path cannot
     lower — the caller should silently use the Tensor oracle.
 
-    A cached plan is reused only when it was compiled under the current
-    ``REPRO_FLOAT64`` dtype-policy mode; flipping the mode (legacy float64
-    promotion vs weak-scalar float32 + conv/norm folding) recompiles.
+    Plans live in the process-wide :data:`plan_registry`, so N engines /
+    workers serving the same model instance share one plan (each with its
+    own :class:`PlanExecutor` state).  A cached plan is reused only when it
+    was compiled under the current ``REPRO_FLOAT64`` dtype-policy mode;
+    flipping the mode (legacy float64 promotion vs weak-scalar float32 +
+    conv/norm folding) invalidates it and recompiles.
     """
-    cached = _PLAN_CACHE.get(model)
-    if cached is _UNSUPPORTED:
-        return None
-    if cached is not None and cached.float64_mode == float64_enabled():
-        return cached
-    try:
-        plan = compile_network(model)
-    except UnsupportedModuleError:
-        _PLAN_CACHE[model] = _UNSUPPORTED
-        return None
-    _PLAN_CACHE[model] = plan
-    return plan
+    return plan_registry.get(model)
 
 
 def executor_for(
@@ -109,18 +108,31 @@ def executor_for(
 ) -> Optional[PlanExecutor]:
     """A fresh executor for ``model``, or ``None`` to use the Tensor path.
 
-    The stem cache engages only under :class:`DirectEncoder` — the one
-    encoder whose frame is constant across timesteps for a given sample.
+    The *aligned* stem cache engages only under :class:`DirectEncoder` — the
+    one encoder whose frame is constant across timesteps for a given sample.
+    Other deterministic encoders that replay cacheable frames (event
+    streams; ``encoder.frame_cacheable``) get the plan's shared content-
+    keyed stem memo instead: callers that pass per-row ``stem_keys`` to
+    :meth:`PlanExecutor.step` recover the stem skip for replayed clips, and
+    callers that don't (e.g. single-pass batch inference) pay nothing.
     """
     if not runtime_enabled(use_runtime):
         return None
     plan = plan_for(model)
     if plan is None:
         return None
-    stem = isinstance(model.encoder, DirectEncoder) and getattr(
-        model.encoder, "deterministic", False
+    encoder = model.encoder
+    deterministic = getattr(encoder, "deterministic", False)
+    if isinstance(encoder, DirectEncoder) and deterministic:
+        return PlanExecutor(plan, stem_cache=True,
+                            collect_statistics=collect_statistics)
+    memo = (
+        plan.stem_cache
+        if deterministic and getattr(encoder, "frame_cacheable", False)
+        else None
     )
-    return PlanExecutor(plan, stem_cache=stem, collect_statistics=collect_statistics)
+    return PlanExecutor(plan, collect_statistics=collect_statistics,
+                        stem_memo=memo)
 
 
 def run_cumulative_logits(

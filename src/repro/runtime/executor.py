@@ -19,11 +19,11 @@ equivalence test harness asserts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .plan import CompiledPlan
+from .plan import CompiledPlan, StemCache
 
 __all__ = ["PlanExecutor"]
 
@@ -34,14 +34,26 @@ class PlanExecutor:
     Parameters
     ----------
     plan:
-        The lowered network.
+        The lowered network.  Plans are immutable and may be *shared*: N
+        executors (e.g. multi-worker serve replicas of one model) can run
+        the same plan concurrently, because everything mutable — membranes,
+        scratch, registers, the aligned stem rows, the statistics toggle —
+        lives on the executor.
     stem_cache:
-        Enable caching of the stateless pre-spike prefix.  Only valid when
-        the per-timestep input frame is constant for each sample (direct
-        encoding); the caller is responsible for that guarantee.
+        Enable the *aligned* cache of the stateless pre-spike prefix: one
+        stem row per live batch row, replayed every timestep.  Only valid
+        when the per-timestep input frame is constant for each sample
+        (direct encoding); the caller is responsible for that guarantee.
     collect_statistics:
         Update each source LIF layer's spike counters exactly like the
-        Tensor path does (the IMC energy model reads them).
+        Tensor path does (the IMC energy model reads them).  Disable when
+        several executors share one model's LIF modules across threads —
+        the counters are plain Python floats and would race.
+    stem_memo:
+        Optional content-keyed :class:`~repro.runtime.plan.StemCache` for
+        time-varying deterministic encoders (event streams): callers pass
+        per-row frame keys to :meth:`step` and recurring frames (replayed
+        DVS clips) skip the stem.  Mutually exclusive with ``stem_cache``.
 
     Dtype guarantees
     ----------------
@@ -57,22 +69,43 @@ class PlanExecutor:
     """
 
     def __init__(self, plan: CompiledPlan, stem_cache: bool = False,
-                 collect_statistics: bool = True):
+                 collect_statistics: bool = True,
+                 stem_memo: Optional[StemCache] = None):
         self.plan = plan
         self.stem_enabled = bool(stem_cache) and plan.stem_len > 0
+        self.collect_statistics = bool(collect_statistics)
+        if self.stem_enabled and stem_memo is not None:
+            raise ValueError(
+                "stem_cache (aligned, direct encoding) and stem_memo (keyed, "
+                "event streams) are mutually exclusive stem strategies"
+            )
+        self._memo = stem_memo if plan.stem_len > 0 else None
         self._membranes: List[Optional[np.ndarray]] = [None] * plan.num_lif
         self._stem: Optional[Dict[int, np.ndarray]] = None
         self._registers: List[Optional[np.ndarray]] = [None] * plan.num_registers
         self._scratch: List[Dict[str, np.ndarray]] = [dict() for _ in plan.ops]
-        for op in plan.ops:
-            if hasattr(op, "collect_statistics"):
-                op.collect_statistics = collect_statistics
+
+    # ------------------------------------------------------------------ #
+    @property
+    def memo_enabled(self) -> bool:
+        """True when a content-keyed stem memo is attached (event streams)."""
+        return self._memo is not None
+
+    @property
+    def stem_memo(self) -> Optional[StemCache]:
+        return self._memo
 
     # ------------------------------------------------------------------ #
     # State management (mirrors SpikingNetwork's per-row surgery)
     # ------------------------------------------------------------------ #
     def reset_state(self) -> None:
-        """Fresh membranes and an empty stem cache (between sample streams)."""
+        """Fresh membranes and an empty aligned stem (between sample streams).
+
+        The content-keyed stem memo is deliberately *not* cleared: its
+        entries are pure functions of the plan's frozen weights and the
+        frame bytes, so they stay valid across sessions, aborted replicas
+        and server restarts — clearing it would only forfeit replay hits.
+        """
         self._membranes = [None] * self.plan.num_lif
         self._stem = None
 
@@ -140,16 +173,82 @@ class PlanExecutor:
         for index in range(plan.stem_len):
             op = plan.ops[index]
             op.run(registers, self._scratch[index] if scratch is not None else None,
-                   self._membranes)
+                   self._membranes, self.collect_statistics)
         return {reg: registers[reg] for reg in plan.stem_registers}
 
-    def step(self, frame: np.ndarray) -> np.ndarray:
+    def _memo_stem(self, frame: np.ndarray, keys: Sequence[bytes]) -> Dict[int, np.ndarray]:
+        """Resolve the stem registers for ``frame`` through the keyed memo.
+
+        Rows whose key is cached are restored without running the stem; the
+        misses run through the stem in **one** batched pass and are inserted.
+        All memo bookkeeping for the round happens under two lock
+        acquisitions (one batched lookup incl. the weight-signature check,
+        one batched store), not one per row — this sits on the per-timestep
+        serving hot path under N worker threads.
+
+        The cache leans on the same per-sample batch invariance contract as
+        the rest of the serving layer: a stem computed at miss-subset width
+        must equal one computed at full batch width, exactly like compaction
+        (``PR 2``'s width-changing splices) already requires — and
+        ``tests/equivalence`` enforces — for every post-stem op.  The keying
+        itself can never alias (exact frame bytes, no hashing).
+        """
+        plan = self.plan
+        rows = frame.shape[0]
+        if len(keys) != rows:
+            raise ValueError(
+                f"stem_keys length {len(keys)} does not match batch width {rows}"
+            )
+        # The signature check flushes the memo if any stem source array was
+        # replaced since the entries were cached (in-place weight reload on
+        # a live plan) — frame keys alone cannot see that.  The same
+        # signature gates the stores below: rows computed under it are
+        # dropped if another thread's reload flushes the cache in between.
+        signature = plan.stem_signature()
+        cached = self._memo.lookup_many(keys, signature=signature)
+        miss_rows = [i for i, entry in enumerate(cached) if entry is None]
+        if len(miss_rows) == rows:
+            # Fully cold batch: run at full width and publish every row.
+            fresh = self._run_stem(frame, scratch=None)
+            self._memo.store_many([
+                (key, tuple(fresh[reg][i].copy() for reg in plan.stem_registers))
+                for i, key in enumerate(keys)
+            ], signature=signature)
+            return fresh
+        fresh = (
+            self._run_stem(frame[miss_rows], scratch=None) if miss_rows else None
+        )
+        if fresh is not None:
+            self._memo.store_many([
+                (keys[i], tuple(fresh[reg][j].copy() for reg in plan.stem_registers))
+                for j, i in enumerate(miss_rows)
+            ], signature=signature)
+        assembled: Dict[int, np.ndarray] = {}
+        for position, reg in enumerate(plan.stem_registers):
+            template = (
+                fresh[reg][0] if fresh is not None
+                else next(entry for entry in cached if entry is not None)[position]
+            )
+            out = np.empty((rows,) + template.shape, dtype=template.dtype)
+            if fresh is not None:
+                out[miss_rows] = fresh[reg]
+            for i, entry in enumerate(cached):
+                if entry is not None:
+                    out[i] = entry[position]
+            assembled[reg] = out
+        return assembled
+
+    def step(self, frame: np.ndarray,
+             stem_keys: Optional[Sequence[bytes]] = None) -> np.ndarray:
         """Advance one timestep; returns the classifier logits.
 
-        The returned array is freshly allocated each call (safe to alias
-        across timesteps — callers build running sums from it).  Intermediate
-        activations live in reused scratch buffers and are only valid until
-        the next call.
+        ``stem_keys`` (one key of frame-row bytes per batch row) routes the
+        stateless prefix through the content-keyed stem memo when one is
+        attached — the event-stream counterpart of the aligned direct-
+        encoding cache.  The returned array is freshly allocated each call
+        (safe to alias across timesteps — callers build running sums from
+        it).  Intermediate activations live in reused scratch buffers and
+        are only valid until the next call.
         """
         plan = self.plan
         model = plan.model
@@ -172,8 +271,13 @@ class PlanExecutor:
                 for reg, value in self._stem.items():
                     registers[reg] = value
             start = plan.stem_len
+        elif self._memo is not None and stem_keys is not None:
+            for reg, value in self._memo_stem(frame, stem_keys).items():
+                registers[reg] = value
+            start = plan.stem_len
         for index in range(start, len(plan.ops)):
-            plan.ops[index].run(registers, self._scratch[index], self._membranes)
+            plan.ops[index].run(registers, self._scratch[index], self._membranes,
+                                self.collect_statistics)
         output = registers[plan.output_register]
         # Uphold the freshness contract when the producing op hands back
         # reused scratch (anything but a Linear head): the next step() would

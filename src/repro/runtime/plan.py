@@ -29,6 +29,15 @@ plan reverts to the seed's unfused, float64-promoting op sequence
 (:mod:`repro.autograd.dtypes`), and :func:`repro.runtime.plan_for`
 recompiles cached plans whenever that mode flag changes.
 
+Plans are **immutable after lowering** and shared: the process-wide
+:data:`plan_registry` hands every consumer of a model instance — including N
+multi-worker serve replicas on N threads — the same :class:`CompiledPlan`,
+while all mutable session state lives in each
+:class:`~repro.runtime.PlanExecutor`.  For time-varying deterministic
+encoders (event streams) the plan also owns a shared content-keyed
+:class:`StemCache` memoizing stem outputs by exact frame bytes, so replayed
+DVS clips skip the stem on every replica.
+
 Anything the lowerer does not recognize raises
 :exc:`UnsupportedModuleError`; callers treat that as "use the Tensor oracle",
 so exotic models silently keep working at define-by-run speed.
@@ -36,7 +45,10 @@ so exotic models silently keep working at define-by-run speed.
 
 from __future__ import annotations
 
+import os
+import threading
 import weakref
+from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -64,6 +76,9 @@ __all__ = [
     "UnsupportedModuleError",
     "PlanOp",
     "CompiledPlan",
+    "StemCache",
+    "PlanRegistry",
+    "plan_registry",
     "compile_network",
 ]
 
@@ -72,11 +87,37 @@ class UnsupportedModuleError(RuntimeError):
     """The model contains a module the fast path cannot lower."""
 
 
+def _stem_cache_capacity(default: int = 1024) -> int:
+    """Per-plan stem-memo capacity (entries); 0 disables the memo.
+
+    Read from ``REPRO_STEM_CACHE_CAPACITY`` once per plan compile.  Sizing
+    note: one entry holds the stem output rows for one frame (conv1 output,
+    e.g. 256 KB for a 64x32x32 float32 map) plus the frame bytes as key, so
+    the default bounds a large-model memo at a few hundred MB; shrink it for
+    memory-tight deployments or grow it for large replay working sets.
+    """
+    raw = os.environ.get("REPRO_STEM_CACHE_CAPACITY", "").strip()
+    if not raw:
+        return default
+    try:
+        capacity = int(raw)
+    except ValueError:
+        return default
+    return max(0, capacity)
+
+
 # --------------------------------------------------------------------------- #
 # Op IR
 # --------------------------------------------------------------------------- #
 class PlanOp:
-    """Base class: read ``src`` (and maybe ``src2``), write ``dst``."""
+    """Base class: read ``src`` (and maybe ``src2``), write ``dst``.
+
+    Ops are *immutable* after lowering: a plan is shared read-only between
+    every executor built on it (multi-engine serving runs one plan under N
+    worker threads), so all per-session knobs — scratch buffers, membrane
+    state, the ``stats`` statistics toggle — travel through :meth:`run`'s
+    arguments instead of op attributes.
+    """
 
     __slots__ = ("src", "dst")
 
@@ -92,7 +133,7 @@ class PlanOp:
     def is_stateful(self) -> bool:
         return False
 
-    def run(self, regs: List[np.ndarray], scratch, state) -> None:
+    def run(self, regs: List[np.ndarray], scratch, state, stats: bool = True) -> None:
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -106,7 +147,7 @@ class ConvOp(PlanOp):
         super().__init__(src, dst)
         self.module = module
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         m = self.module
         bias = None if m.bias is None else m.bias.data
         regs[self.dst] = kernels.conv2d_step(
@@ -144,7 +185,7 @@ class NormOp(PlanOp):
             self._std_src = running_var
         return self._std
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         m = self.module
         channels = m.num_features
         regs[self.dst] = kernels.batchnorm_step(
@@ -176,7 +217,7 @@ class FoldedConvNormOp(PlanOp):
         self.conv = conv
         self.folded = folded
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         weight, bias = self.folded.arrays()
         regs[self.dst] = kernels.conv2d_step(
             regs[self.src], weight, bias,
@@ -185,19 +226,18 @@ class FoldedConvNormOp(PlanOp):
 
 
 class LIFOp(PlanOp):
-    __slots__ = ("module", "state_index", "collect_statistics")
+    __slots__ = ("module", "state_index")
 
     def __init__(self, src: int, dst: int, module: LIFNeuron, state_index: int):
         super().__init__(src, dst)
         self.module = module
         self.state_index = state_index
-        self.collect_statistics = True
 
     @property
     def is_stateful(self) -> bool:
         return True
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         m = self.module
         spikes, membrane, spike_count = kernels.lif_step(
             regs[self.src],
@@ -208,7 +248,7 @@ class LIFOp(PlanOp):
             scratch,
         )
         state[self.state_index] = membrane
-        if self.collect_statistics:
+        if stats:
             # Same bookkeeping (and float accumulation order) as the layer.
             size = float(spikes.size)
             m.last_spike_rate = spike_count / size
@@ -225,7 +265,7 @@ class AvgPoolOp(PlanOp):
         self.kernel = kernel
         self.stride = stride
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         regs[self.dst] = kernels.avg_pool_step(regs[self.src], self.kernel, self.stride, scratch)
 
 
@@ -237,7 +277,7 @@ class MaxPoolOp(PlanOp):
         self.kernel = kernel
         self.stride = stride
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         regs[self.dst] = kernels.max_pool_step(regs[self.src], self.kernel, self.stride, scratch)
 
 
@@ -248,7 +288,7 @@ class AdaptiveAvgPoolOp(PlanOp):
         super().__init__(src, dst)
         self.output_size = output_size
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         x = regs[self.src]
         h, w = x.shape[2], x.shape[3]
         if h % self.output_size or w % self.output_size:
@@ -260,7 +300,7 @@ class AdaptiveAvgPoolOp(PlanOp):
 class FlattenOp(PlanOp):
     __slots__ = ()
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         x = regs[self.src]
         regs[self.dst] = x.reshape(x.shape[0], -1)
 
@@ -272,7 +312,7 @@ class LinearOp(PlanOp):
         super().__init__(src, dst)
         self.module = module
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         m = self.module
         bias = None if m.bias is None else m.bias.data
         regs[self.dst] = kernels.linear_step(regs[self.src], m.weight.data, bias)
@@ -281,7 +321,7 @@ class LinearOp(PlanOp):
 class ReLUOp(PlanOp):
     __slots__ = ()
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         regs[self.dst] = kernels.relu_step(regs[self.src], scratch)
 
 
@@ -296,7 +336,7 @@ class AddOp(PlanOp):
     def reads(self) -> Tuple[int, ...]:
         return (self.src, self.src2)
 
-    def run(self, regs, scratch, state) -> None:
+    def run(self, regs, scratch, state, stats: bool = True) -> None:
         regs[self.dst] = kernels.add_step(regs[self.src], regs[self.src2], scratch)
 
 
@@ -396,6 +436,143 @@ class _Lowering:
         )
 
 
+class StemCache:
+    """Content-keyed memo of stem outputs for *time-varying* deterministic encoders.
+
+    The aligned per-slot stem cache (``PlanExecutor(stem_cache=True)``) only
+    works under direct encoding, where a sample's frame is constant across
+    timesteps.  Event-stream encoders feed a *different* frame per timestep,
+    but serve traffic replays the same DVS clips over and over — so the stem
+    output for a given ``(sample, t)`` pair recurs across requests.  This
+    cache memoizes it, keyed by the **exact bytes of the encoded frame row**
+    (shape/dtype-prefixed by the serving engine): that key subsumes
+    ``(sample, t)`` (the frame *is* ``clip[t]``), cannot collide the way a
+    content hash could, and gets extra hits for free when short recordings
+    pad by repeating their last frame.  Value-wise the cache inherits the
+    serving layer's per-sample batch-width invariance contract (a stem row
+    computed at one batch width must equal the same row at another width —
+    the property compaction and mid-horizon splicing already rely on, and
+    ``tests/equivalence`` enforces per platform); where that contract holds,
+    caching is bit-invisible.
+
+    Entries are pure functions of the plan's stem weights and the frame
+    bytes, so they are valid across executors, serve slots, engine restarts
+    and ``fail_active`` aborts; nothing ever needs row-surgery here.  The
+    cache is therefore shared by every executor of a plan (it lives on the
+    :class:`CompiledPlan`) and guarded by a lock for multi-worker serving.
+    Dtype-mode flips invalidate it indirectly (:class:`PlanRegistry`
+    consumers compile a fresh plan, which carries a fresh cache); *weight
+    updates* invalidate it directly: executors revalidate the cache against
+    :meth:`CompiledPlan.stem_signature` — the identity tuple of every source
+    array the stem reads — before each keyed lookup round, and a changed
+    signature flushes the entries (arrays are replaced, never mutated, by
+    the optimizer / ``load_state_dict`` / ``update_buffer``, the same
+    convention the folded-weight caches rely on).  Capacity is a bounded LRU
+    so replayed working sets stay resident while one-off traffic cannot
+    grow it without limit; the default can be tuned (or the memo disabled
+    with ``0``) via the ``REPRO_STEM_CACHE_CAPACITY`` environment variable,
+    read once at plan-compile time.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("StemCache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._signature: Optional[Tuple] = None
+        self._entries: "OrderedDict[bytes, Tuple[np.ndarray, ...]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def validate(self, signature: Tuple) -> None:
+        """Flush every entry unless ``signature`` matches the cached one.
+
+        ``signature`` is an identity tuple of source arrays (see
+        :meth:`CompiledPlan.stem_signature`); entries computed under replaced
+        weights must never be served.
+        """
+        with self._lock:
+            self._validate_locked(signature)
+
+    def _matches_locked(self, signature: Tuple) -> bool:
+        current = self._signature
+        return (
+            current is not None
+            and len(signature) == len(current)
+            and all(a is b for a, b in zip(signature, current))
+        )
+
+    def _validate_locked(self, signature: Tuple) -> None:
+        if self._matches_locked(signature):
+            return
+        # Unconditional: entries stored before the first validation (the
+        # signature-less store() API) have unknown weight provenance and
+        # must not survive signature adoption either.
+        self._entries.clear()
+        self._signature = signature
+
+    def lookup(self, key: bytes) -> Optional[Tuple[np.ndarray, ...]]:
+        """The cached stem-register rows for ``key``, or ``None`` (counted)."""
+        return self.lookup_many((key,))[0]
+
+    def lookup_many(
+        self, keys: Sequence[bytes], signature: Optional[Tuple] = None
+    ) -> List[Optional[Tuple[np.ndarray, ...]]]:
+        """Batched :meth:`lookup` under ONE lock acquisition (the serving hot
+        loop calls this once per timestep, not once per row).  When
+        ``signature`` is given, :meth:`validate` runs inside the same
+        critical section first."""
+        with self._lock:
+            if signature is not None:
+                self._validate_locked(signature)
+            entries: List[Optional[Tuple[np.ndarray, ...]]] = []
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                entries.append(entry)
+            return entries
+
+    def store(self, key: bytes, rows: Tuple[np.ndarray, ...]) -> None:
+        """Insert one sample's stem rows (one array per stem register)."""
+        self.store_many(((key, rows),))
+
+    def store_many(
+        self,
+        items: Sequence[Tuple[bytes, Tuple[np.ndarray, ...]]],
+        signature: Optional[Tuple] = None,
+    ) -> None:
+        """Batched :meth:`store` under one lock acquisition.
+
+        ``signature`` is the weight signature the rows were *computed* under
+        (captured at lookup time).  If another thread flushed the cache to a
+        new signature in between — an in-place weight reload landing between
+        a worker's stem run and its store — the insert is silently dropped:
+        rows from old weights must never outlive the flush.
+        """
+        with self._lock:
+            if signature is not None and not self._matches_locked(signature):
+                return
+            for key, rows in items:
+                self._entries[key] = rows
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
 class CompiledPlan:
     """A lowered network: flat op list plus the stem-cache metadata.
 
@@ -444,6 +621,40 @@ class CompiledPlan:
             (op for op in reversed(self.ops) if op.dst == output_register), None
         )
         self.output_needs_copy = not isinstance(producer, LinearOp)
+        # Shared content-keyed stem memo for time-varying deterministic
+        # encoders (event streams).  One cache per plan: every executor of a
+        # shared plan reads and fills the same memo; a recompiled plan
+        # (dtype-mode flip) starts from an empty one, and in-place weight
+        # reloads flush it through the stem_signature check.  Capacity 0
+        # (via REPRO_STEM_CACHE_CAPACITY) disables the memo entirely.
+        capacity = _stem_cache_capacity()
+        self.stem_cache: Optional[StemCache] = (
+            StemCache(capacity) if self.stem_len > 0 and capacity > 0 else None
+        )
+
+    def stem_signature(self) -> Tuple:
+        """Identity tuple of every source array the stem ops read.
+
+        Parameters and buffers are *replaced*, never mutated (the repo-wide
+        staleness convention), so ``is``-comparing this tuple detects weight
+        updates exactly; :class:`StemCache` flushes on mismatch.
+        """
+        sources: List[object] = []
+        for op in self.ops[: self.stem_len]:
+            if isinstance(op, FoldedConvNormOp):
+                sources.extend(op.folded._current_sources())
+            elif isinstance(op, NormOp):
+                module = op.module
+                sources.extend(
+                    (module.weight.data, module.bias.data,
+                     module.running_mean, module.running_var)
+                )
+            elif isinstance(op, (ConvOp, LinearOp)):
+                module = op.module
+                sources.append(module.weight.data)
+                if module.bias is not None:
+                    sources.append(module.bias.data)
+        return tuple(sources)
 
     @property
     def model(self) -> Optional[SpikingNetwork]:
@@ -482,6 +693,18 @@ def compile_network(model: SpikingNetwork) -> CompiledPlan:
     lowering = _Lowering()
     features_out = lowering.lower(model.features, 0)
     output_register = lowering.lower(model.classifier, features_out)
+    # Warm every op's lazily-derived constants (folded conv+norm arrays, BN
+    # denominators) while the plan is still private to this thread: N shared-
+    # plan workers would otherwise race the first-touch initialization of
+    # FoldedConvNorm.arrays() / NormOp._denominator() at cold start.  After
+    # warming, concurrent refreshes only happen if a source array object is
+    # replaced mid-serve (unsupported while serving), and are idempotent
+    # recomputes from the same sources anyway.
+    for op in lowering.ops:
+        if isinstance(op, FoldedConvNormOp):
+            op.folded.arrays()
+        elif isinstance(op, NormOp):
+            op._denominator()
     return CompiledPlan(
         model=model,
         ops=lowering.ops,
@@ -489,3 +712,69 @@ def compile_network(model: SpikingNetwork) -> CompiledPlan:
         output_register=output_register,
         num_lif=lowering.num_lif,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Shared-plan registry
+# --------------------------------------------------------------------------- #
+class PlanRegistry:
+    """One compiled plan per model instance, shared by every consumer.
+
+    Plans are immutable after lowering and hold only *references* to the
+    model's parameters, so N engine replicas serving the same model need only
+    one plan between them: the registry is the keying point that makes the
+    sharing happen (vLLM-style read-only execution state across workers).
+    Each replica still builds its own :class:`~repro.runtime.PlanExecutor` —
+    membranes, scratch and the aligned stem rows are per-session state.
+
+    Lookups are keyed on the model instance (weakly, so a dropped model frees
+    its plan and parameters) and validated against the current
+    ``REPRO_FLOAT64`` dtype-policy mode: folding decisions and scalar
+    constants are mode-dependent, so a mode flip *invalidates* the cached
+    plan and the next lookup recompiles.  Models that fail to lower are
+    negatively cached until :meth:`invalidate`.  All operations take the
+    registry lock — multi-worker servers race their first lookups.
+    """
+
+    _UNSUPPORTED = object()
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._plans: "weakref.WeakKeyDictionary[SpikingNetwork, object]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def get(self, model: SpikingNetwork) -> Optional[CompiledPlan]:
+        """The shared plan for ``model`` (compiling on first use), or ``None``
+        when the model cannot lower (use the Tensor oracle)."""
+        with self._lock:
+            cached = self._plans.get(model)
+            if cached is self._UNSUPPORTED:
+                return None
+            if cached is not None and cached.float64_mode == float64_enabled():
+                return cached
+            try:
+                plan = compile_network(model)
+            except UnsupportedModuleError:
+                self._plans[model] = self._UNSUPPORTED
+                return None
+            self._plans[model] = plan
+            return plan
+
+    def invalidate(self, model: SpikingNetwork) -> bool:
+        """Drop the cached plan (or negative entry) for ``model``.
+
+        Executors built on the old plan keep running it (they are mode- and
+        plan-bound at construction); only *new* lookups recompile.  Returns
+        whether an entry existed.
+        """
+        with self._lock:
+            return self._plans.pop(model, None) is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+#: Process-wide registry used by :func:`repro.runtime.plan_for`.
+plan_registry = PlanRegistry()

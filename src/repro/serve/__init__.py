@@ -12,8 +12,13 @@ this package turns that saving into *throughput*.  The pieces, front to back:
   :mod:`repro.runtime` compiled-plan fast path by default (bitwise identical
   to the Tensor path, which stays available via ``use_runtime=False``).
 * :class:`ContinuousBatcher` — refills slots freed by early exits from the
-  queue *mid-horizon*, so the SNN always runs at full occupancy.
-* :class:`Server` — worker threads, futures, graceful drain.
+  queue *mid-horizon* in one batched admission round per refill, so the SNN
+  always runs at full occupancy and a burst of B arrivals costs one state
+  extension + one stem GEMM, not B of each.
+* :class:`Server` — worker threads, futures, graceful drain.  With
+  ``num_workers=N`` the workers serve one model through one *shared*
+  compiled plan (``repro.runtime.plan_registry``) with per-worker executor
+  state.
 * :class:`Telemetry` — latency percentiles, exit-timestep histograms, queue
   depth, occupancy and per-request energy/EDP via ``repro.imc``.
 * :class:`AdaptiveThresholdController` — holds a p95 latency SLA by nudging
@@ -34,7 +39,7 @@ Quickstart::
 
 from .batcher import ContinuousBatcher
 from .controller import AdaptiveThresholdController, calibrated_threshold_bounds
-from .engine import CompletedSample, InferenceEngine
+from .engine import AdmissionRejectedError, CompletedSample, InferenceEngine
 from .loadgen import LoadGenerator, LoadReport, request_stream
 from .request import (
     AdmissionQueue,
@@ -56,6 +61,7 @@ __all__ = [
     "QueueClosedError",
     "InferenceEngine",
     "CompletedSample",
+    "AdmissionRejectedError",
     "ContinuousBatcher",
     "Server",
     "ServerClosedError",

@@ -25,7 +25,7 @@ reference oracle via ``use_runtime=False`` or ``REPRO_RUNTIME=0``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +36,21 @@ from ..snn.encoding import DirectEncoder
 from ..snn.network import SpikingNetwork
 from .request import Request, Response
 
-__all__ = ["CompletedSample", "InferenceEngine"]
+__all__ = ["AdmissionRejectedError", "CompletedSample", "InferenceEngine"]
+
+
+class AdmissionRejectedError(RuntimeError):
+    """A whole admission round was rejected *before any state mutation*.
+
+    Raised by :meth:`InferenceEngine.admit_batch` when validation fails
+    (shape mismatch against the live batch, encoder precondition).  Two
+    guarantees let callers keep serving: the engine's state is untouched
+    (no slots, no membrane rows), and every future in the rejected round has
+    already been resolved with this error — which is why
+    :class:`~repro.serve.ContinuousBatcher` absorbs it instead of
+    fail-stopping the worker.  The original error is chained as
+    ``__cause__``.
+    """
 
 
 @dataclass
@@ -69,6 +83,7 @@ class InferenceEngine:
         policy: ExitPolicy,
         max_timesteps: Optional[int] = None,
         use_runtime: Optional[bool] = None,
+        collect_statistics: bool = True,
     ):
         if max_timesteps is None:
             max_timesteps = model.default_timesteps
@@ -82,7 +97,10 @@ class InferenceEngine:
         # The compiled-plan fast path (bitwise identical to the Tensor path);
         # None means the model did not lower or the runtime is disabled, in
         # which case every step runs through the define-by-run oracle.
-        self._executor = executor_for(model, use_runtime)
+        # collect_statistics=False is for engines that share one model's LIF
+        # modules across worker threads (the spike counters would race).
+        self._executor = executor_for(model, use_runtime,
+                                      collect_statistics=collect_statistics)
         self._slots: List[_Slot] = []
         self._running_sum: Optional[np.ndarray] = None  # (active, num_classes)
         # Work counters: the serving benchmark compares these against the
@@ -106,36 +124,112 @@ class InferenceEngine:
 
     # ------------------------------------------------------------------ #
     def admit(self, request: Request, response: Response, start_time: float) -> None:
-        """Occupy a slot with a fresh request (membrane rows start at zero).
+        """Occupy one slot with a fresh request (see :meth:`admit_batch`)."""
+        self.admit_batch([(request, response, start_time)])
 
-        Admission may happen *mid-horizon*: the new row is spliced into the
-        live batch while other slots are partway through their timestep
-        loops, and the per-sample trajectory is bitwise-identical to running
+    def admit_batch(
+        self, admissions: Sequence[Tuple[Request, Response, float]]
+    ) -> None:
+        """Occupy slots with a whole round of fresh requests at once.
+
+        Admission may happen *mid-horizon*: the new rows are spliced into
+        the live batch while other slots are partway through their timestep
+        loops, and each sample's trajectory is bitwise-identical to running
         the request alone (fresh zero membranes, per-slot timestep counters,
-        deterministic encoding).  On the compiled-plan fast path the slot's
-        stateless stem prefix is computed once here (float32, one row) and
-        replayed from cache for every subsequent :meth:`step` of the slot's
+        deterministic encoding — per-sample batch invariance).
+
+        Batching matters on bursty traffic: state extension (`running_sum`,
+        executor membranes / Tensor-path LIF rows) happens **once** per call
+        instead of once per request, and under direct encoding the whole
+        burst's stateless stem prefix is computed in a single batched GEMM
+        instead of one single-row GEMM per request — so admission cost per
+        request stays flat in the burst size.  The stem rows are replayed
+        from cache for every subsequent :meth:`step` of each slot's
         lifetime; the Tensor oracle (``use_runtime=False``) performs the
         same splice through :meth:`SpikingNetwork.extend_state`.
         """
-        self._slots.append(_Slot(request=request, response=response, start_time=start_time))
-        if self._executor is not None:
+        if not admissions:
+            return
+        count = len(admissions)
+        # Validate and encode BEFORE touching any engine state, so a raise
+        # here (wrong encoder type, heterogeneous input shapes) leaves the
+        # engine consistent — no slots without matching state rows.  The
+        # whole drained round fails together: these requests were already
+        # popped from the queue, so resolving their futures with the error
+        # is the only way their clients ever hear about it.
+        try:
+            # Shape homogeneity holds on EVERY path (oracle and event
+            # encoders stack lazily at step() time, where a mismatch would
+            # take down the worker and its in-flight neighbours): one
+            # malformed request must fail here, at its own admission round,
+            # not poison the live batch later.
+            expected = (
+                self._slots[0].request.inputs.shape
+                if self._slots
+                else admissions[0][0].inputs.shape
+            )
+            for request, _, _ in admissions:
+                if request.inputs.shape != expected:
+                    raise ValueError(
+                        f"request {request.request_id} input shape "
+                        f"{request.inputs.shape} does not match the live "
+                        f"batch sample shape {expected}"
+                    )
             frames = None
-            if self._executor.stem_enabled:
-                # Direct encoding only (the stem-cache precondition), so the
-                # timestep argument is irrelevant: this row's stateless
-                # prefix is computed once here and replayed every step of
-                # the slot's lifetime.
-                frames = self.model.encoder(request.inputs[None], 0).data
-            self._executor.extend_rows(1, frames=frames)
+            if self._executor is not None and self._executor.stem_enabled:
+                # The aligned stem cache presumes direct encoding (constant
+                # frame per sample, so the timestep argument below is
+                # irrelevant).  Guard the precondition explicitly: caching a
+                # t=0 frame for a time-varying encoder would silently replay
+                # the wrong stem forever.  Event encoders instead go through
+                # the content-keyed memo at step() time.
+                encoder = self.model.encoder
+                if not isinstance(encoder, DirectEncoder):
+                    raise RuntimeError(
+                        "aligned stem cache requires direct encoding "
+                        f"(got {type(encoder).__name__}); time-varying "
+                        "encoders use the keyed stem memo instead"
+                    )
+                inputs = np.stack(
+                    [request.inputs for request, _, _ in admissions]
+                ).astype(np.float32, copy=False)
+                frames = encoder(inputs, 0).data
+        except Exception as error:
+            # Exception, not BaseException: KeyboardInterrupt/SystemExit must
+            # shut the process down, not get absorbed as a round rejection.
+            rejection = AdmissionRejectedError(
+                f"admission round of {count} rejected: {error}"
+            )
+            rejection.__cause__ = error
+            for _, response, _ in admissions:
+                response.set_exception(rejection)
+            raise rejection
+        for request, response, start_time in admissions:
+            self._slots.append(
+                _Slot(request=request, response=response, start_time=start_time)
+            )
+        if self._executor is not None:
+            self._executor.extend_rows(count, frames=frames)
         else:
-            self.model.extend_state(1)
+            self.model.extend_state(count)
         if self._running_sum is not None:
-            fresh = np.zeros((1, self._running_sum.shape[1]), dtype=self._running_sum.dtype)
+            fresh = np.zeros(
+                (count, self._running_sum.shape[1]), dtype=self._running_sum.dtype
+            )
             self._running_sum = np.concatenate([self._running_sum, fresh], axis=0)
 
     def fail_active(self, exception: BaseException) -> int:
-        """Abort every in-flight request (non-graceful shutdown)."""
+        """Abort every in-flight request (non-graceful shutdown).
+
+        Only this engine's *own* state is torn down: its slots, running sums
+        and executor rows (membranes + aligned stem).  On the fast path the
+        model's Tensor-side LIF state is untouched — it is not used by this
+        engine, and with multi-worker plan sharing the model object may be
+        serving other replicas whose in-flight trajectories must not be
+        clobbered by a neighbour's abort.  The shared content-keyed stem
+        memo also survives: its entries are pure functions of frozen weights
+        and frame bytes, never of slot state.
+        """
         failed = 0
         for slot in self._slots:
             slot.response.set_exception(exception)
@@ -144,7 +238,8 @@ class InferenceEngine:
         self._running_sum = None
         if self._executor is not None:
             self._executor.reset_state()
-        self.model.reset_state()
+        else:
+            self.model.reset_state()
         return failed
 
     # ------------------------------------------------------------------ #
@@ -177,7 +272,21 @@ class InferenceEngine:
         with no_grad():
             frame = self._encode(inputs, local_ts)
             if self._executor is not None:
-                logits = self._executor.step(frame.data)
+                stem_keys = None
+                if self._executor.memo_enabled:
+                    # Content-keyed stem memo (event streams): the key is the
+                    # exact bytes of each slot's encoded frame prefixed with
+                    # its shape+dtype (raw bytes alone would let two all-zero
+                    # frames of transposed resolutions collide), so replayed
+                    # clips hit rows cached by earlier requests — on this
+                    # engine or on any replica sharing the plan — and padded
+                    # tail frames (min(t, T-1)) dedupe for free.
+                    data = frame.data
+                    header = repr((data.shape[1:], data.dtype.str)).encode()
+                    stem_keys = [
+                        header + data[row].tobytes() for row in range(data.shape[0])
+                    ]
+                logits = self._executor.step(frame.data, stem_keys=stem_keys)
             else:
                 spikes = self.model.features(frame)
                 logits = self.model.classifier(spikes).data

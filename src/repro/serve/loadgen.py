@@ -85,6 +85,14 @@ class LoadGenerator:
         A started :class:`Server`.
     rate:
         Offered load in requests/second; ``None`` means closed-loop.
+    burst:
+        Arrival burstiness: requests arrive in back-to-back groups of this
+        size (the *average* offered rate is unchanged — each burst is
+        followed by a proportionally longer gap).  This is the bursty-
+        admission profile: a burst of B requests lands in the queue at one
+        instant, so a well-batched server admits all B in a single fill
+        round.  Only meaningful with ``rate``; closed-loop submission is
+        already maximally bursty.
     block:
         Closed-loop runs block on backpressure (True); open-loop runs
         typically use ``block=False`` so overload shows up as drops rather
@@ -95,6 +103,7 @@ class LoadGenerator:
         self,
         server: Server,
         rate: Optional[float] = None,
+        burst: int = 1,
         block: bool = True,
         submit_timeout: Optional[float] = 30.0,
         result_timeout: Optional[float] = 60.0,
@@ -103,8 +112,11 @@ class LoadGenerator:
     ):
         if rate is not None and rate <= 0:
             raise ValueError("rate must be positive (or None for closed-loop)")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
         self.server = server
         self.rate = rate
+        self.burst = int(burst)
         self.block = block
         self.submit_timeout = submit_timeout
         self.result_timeout = result_timeout
@@ -118,7 +130,9 @@ class LoadGenerator:
         offered = dropped = 0
         for index, (inputs, label) in enumerate(stream):
             if self.rate is not None:
-                scheduled = start + index / self.rate
+                # Quantize arrival times to burst boundaries: requests
+                # [k*burst, (k+1)*burst) all fire at the k-th burst instant.
+                scheduled = start + (index // self.burst) * self.burst / self.rate
                 delay = scheduled - self.clock()
                 if delay > 0:
                     self.sleep(delay)

@@ -45,13 +45,25 @@ class Server:
     Parameters
     ----------
     model:
-        The spiking network served by the primary worker.
+        The spiking network served by the primary worker(s).
     policy:
         Exit policy shared by all workers (and mutated by the controller).
+    num_workers:
+        Worker threads serving ``model`` itself.  With ``num_workers > 1``
+        the replicas *share one compiled plan* (weights are read-only at
+        serve time, so the lowered op list and folded constants are compiled
+        once via the :data:`repro.runtime.plan_registry` and reused), while
+        every worker keeps its own executor state — membranes, scratch,
+        slots.  This requires the compiled-plan fast path: on the Tensor
+        oracle the LIF membrane state lives *inside* the shared model and
+        replicas would corrupt each other.  Spike-statistics collection is
+        disabled on shared-model workers (the per-layer counters live on the
+        shared LIF modules and would race across threads).
     extra_models:
         Additional model replicas; each gets its own worker thread and
         engine.  Replicas must not share parameters *state* — build them
-        separately or deep-copy the primary.
+        separately or deep-copy the primary.  Use this (not ``num_workers``)
+        when workers must run the Tensor oracle or keep statistics.
     batch_width:
         Maximum concurrent slots per worker.
     queue_capacity:
@@ -85,6 +97,7 @@ class Server:
         max_timesteps: Optional[int] = None,
         batch_width: int = 8,
         queue_capacity: int = 64,
+        num_workers: int = 1,
         extra_models: Sequence[SpikingNetwork] = (),
         cost_model: Optional[InferenceCostModel] = None,
         controller: Optional[AdaptiveThresholdController] = None,
@@ -92,13 +105,41 @@ class Server:
         clock: Callable[[], float] = time.monotonic,
         use_runtime: Optional[bool] = None,
     ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
         self.clock = clock
         self.telemetry = telemetry or Telemetry()
         self.queue = AdmissionQueue(capacity=queue_capacity, clock=clock)
         self.policy = policy
+        shared = num_workers > 1
+        engines = [
+            InferenceEngine(
+                model,
+                policy,
+                max_timesteps=max_timesteps,
+                use_runtime=use_runtime,
+                # Shared-model replicas must not race the spike counters on
+                # the shared LIF modules (see the num_workers docstring).
+                collect_statistics=not shared,
+            )
+            for _ in range(num_workers)
+        ]
+        if shared:
+            stragglers = [engine for engine in engines if not engine.fast_path]
+            if stragglers:
+                raise ValueError(
+                    "num_workers > 1 shares one model across workers, which "
+                    "requires the compiled-plan runtime (per-executor state); "
+                    "this model runs on the Tensor oracle — pass replicas via "
+                    "extra_models instead"
+                )
+        engines.extend(
+            InferenceEngine(m, policy, max_timesteps=max_timesteps, use_runtime=use_runtime)
+            for m in extra_models
+        )
         self.batchers: List[ContinuousBatcher] = [
             ContinuousBatcher(
-                InferenceEngine(m, policy, max_timesteps=max_timesteps, use_runtime=use_runtime),
+                engine,
                 self.queue,
                 batch_width=batch_width,
                 telemetry=self.telemetry,
@@ -106,7 +147,7 @@ class Server:
                 controller=controller,
                 clock=clock,
             )
-            for m in (model, *extra_models)
+            for engine in engines
         ]
         self.max_timesteps = self.batchers[0].engine.max_timesteps
         self._ids = itertools.count()

@@ -29,6 +29,12 @@ class DirectEncoder:
     # batch composition, which is what lets dynamic inference compact batches
     # (and the serving engine splice slots) without changing any trajectory.
     deterministic = True
+    # frame_cacheable marks encoders whose emitted frame bytes fully determine
+    # the network's stateless stem output AND recur across requests (replayed
+    # inputs), so the runtime may memoize stem results keyed on frame content
+    # (repro.runtime.plan.StemCache).  Stochastic encoders must leave this
+    # False: their frames never deterministically recur.
+    frame_cacheable = True
 
     def __call__(self, x: np.ndarray, timestep: int) -> Tensor:
         return Tensor(np.asarray(x, dtype=np.float32))
@@ -48,6 +54,7 @@ class PoissonEncoder:
 
     name = "poisson"
     deterministic = False  # draws from a shared RNG: batch composition matters
+    frame_cacheable = False  # fresh random frame every call: nothing recurs
 
     def __init__(self, gain: float = 1.0, seed: Optional[int] = None):
         check_positive("gain", gain)
@@ -74,6 +81,11 @@ class EventFrameEncoder:
 
     name = "event"
     deterministic = True
+    # Frames vary per timestep (so the aligned direct-encoding stem cache
+    # cannot apply) but are pure slices of the request payload: a replayed
+    # DVS clip re-emits byte-identical frames, which the serving engine
+    # exploits through the content-keyed stem memo.
+    frame_cacheable = True
 
     def __call__(self, x: np.ndarray, timestep: int) -> Tensor:
         x = np.asarray(x, dtype=np.float32)
