@@ -1,0 +1,174 @@
+"""Serve throughput scaling with process replicas over the shared plan arena.
+
+Thread workers (``--workers N``) stop scaling at roughly one core of Python:
+the GEMMs release the GIL, the op-dispatch loop does not.  Process replicas
+(``--replicas N``) remove the GIL while the :class:`repro.runtime.PlanArena`
+keeps the memory story flat — one shared-memory segment holds the plan
+constants (weights, running stats, folded conv+norm GEMM arrays) for every
+replica, so the constants' resident cost is O(1) in the replica count rather
+than O(N).
+
+Measurements (median of ``ROUNDS`` runs each):
+
+1. closed-loop serve throughput — 1 thread worker (baseline), N thread
+   workers, N process replicas;
+2. the arena's footprint: segment bytes (shared once) next to the private
+   per-replica memory (PSS from ``/proc``, Linux), which is what actually
+   grows per replica;
+3. decision-exactness: every configuration must complete every request with
+   predictions and exit timesteps identical to the single-worker baseline.
+
+Scaling assertion: with >= 4 usable cores and full (non-smoke) scale, N=4
+replicas must reach >= 2x the single-worker baseline throughput.  On fewer
+cores there is no parallel hardware for replicas to use — the run reports
+the measured ratio and notes why the gate is skipped (this keeps the bench
+honest on 1- and 2-core CI boxes; the 2x criterion is a multi-core claim).
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+
+from _bench_utils import SMOKE, emit, print_section
+from repro.core import EntropyExitPolicy
+from repro.imc import format_table
+from repro.serve import Server, request_stream
+
+REPLICAS = 4
+ROUNDS = 3
+NUM_REQUESTS = 120 if SMOKE else 240
+BATCH_WIDTH = 8
+STREAM_SEED = 29
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _replica_pss_kb(server) -> float:
+    """Total proportional-set-size of the replica processes (Linux)."""
+    total = 0.0
+    for process in server.replicas.processes:
+        try:
+            with open(f"/proc/{process.pid}/smaps_rollup", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("Pss:"):
+                        total += float(line.split()[1])
+                        break
+        except OSError:  # pragma: no cover - process already gone
+            pass
+    return total
+
+
+def _serve_once(experiment, threshold, stream, *, num_workers=1, num_replicas=0):
+    server = Server(
+        experiment.model,
+        EntropyExitPolicy(threshold),
+        max_timesteps=experiment.timesteps,
+        batch_width=BATCH_WIDTH,
+        queue_capacity=max(64, NUM_REQUESTS),
+        num_workers=num_workers,
+        num_replicas=num_replicas,
+    ).start()
+    pss_kb = None
+    try:
+        if num_replicas:
+            pss_kb = _replica_pss_kb(server)
+        start = time.perf_counter()
+        futures = [server.submit(inputs, label=label) for inputs, label in stream]
+        results = [future.result(timeout=300.0) for future in futures]
+        elapsed = time.perf_counter() - start
+    finally:
+        server.shutdown(drain=True)
+    decisions = {r.request_id: (r.prediction, r.exit_timestep) for r in results}
+    arena_bytes = (
+        server.replicas.arena.spec.size if server.replicas is not None else None
+    )
+    return len(results) / elapsed, decisions, arena_bytes, pss_kb
+
+
+def _median_rps(experiment, threshold, stream, **kwargs):
+    runs = [_serve_once(experiment, threshold, stream, **kwargs) for _ in range(ROUNDS)]
+    rps = statistics.median(run[0] for run in runs)
+    decisions = runs[0][1]
+    for run in runs[1:]:
+        assert run[1] == decisions, "decisions varied across rounds"
+    return rps, decisions, runs[0][2], runs[0][3]
+
+
+def test_replica_scaling(benchmark, suite):
+    # Width-doubled model: per-request compute must outweigh the ~0.1 ms
+    # per-request IPC cost for process scaling to mean anything — the
+    # shared tiny model serves at ~0.12 ms/request in-process, a regime
+    # where no dispatch mechanism beats staying in-process.
+    experiment = suite.get("vgg", "cifar10", width_multiplier=2.0)
+    experiment.model.eval()
+    point = experiment.calibrated_point(tolerance=0.0)
+    stream = list(
+        request_stream(experiment.test_dataset, NUM_REQUESTS, seed=STREAM_SEED)
+    )
+
+    def run():
+        baseline = _median_rps(experiment, point.threshold, stream, num_workers=1)
+        threads = _median_rps(
+            experiment, point.threshold, stream, num_workers=REPLICAS
+        )
+        replicas = _median_rps(
+            experiment, point.threshold, stream, num_replicas=REPLICAS
+        )
+        return baseline, threads, replicas
+
+    baseline, threads, replicas = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_rps, base_decisions, _, _ = baseline
+    thread_rps, thread_decisions, _, _ = threads
+    replica_rps, replica_decisions, arena_bytes, pss_kb = replicas
+
+    cores = _cores()
+    print_section(
+        f"Serve scaling: 1 worker vs {REPLICAS} threads vs {REPLICAS} process "
+        f"replicas ({cores} core(s), {NUM_REQUESTS} requests, median of {ROUNDS})"
+    )
+    emit(format_table(
+        ["configuration", "req/s", "vs baseline"],
+        [
+            ["1 thread worker (baseline)", base_rps, 1.0],
+            [f"{REPLICAS} thread workers (GIL-bound)", thread_rps,
+             thread_rps / base_rps],
+            [f"{REPLICAS} process replicas (arena)", replica_rps,
+             replica_rps / base_rps],
+        ],
+        float_format="{:.2f}",
+    ))
+    emit(f"\nplan arena: one shared segment of {arena_bytes} bytes serves all "
+         f"{REPLICAS} replicas ({arena_bytes // REPLICAS} bytes/replica amortized; "
+         "constants are exported once, attached zero-copy, so the arena cost is "
+         "O(1) in the replica count)")
+    if pss_kb:
+        emit(f"replica private memory: {pss_kb:.0f} kB PSS total across "
+             f"{REPLICAS} processes at start of serving (interpreter + executor "
+             "state; the weights live in the shared segment above)")
+
+    # Decision-exactness is unconditional: scaling may never move a decision.
+    assert len(base_decisions) == NUM_REQUESTS
+    assert thread_decisions == base_decisions
+    assert replica_decisions == base_decisions
+    emit("\nall configurations decision-exact vs the single-worker baseline "
+         f"({NUM_REQUESTS}/{NUM_REQUESTS} requests completed everywhere)")
+
+    if SMOKE:
+        emit("smoke mode: throughput gate skipped")
+        return
+    if cores < 4:
+        emit(f"only {cores} core(s) visible: the >=2x replica gate needs >=4 "
+             f"cores of real parallelism; measured ratio {replica_rps / base_rps:.2f}x "
+             "recorded above")
+        return
+    assert replica_rps >= 2.0 * base_rps, (
+        f"{REPLICAS} replicas reached only {replica_rps / base_rps:.2f}x the "
+        "single-worker baseline"
+    )

@@ -199,6 +199,10 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker threads serving the model; with >1 the replicas "
                              "share one compiled plan (requires the fast path)")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="worker processes serving the model over a shared-memory "
+                             "plan arena (GIL-free scaling; mutually exclusive with "
+                             "--workers > 1)")
     parser.add_argument("--num-requests", type=int, default=256)
     parser.add_argument("--stream-seed", type=int, default=0,
                         help="seed of the deterministic request stream")
@@ -379,10 +383,17 @@ def _build_server(args: argparse.Namespace, model, policy, controller, cost_mode
         batch_width=args.batch_width,
         queue_capacity=args.queue_capacity,
         num_workers=args.workers,
+        num_replicas=args.replicas,
         cost_model=cost_model,
         controller=controller,
         use_runtime=False if args.reference_path else None,
     )
+    if server.replicas is not None:
+        arena = server.replicas.arena
+        print(f"execution path: {server.replicas.num_replicas} process replica(s) "
+              f"over one shared-memory plan arena "
+              f"({arena.spec.size} bytes, {len(arena.spec.entries)} constants)")
+        return server
     engine = server.batchers[0].engine
     path = "compiled-plan fast path" if engine.fast_path else "Tensor reference oracle"
     workers = len(server.batchers)

@@ -47,6 +47,7 @@ import numpy as np
 from ..autograd.dtypes import scalar_operand
 from ..snn.encoding import DirectEncoder
 from ..snn.network import SpikingNetwork
+from .arena import ArenaAttachment, ArenaSpec, PlanArena, attach_arena
 from .executor import PlanExecutor
 from .plan import (
     CompiledPlan,
@@ -58,11 +59,15 @@ from .plan import (
 )
 
 __all__ = [
+    "ArenaAttachment",
+    "ArenaSpec",
     "CompiledPlan",
+    "PlanArena",
     "PlanExecutor",
     "PlanRegistry",
     "StemCache",
     "UnsupportedModuleError",
+    "attach_arena",
     "compile_network",
     "runtime_enabled",
     "plan_for",

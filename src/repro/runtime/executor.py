@@ -109,6 +109,18 @@ class PlanExecutor:
         self._membranes = [None] * self.plan.num_lif
         self._stem = None
 
+    def invalidate_stem(self) -> None:
+        """Drop the aligned stem rows without touching membrane state.
+
+        Called after an in-place weight reload lands on a live executor (a
+        replica rebinding arena views): the cached rows were computed under
+        the old weights and must be recomputed at the next step, while the
+        in-flight membrane trajectories continue.  The content-keyed memo
+        needs no call here — it revalidates against the plan's
+        ``stem_signature`` on every lookup round.
+        """
+        self._stem = None
+
     def compact_rows(self, keep: np.ndarray) -> None:
         """Drop the state rows of samples that left the batch (early exit)."""
         self._membranes = [
@@ -190,8 +202,13 @@ class PlanExecutor:
         the rest of the serving layer: a stem computed at miss-subset width
         must equal one computed at full batch width, exactly like compaction
         (``PR 2``'s width-changing splices) already requires — and
-        ``tests/equivalence`` enforces — for every post-stem op.  The keying
-        itself can never alias (exact frame bytes, no hashing).
+        ``tests/equivalence`` enforces — for every post-stem op.  Key
+        aliasing is the caller's contract: the serving engine interns
+        128-bit clip digests plus the encoder's recorded-frame index
+        (~2^-64 collision probability; see
+        :meth:`repro.serve.InferenceEngine._intern_stem_key`), falling back
+        to exact shape-prefixed frame bytes (alias-free by construction)
+        for encoders without a frame-index rule.
         """
         plan = self.plan
         rows = frame.shape[0]

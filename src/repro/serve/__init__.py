@@ -15,10 +15,14 @@ this package turns that saving into *throughput*.  The pieces, front to back:
   queue *mid-horizon* in one batched admission round per refill, so the SNN
   always runs at full occupancy and a burst of B arrivals costs one state
   extension + one stem GEMM, not B of each.
-* :class:`Server` — worker threads, futures, graceful drain.  With
-  ``num_workers=N`` the workers serve one model through one *shared*
-  compiled plan (``repro.runtime.plan_registry``) with per-worker executor
-  state.
+* :class:`Server` — workers, futures, graceful drain.  With
+  ``num_workers=N`` the workers are threads serving one model through one
+  *shared* compiled plan (``repro.runtime.plan_registry``) with per-worker
+  executor state; with ``num_replicas=N`` they are processes sharing the
+  plan constants zero-copy through a shared-memory arena
+  (:class:`~repro.serve.ReplicaPool`, ``repro.runtime.PlanArena``) — the
+  GIL-free scaling axis, with typed crash isolation
+  (:class:`ReplicaCrashError`).
 * :class:`Telemetry` — latency percentiles, exit-timestep histograms, queue
   depth, occupancy and per-request energy/EDP via ``repro.imc``.
 * :class:`AdaptiveThresholdController` — holds a p95 latency SLA by nudging
@@ -41,6 +45,7 @@ from .batcher import ContinuousBatcher
 from .controller import AdaptiveThresholdController, calibrated_threshold_bounds
 from .engine import AdmissionRejectedError, CompletedSample, InferenceEngine
 from .loadgen import LoadGenerator, LoadReport, request_stream
+from .replica import ReplicaCrashError, ReplicaPool
 from .request import (
     AdmissionQueue,
     QueueClosedError,
@@ -63,6 +68,8 @@ __all__ = [
     "CompletedSample",
     "AdmissionRejectedError",
     "ContinuousBatcher",
+    "ReplicaCrashError",
+    "ReplicaPool",
     "Server",
     "ServerClosedError",
     "Telemetry",

@@ -21,7 +21,37 @@ from .engine import AdmissionRejectedError, InferenceEngine
 from .request import AdmissionQueue, RequestResult
 from .telemetry import Telemetry
 
-__all__ = ["ContinuousBatcher"]
+__all__ = ["ContinuousBatcher", "finalize_result", "price_request"]
+
+
+def price_request(
+    cost_model: Optional[InferenceCostModel], exit_timestep: int
+) -> tuple:
+    """Energy / EDP for one completed request (``(None, None)`` without a
+    cost model) — the single pricing rule for every completion path (thread
+    batcher and replica collector)."""
+    if cost_model is None:
+        return None, None
+    energy = float(cost_model.energy(exit_timestep))
+    return energy, energy * float(cost_model.latency(exit_timestep))
+
+
+def finalize_result(
+    result: RequestResult,
+    response,
+    telemetry: Telemetry,
+    controller: Optional[AdaptiveThresholdController],
+) -> None:
+    """Record, steer, then resolve — shared by every completion path.
+
+    The future is resolved LAST so a waiting client observes telemetry that
+    already includes its own request; keep that ordering here, in one
+    place, rather than re-deriving it per path.
+    """
+    telemetry.record_completion(result)
+    if controller is not None:
+        controller.on_completion(result, telemetry)
+    response.set_result(result)
 
 
 class ContinuousBatcher:
@@ -105,10 +135,7 @@ class ContinuousBatcher:
         now = self.clock()
         results: List[RequestResult] = []
         for sample in finished:
-            energy = edp = None
-            if self.cost_model is not None:
-                energy = float(self.cost_model.energy(sample.exit_timestep))
-                edp = energy * float(self.cost_model.latency(sample.exit_timestep))
+            energy, edp = price_request(self.cost_model, sample.exit_timestep)
             result = RequestResult(
                 request_id=sample.request.request_id,
                 prediction=sample.prediction,
@@ -122,13 +149,8 @@ class ContinuousBatcher:
                 energy=energy,
                 edp=edp,
             )
-            self.telemetry.record_completion(result)
-            if self.controller is not None:
-                self.controller.on_completion(result, self.telemetry)
             results.append(result)
-            # Resolve the future last so a waiting client observes telemetry
-            # that already includes its own request.
-            sample.response.set_result(result)
+            finalize_result(result, sample.response, self.telemetry, self.controller)
         return results
 
     # ------------------------------------------------------------------ #

@@ -24,6 +24,7 @@ reference oracle via ``use_runtime=False`` or ``REPRO_RUNTIME=0``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -72,6 +73,10 @@ class _Slot:
     response: Response
     start_time: float
     local_t: int = 0
+    # Interned stem-memo key prefix: the clip's content digest, computed
+    # once at admission (see _intern_stem_key).  None when the engine does
+    # not intern (no memo, or the encoder lacks a frame_index rule).
+    stem_key: Optional[bytes] = None
 
 
 class InferenceEngine:
@@ -101,12 +106,33 @@ class InferenceEngine:
         # modules across worker threads (the spike counters would race).
         self._executor = executor_for(model, use_runtime,
                                       collect_statistics=collect_statistics)
+        # Stem-memo keys are interned at admission: one content digest per
+        # request, combined with the encoder's frame_index per timestep,
+        # instead of copying every row's frame bytes on every step.  Needs
+        # the encoder to expose its timestep -> recorded-frame rule; without
+        # it, step() falls back to exact-frame-bytes keys.
+        self._intern_keys = (
+            self._executor is not None
+            and self._executor.memo_enabled
+            and hasattr(model.encoder, "frame_index")
+        )
         self._slots: List[_Slot] = []
+        # Pinned on the first successful admission: the engine serves one
+        # model with one sample shape for its lifetime, and validating
+        # against the pin (not just the live batch) is what keeps a
+        # wrong-shaped request arriving at an IDLE engine inside the typed
+        # rejection path — the executor still holds residual stem/scratch
+        # arrays of the real shape, and a mismatch would otherwise escape
+        # admit_batch's guard and take down the whole worker.
+        self._sample_shape: Optional[Tuple[int, ...]] = None
         self._running_sum: Optional[np.ndarray] = None  # (active, num_classes)
         # Work counters: the serving benchmark compares these against the
         # static baseline (active_count * steps == SNN forward rows executed).
         self.total_steps = 0
         self.total_sample_timesteps = 0
+        # Clip-digest computations (exactly one per admitted request when
+        # interning; the key-interning regression test pins this).
+        self.stem_hash_count = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -162,19 +188,31 @@ class InferenceEngine:
             # encoders stack lazily at step() time, where a mismatch would
             # take down the worker and its in-flight neighbours): one
             # malformed request must fail here, at its own admission round,
-            # not poison the live batch later.
-            expected = (
-                self._slots[0].request.inputs.shape
-                if self._slots
-                else admissions[0][0].inputs.shape
-            )
+            # not poison the live batch later.  The reference shape is the
+            # engine-lifetime pin when one exists — an idle engine must
+            # reject a wrong-shaped round, not adopt its shape.
+            expected = self._sample_shape
+            if expected is None:
+                expected = (
+                    self._slots[0].request.inputs.shape
+                    if self._slots
+                    else admissions[0][0].inputs.shape
+                )
             for request, _, _ in admissions:
                 if request.inputs.shape != expected:
                     raise ValueError(
                         f"request {request.request_id} input shape "
-                        f"{request.inputs.shape} does not match the live "
-                        f"batch sample shape {expected}"
+                        f"{request.inputs.shape} does not match the served "
+                        f"sample shape {expected}"
                     )
+            # Intern the stem-memo key bases here too: digesting can fail
+            # on pathological inputs (un-castable dtypes), and it must do
+            # so before any slot or state row exists.
+            stem_keys = (
+                [self._intern_stem_key(request) for request, _, _ in admissions]
+                if self._intern_keys
+                else [None] * count
+            )
             frames = None
             if self._executor is not None and self._executor.stem_enabled:
                 # The aligned stem cache presumes direct encoding (constant
@@ -204,9 +242,15 @@ class InferenceEngine:
             for _, response, _ in admissions:
                 response.set_exception(rejection)
             raise rejection
-        for request, response, start_time in admissions:
+        self._sample_shape = expected
+        for (request, response, start_time), stem_key in zip(admissions, stem_keys):
             self._slots.append(
-                _Slot(request=request, response=response, start_time=start_time)
+                _Slot(
+                    request=request,
+                    response=response,
+                    start_time=start_time,
+                    stem_key=stem_key,
+                )
             )
         if self._executor is not None:
             self._executor.extend_rows(count, frames=frames)
@@ -217,6 +261,32 @@ class InferenceEngine:
                 (count, self._running_sum.shape[1]), dtype=self._running_sum.dtype
             )
             self._running_sum = np.concatenate([self._running_sum, fresh], axis=0)
+
+    def _intern_stem_key(self, request: Request) -> bytes:
+        """Digest a request's clip once; per-step keys append a frame index.
+
+        The memo key must determine the encoded frame bytes: for a
+        deterministic encoder those are a pure function of (clip content,
+        recorded-frame index), so a 128-bit BLAKE2b digest of the
+        shape/dtype-prefixed clip bytes — computed *once per request* —
+        replaces per-row-per-step ``tobytes()`` copies.  Replayed clips
+        digest identically and keep their cross-request hits; padded tail
+        timesteps share a frame index and keep their free dedupe.  Two
+        sharing properties of the old byte-exact keys are traded away: the
+        collision probability becomes ~2^-64 instead of zero, and a frame
+        whose bytes happen to recur in a *different* clip (e.g. an all-zero
+        frame in sparse event data) no longer shares its memo entry — the
+        workload the memo targets (whole-clip replays) is unaffected.  See
+        docs/ARCHITECTURE.md.
+        """
+        inputs = np.ascontiguousarray(request.inputs, dtype=np.float32)
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(repr((inputs.shape, inputs.dtype.str)).encode())
+        # Hash the array buffer directly — tobytes() would re-copy the
+        # whole clip, the very per-request O(clip) cost interning removes.
+        digest.update(inputs.data)
+        self.stem_hash_count += 1
+        return digest.digest()
 
     def fail_active(self, exception: BaseException) -> int:
         """Abort every in-flight request (non-graceful shutdown).
@@ -236,11 +306,29 @@ class InferenceEngine:
             failed += 1
         self._slots = []
         self._running_sum = None
+        # The shape pin exists to protect residual executor arrays from a
+        # wrong-shaped idle-engine admission; the teardown below wipes those
+        # arrays, so the pin resets too — a malformed FIRST round (pinned
+        # before its shape ever met the model) must not leave a recovered
+        # engine rejecting correct traffic forever.
+        self._sample_shape = None
         if self._executor is not None:
             self._executor.reset_state()
         else:
             self.model.reset_state()
         return failed
+
+    def invalidate_stem(self) -> None:
+        """Drop cached stem rows after an in-place weight reload.
+
+        Public hook for replica weight-reload propagation: on the fast path
+        the executor's aligned stem rows were computed under the old
+        weights; the content-keyed memo needs no call (it revalidates
+        against the plan's ``stem_signature``), and the Tensor oracle holds
+        no stem state at all.
+        """
+        if self._executor is not None:
+            self._executor.invalidate_stem()
 
     # ------------------------------------------------------------------ #
     def _encode(self, inputs: np.ndarray, local_ts: np.ndarray) -> Tensor:
@@ -273,14 +361,29 @@ class InferenceEngine:
             frame = self._encode(inputs, local_ts)
             if self._executor is not None:
                 stem_keys = None
-                if self._executor.memo_enabled:
-                    # Content-keyed stem memo (event streams): the key is the
-                    # exact bytes of each slot's encoded frame prefixed with
-                    # its shape+dtype (raw bytes alone would let two all-zero
-                    # frames of transposed resolutions collide), so replayed
-                    # clips hit rows cached by earlier requests — on this
-                    # engine or on any replica sharing the plan — and padded
-                    # tail frames (min(t, T-1)) dedupe for free.
+                if self._intern_keys:
+                    # Content-keyed stem memo (event streams) with interned
+                    # keys: each slot's clip was digested once at admission,
+                    # so the per-step key is that digest plus the encoder's
+                    # recorded-frame index — no frame-byte copies on the hot
+                    # path.  Replayed clips hit rows cached by earlier
+                    # requests — on this engine or on any replica sharing
+                    # the plan — and padded tail frames (min(t, T-1)) dedupe
+                    # for free through the shared frame index.
+                    encoder = self.model.encoder
+                    stem_keys = [
+                        slot.stem_key
+                        + encoder.frame_index(
+                            slot.request.inputs.shape[0], slot.local_t
+                        ).to_bytes(4, "little")
+                        for slot in self._slots
+                    ]
+                elif self._executor.memo_enabled:
+                    # Fallback for memo-capable encoders without a
+                    # frame_index rule: key on the exact bytes of each
+                    # slot's encoded frame, prefixed with its shape+dtype
+                    # (raw bytes alone would let two all-zero frames of
+                    # transposed resolutions collide).
                     data = frame.data
                     header = repr((data.shape[1:], data.dtype.str)).encode()
                     stem_keys = [

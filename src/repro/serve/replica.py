@@ -1,0 +1,892 @@
+"""Process-level serve replicas over a shared-memory plan arena.
+
+``Server(num_workers=N)`` scales until the GIL does not: the GEMMs release
+it, the op-dispatch loop does not, so N thread workers saturate roughly one
+core's worth of Python.  :class:`ReplicaPool` is the process-level
+counterpart — N worker *processes*, each running the unchanged serving stack
+(:class:`~repro.serve.InferenceEngine` + :class:`~repro.serve.ContinuousBatcher`)
+over a private :class:`~repro.runtime.PlanExecutor` whose constants are
+zero-copy views into one :class:`~repro.runtime.PlanArena` segment.
+
+Data flow, front to back:
+
+* **Dispatch** — requests enter the server's single
+  :class:`~repro.serve.AdmissionQueue` exactly as in thread mode.  One
+  *forwarder* thread per replica competes for queued requests and ships them
+  over that replica's work queue, holding at most ``inflight_window``
+  requests (default: one batch width) inside the replica at a time — the
+  bound on what a crash can take down.
+* **Serving** — the replica process pumps its work queue into a local
+  admission queue and runs the continuous batcher exactly like a thread
+  worker; per-sample batch invariance makes its decisions identical to the
+  sequential oracle no matter how the dispatcher splits traffic.
+* **Completion** — results travel back over a *per-replica* response pipe
+  (single writer each: a replica killed mid-message can corrupt only its
+  own channel, never block a survivor's completions behind a dead lock
+  holder); a *collector* thread multiplexes the pipes, resolves the
+  parent-side futures, prices energy, feeds the SLA controller and records
+  everything into the server's single :class:`~repro.serve.Telemetry` (the
+  replica ships its occupancy gauges at drain, merged via
+  :meth:`Telemetry.merge_state`).
+* **Failure** — a *monitor* thread owns each replica's exit.  A clean exit
+  (drain) releases its arena reference; a crash fails exactly the crashed
+  replica's in-flight requests with :class:`ReplicaCrashError`, returns any
+  undispatched request to the shared pool, and leaves the survivors serving.
+  When the last replica dies the queue is closed and drained so no client
+  ever blocks on a future nobody will resolve.
+
+Weight reloads: after ``load_state_dict`` on the parent's model, call
+:meth:`ReplicaPool.refresh_weights`.  The arena copies the changed constants
+in place and bumps its version; every replica rebinds at its next round (see
+:meth:`~repro.runtime.ArenaAttachment.reattach` for the identity-flip that
+makes the folded caches, stem signature and stem memo converge).
+
+Replica processes use the ``spawn`` start method: it is immune to
+fork-vs-threads lock inheritance and forces every byte a replica shares to
+flow through the arena — which is the point.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import multiprocessing
+from collections import deque
+from multiprocessing import connection
+
+from ..core.accounting import InferenceCostModel
+from ..core.policies import ExitPolicy
+from ..runtime import plan_for, runtime_enabled
+from ..runtime.arena import ArenaSpec, PlanArena, attach_arena
+from ..snn.network import SpikingNetwork
+from .batcher import ContinuousBatcher, finalize_result, price_request
+from .controller import AdaptiveThresholdController
+from .engine import AdmissionRejectedError, InferenceEngine
+from .request import (
+    AdmissionQueue,
+    Request,
+    RequestResult,
+    Response,
+    ServerClosedError,
+)
+from .telemetry import Telemetry
+
+__all__ = ["ReplicaCrashError", "ReplicaPool"]
+
+
+class ReplicaCrashError(RuntimeError):
+    """A replica process died while requests it owned were in flight.
+
+    Raised through the futures of exactly the crashed replica's in-flight
+    round: requests still in the shared admission queue (or popped but not
+    yet dispatched) are re-served by the surviving replicas, so a crash
+    loses at most ``inflight_window`` requests.  If the *last* replica dies
+    the queue is closed and every queued future fails with this error
+    instead of stranding its client.
+    """
+
+
+@dataclass(frozen=True)
+class _ReplicaConfig:
+    """Picklable per-replica serving parameters (ships at spawn)."""
+
+    index: int
+    policy: ExitPolicy
+    max_timesteps: int
+    batch_width: int
+    window: int
+    use_runtime: Optional[bool]
+    poll_interval: float = 0.01
+
+
+# Work-queue message kinds (parent -> replica).  Requests and completions
+# travel as *batches* — one pickle + one pipe wakeup per dispatch round or
+# step round, not per request — which is what keeps the IPC cost per request
+# flat in the window size (the same argument as batched admission).
+_MSG_REQUEST = "reqs"
+_MSG_THRESHOLD = "threshold"
+_MSG_DRAIN = "drain"
+# Result-pipe message kinds (replica -> parent).
+_MSG_READY = "ready"
+_MSG_DONE = "done"
+_MSG_ERROR = "error"
+_MSG_BYE = "bye"
+
+
+# --------------------------------------------------------------------------- #
+# Replica process
+# --------------------------------------------------------------------------- #
+class _RelayResponse(Response):
+    """Replica-local future that forwards its resolution to an outbox.
+
+    The batcher resolves futures; in a replica the real future lives in the
+    parent, so the local stand-in records what happened and the main loop
+    relays it.  Successful completions already come back through
+    ``run_once``'s return value, so only failures (admission rejections) are
+    captured here.
+    """
+
+    def __init__(self, request_id: int, outbox: List[Tuple]):
+        super().__init__()
+        self._request_id = request_id
+        self._outbox = outbox
+
+    def set_exception(self, exception: BaseException) -> None:
+        super().set_exception(exception)
+        self._outbox.append(
+            (self._request_id, f"{type(exception).__name__}: {exception}")
+        )
+
+
+def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
+                  work_queue, result_conn) -> None:
+    """Entry point of one replica process (spawn target; must be top-level).
+
+    The loop interleaves three duties: pump the work queue into the local
+    admission queue, honor arena weight-reload versions at round boundaries,
+    and run the continuous batcher one timestep at a time, relaying every
+    completion.  On the drain sentinel it finishes all local work, ships its
+    telemetry gauges and exits 0; any exception escapes (exit code != 0) and
+    the parent's monitor converts it into typed in-flight failures.
+
+    ``result_conn`` is this replica's *private* pipe to the collector: with
+    one writer per pipe there is no cross-process write lock, so a replica
+    killed mid-message can corrupt only its own channel — a survivor's
+    completions can never block behind a dead neighbour's lock (the failure
+    mode a shared result queue would have).
+    """
+    index = config.index
+    attachment = None
+    try:
+        attachment = attach_arena(spec, skeleton)
+        model = attachment.model
+        engine = InferenceEngine(
+            model,
+            config.policy,
+            max_timesteps=config.max_timesteps,
+            use_runtime=config.use_runtime,
+            # The constants are shared but this process's model object is
+            # private, so statistics would be safe — they are disabled for
+            # parity with thread workers (nobody reads them in a replica).
+            collect_statistics=False,
+        )
+        local_queue = AdmissionQueue(capacity=max(1, config.window))
+        telemetry = Telemetry()
+        batcher = ContinuousBatcher(
+            engine, local_queue, batch_width=config.batch_width, telemetry=telemetry
+        )
+        outbox: List[Tuple] = []
+        draining = False
+        # Readiness handshake: interpreter up, arena attached, plan compiled.
+        # The parent's start() blocks on this so a "started" server is one
+        # whose replicas are actually serving (and whose benchmarked
+        # throughput excludes spawn/import cost).
+        result_conn.send((index, _MSG_READY))
+        while True:
+            # Pump the work queue: block only when fully idle, otherwise
+            # drain whatever is ready and get back to stepping.
+            block = engine.idle and local_queue.depth() == 0 and not draining
+            try:
+                message = (
+                    work_queue.get(timeout=config.poll_interval)
+                    if block
+                    else work_queue.get_nowait()
+                )
+                while True:
+                    kind = message[0]
+                    if kind == _MSG_REQUEST:
+                        for request_id, inputs, label in message[1]:
+                            local_queue.put(
+                                Request(request_id=request_id, inputs=inputs,
+                                        label=label),
+                                _RelayResponse(request_id, outbox),
+                            )
+                    elif kind == _MSG_THRESHOLD:
+                        engine.policy.threshold = message[1]
+                    elif kind == _MSG_DRAIN:
+                        draining = True
+                    message = work_queue.get_nowait()
+            except queue_module.Empty:
+                pass
+            # Weight-reload propagation: rebind at the round boundary so a
+            # refreshed arena serves coherent constants from the next step.
+            if attachment.stale():
+                attachment.reattach()
+                engine.invalidate_stem()
+            results = batcher.run_once()
+            if results:
+                result_conn.send((index, _MSG_DONE, [
+                    (result.request_id, result.prediction, result.exit_timestep,
+                     result.score, result.threshold, result.start_time,
+                     result.finish_time)
+                    for result in results
+                ]))
+            if outbox:
+                result_conn.send((index, _MSG_ERROR, list(outbox)))
+                outbox.clear()
+            if draining and engine.idle and local_queue.depth() == 0:
+                # Gauges only (include_results=False drops the per-request
+                # and clock-domain fields): completions were already
+                # recorded by the parent's collector.  The local queue
+                # depth is additionally blanked — it is window-bounded
+                # noise next to the parent's admission-queue backpressure
+                # gauge, which the collector samples parent-side.
+                state = telemetry.export_state(include_results=False)
+                state["queue_depths"] = []
+                result_conn.send((index, _MSG_BYE, state))
+                break
+    except BaseException:
+        traceback.print_exc()
+        raise
+    finally:
+        if attachment is not None:
+            attachment.close()
+        result_conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Parent-side pool
+# --------------------------------------------------------------------------- #
+class ReplicaPool:
+    """Owns N replica processes, their arena, and the dispatch plumbing.
+
+    Constructed (and drained) by :class:`~repro.serve.Server` when
+    ``num_replicas > 0``; the public surface a user touches is the server's.
+    Tests reach in for :attr:`processes` (fault injection) and
+    :attr:`arena` (sharing/lifecycle assertions).
+    """
+
+    def __init__(
+        self,
+        model: SpikingNetwork,
+        policy: ExitPolicy,
+        *,
+        num_replicas: int,
+        queue: AdmissionQueue,
+        telemetry: Telemetry,
+        max_timesteps: Optional[int] = None,
+        batch_width: int = 8,
+        use_runtime: Optional[bool] = None,
+        cost_model: Optional[InferenceCostModel] = None,
+        controller: Optional[AdaptiveThresholdController] = None,
+        clock: Callable[[], float] = time.monotonic,
+        inflight_window: Optional[int] = None,
+        blas_threads: int = 1,
+    ):
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if max_timesteps is None:
+            max_timesteps = model.default_timesteps
+        if max_timesteps < 1:
+            raise ValueError("max_timesteps must be a positive integer")
+        if runtime_enabled(use_runtime) and plan_for(model) is None:
+            raise ValueError(
+                "replica serving shares plan constants through the arena, "
+                "which requires a model the compiled-plan runtime can lower; "
+                "this model does not lower — pass use_runtime=False to run "
+                "replicas on the Tensor oracle"
+            )
+        self.model = model
+        self.policy = policy
+        self.queue = queue
+        self.telemetry = telemetry
+        self.num_replicas = int(num_replicas)
+        self.max_timesteps = int(max_timesteps)
+        self.batch_width = int(batch_width)
+        self.window = (
+            int(inflight_window) if inflight_window is not None else self.batch_width
+        )
+        if self.window < 1:
+            raise ValueError("inflight_window must be >= 1")
+        self.cost_model = cost_model
+        self.controller = controller
+        self.clock = clock
+        self.use_runtime = use_runtime
+        self.blas_threads = int(blas_threads)
+        # Export before anything serves: the arena copies the constants and
+        # the skeleton captures the structure exactly once for all replicas.
+        # eval() + reset_state() is the same serving precondition
+        # InferenceEngine applies to thread workers' models; gradients are
+        # left on the caller's model (the skeleton drops them in transit).
+        model.eval()
+        model.reset_state()
+        self.arena = PlanArena.export(model)
+        self._skeleton = self.arena.skeleton()
+
+        self._ctx = multiprocessing.get_context("spawn")
+        # One result pipe per replica (single writer each): a shared queue
+        # would funnel every completion through one cross-process write
+        # lock, and a replica SIGKILLed while holding it would deadlock the
+        # survivors' completions.  The work queues have one writer (this
+        # process) and one reader each, so they keep the convenient Queue
+        # API without that failure mode.
+        pipes = [self._ctx.Pipe(duplex=False) for _ in range(self.num_replicas)]
+        self._result_readers = [reader for reader, _ in pipes]
+        self._result_writers = [writer for _, writer in pipes]
+        self._work_queues = [self._ctx.Queue() for _ in range(self.num_replicas)]
+        self.processes: List[multiprocessing.Process] = []
+        self._forwarders: List[threading.Thread] = []
+        self._collector: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+
+        self._lock = threading.Lock()
+        self._inflight: List[Dict[int, Tuple[Request, Response]]] = [
+            {} for _ in range(self.num_replicas)
+        ]
+        self._overflow: Deque[Tuple[Request, Response]] = deque()
+        self._window_sems = [
+            threading.Semaphore(self.window) for _ in range(self.num_replicas)
+        ]
+        # Replicas start from the pickled policy's current threshold; only
+        # later mutations need a control message.
+        self._sent_threshold: List[Optional[float]] = [
+            getattr(policy, "threshold", None)
+        ] * self.num_replicas
+        self._dead = [False] * self.num_replicas
+        self._ready = [threading.Event() for _ in range(self.num_replicas)]
+        # Set by the collector when a replica's result pipe hits EOF — i.e.
+        # every message the replica ever sent has been processed.
+        self._pipe_drained = [threading.Event() for _ in range(self.num_replicas)]
+        self._live = self.num_replicas
+        self._crashed = False
+        self._aborting = False
+        self._finished = threading.Event()
+        self._started = False
+        # Set once teardown (channel close + arena destroy) has run; makes
+        # drain()/abort() idempotent — a double shutdown must no-op like
+        # thread mode, not trip over close()d Process objects.
+        self._retired = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    #: Serializes the os.environ pin/spawn/restore window below: two pools
+    #: starting concurrently must not interleave their snapshots.
+    _spawn_env_lock = threading.Lock()
+
+    def start(self) -> "ReplicaPool":
+        if self._started:
+            raise RuntimeError("replica pool already started")
+        self._started = True
+        # Pin BLAS threading inside the replicas: the serving GEMMs are
+        # small-batch, so intra-op threads only fight the replica-level
+        # parallelism.  The knobs must be in the child's *exec* environment
+        # (OpenBLAS/MKL read them at library load, which happens during the
+        # spawn bootstrap, before any code of ours runs), so the parent
+        # briefly pins os.environ around the spawns — under a class-level
+        # lock, since os.environ is process-global.
+        saved = {}
+        pinned = {}
+        if self.blas_threads > 0:
+            pinned = {
+                name: str(self.blas_threads)
+                for name in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                             "MKL_NUM_THREADS")
+            }
+        self._spawn_env_lock.acquire()
+        try:
+            for name, value in pinned.items():
+                saved[name] = os.environ.get(name)
+                os.environ[name] = value
+            for index in range(self.num_replicas):
+                config = _ReplicaConfig(
+                    index=index,
+                    policy=self.policy,
+                    max_timesteps=self.max_timesteps,
+                    batch_width=self.batch_width,
+                    window=self.window,
+                    use_runtime=self.use_runtime,
+                )
+                process = self._ctx.Process(
+                    target=_replica_main,
+                    args=(self.arena.spec, self._skeleton, config,
+                          self._work_queues[index], self._result_writers[index]),
+                    name=f"repro-replica-{index}",
+                    daemon=True,
+                )
+                self.arena.acquire()
+                try:
+                    process.start()
+                except BaseException:
+                    # A failed spawn never releases its reference from the
+                    # monitor (there is no process to exit), so give it
+                    # back here or the segment outlives drain.
+                    self.arena.release()
+                    raise
+                # Drop the parent's copy of the write end: once the replica
+                # exits, its reader then raises EOF instead of idling on a
+                # half-open pipe.
+                self._result_writers[index].close()
+                self.processes.append(process)
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+            self._spawn_env_lock.release()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-replica-monitor", daemon=True
+        )
+        self._monitor.start()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-replica-collector", daemon=True
+        )
+        self._collector.start()
+        for index in range(self.num_replicas):
+            thread = threading.Thread(
+                target=self._forward_loop, args=(index,),
+                name=f"repro-replica-forward-{index}", daemon=True,
+            )
+            self._forwarders.append(thread)
+            thread.start()
+        return self
+
+    def wait_ready(self, timeout: Optional[float] = 120.0) -> int:
+        """Block until every replica reports ready (or died trying).
+
+        A replica is ready once its interpreter is up, the arena is attached
+        and its engine is built — i.e. it is polling for work.  Returns the
+        number of ready replicas; a replica that crashed during startup is
+        simply not counted (its failure is handled by the monitor like any
+        other crash).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        ready = 0
+        for index in range(self.num_replicas):
+            while True:
+                if self._ready[index].is_set():
+                    ready += 1
+                    break
+                if self._dead[index]:
+                    break
+                remaining = 0.05 if deadline is None else min(
+                    0.05, deadline - time.monotonic()
+                )
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"replica {index} not ready within {timeout}s"
+                    )
+                self._ready[index].wait(remaining)
+        return ready
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Finish every accepted request, then retire processes and arena.
+
+        The caller must have closed the admission queue first (the server
+        does); each forwarder observes closed-and-empty, sends its replica
+        the drain sentinel, and the replica exits once its slots empty.
+
+        Matches thread-mode semantics on both edges: a ``timeout`` that
+        expires with work still in flight just stops waiting (everything
+        keeps running and a later drain/abort can finish the job — nothing
+        is torn down under a live dispatcher), and calling drain again
+        after a completed retirement is a no-op.
+        """
+        if self._retired:
+            return
+        for thread in self._forwarders:
+            thread.join(timeout)
+        for process in self.processes:
+            process.join(timeout)
+        if any(thread.is_alive() for thread in self._forwarders) or any(
+            process.is_alive() for process in self.processes
+        ):
+            return  # timed out mid-drain; resources stay live
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+            if self._monitor.is_alive():
+                return
+        self._finished.set()
+        if self._collector is not None:
+            self._collector.join(timeout)
+            if self._collector.is_alive():
+                return
+        self._close_channels()
+        self.arena.destroy()
+        self._retired = True
+
+    def _close_channels(self) -> None:
+        """Release the IPC fds and Queue feeder threads at retirement.
+
+        Like the arena's unlink, resource release belongs to drain/abort,
+        not to whenever the pool object happens to be garbage-collected —
+        a parent that keeps a drained server around for telemetry must not
+        hold ~3 fds and a feeder thread per replica.  Runs strictly after
+        the collector joined (nobody reads the pipes anymore).
+        """
+        for work in self._work_queues:
+            # cancel_join_thread, not join_thread: a queue whose (dead)
+            # consumer left buffered items behind would block the flush.
+            work.cancel_join_thread()
+            work.close()
+            try:
+                # The parent never reads its work queues; the reader fd
+                # only existed to be inherited by the replica.
+                work._reader.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for connection_end in self._result_readers + self._result_writers:
+            # Writers are normally closed per successful spawn; a partial
+            # spawn failure leaves the tail ones open, which would keep
+            # their readers from ever reaching EOF.
+            try:
+                connection_end.close()
+            except OSError:  # pragma: no cover - already closed at EOF
+                pass
+        for process in self.processes:
+            if process.exitcode is not None:
+                # Releases the sentinel fd now instead of at GC.  The
+                # Process object becomes inert afterwards; everything the
+                # pool reports post-drain (live_replicas, telemetry) reads
+                # pool state, not Process attributes.
+                process.close()
+
+    def abort(self) -> None:
+        """Non-graceful stop: kill the replicas, fail their in-flight work."""
+        if self._retired:
+            return
+        self._aborting = True
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            process.join(5.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+                process.join(5.0)
+        for thread in self._forwarders:
+            thread.join(5.0)
+        if self._monitor is not None:
+            self._monitor.join(5.0)
+        # Close any still-open parent-side writer ends now (no-ops for
+        # successfully spawned replicas): after a partial spawn failure the
+        # never-spawned replicas' readers can only reach EOF — and the
+        # collector can only finish — once these drop.
+        for writer in self._result_writers:
+            try:
+                writer.close()
+            except OSError:
+                pass
+        self._finished.set()
+        if self._collector is not None:
+            self._collector.join(5.0)
+        with self._lock:
+            self._fail_stranded_locked()
+        if self._monitor is None:
+            # Aborting a fleet whose monitor never started (spawn failure
+            # mid-start): nobody else will release the spawned processes'
+            # arena references, and destroy() cannot unlink while they are
+            # held.
+            for _ in self.processes:
+                self.arena.release()
+        self._close_channels()
+        self.arena.destroy()
+        self._retired = True
+
+    @property
+    def live_replicas(self) -> int:
+        with self._lock:
+            return self._live
+
+    def refresh_weights(self) -> int:
+        """Propagate an in-place weight reload to every replica.
+
+        Call after ``load_state_dict`` on the served model; returns the
+        number of constant slots that changed.  Replicas rebind at their
+        next round boundary, so requests admitted after this call are served
+        under the new weights.
+        """
+        return self.arena.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (one forwarder thread per replica)
+    # ------------------------------------------------------------------ #
+    def _next_item(self, block: bool) -> Optional[Tuple[Request, Response]]:
+        with self._lock:
+            if self._overflow:
+                return self._overflow.popleft()
+        if block:
+            return self.queue.get(timeout=0.05)
+        return self.queue.get_nowait()
+
+    def _backlog_empty(self) -> bool:
+        with self._lock:
+            if self._overflow:
+                return False
+        return self.queue.depth() == 0
+
+    def _forward_loop(self, index: int) -> None:
+        work = self._work_queues[index]
+        sem = self._window_sems[index]
+        while not self._dead[index] and not self._aborting:
+            # Loop-top check keeps IN-FLIGHT requests tracking controller
+            # updates (~one poll interval of lag, like thread workers); the
+            # second check just before dispatch below makes newly submitted
+            # requests see any threshold set before their submission.
+            self._maybe_send_threshold(index)
+            if self.queue.closed and self._backlog_empty():
+                work.put((_MSG_DRAIN,))
+                return
+            if not sem.acquire(timeout=0.05):
+                continue
+            # Grab every free window slot, fill as many as the queue can
+            # satisfy right now, and ship the round as ONE message: under a
+            # burst the replica pays one wakeup and one pickle per round,
+            # not per request.
+            permits = 1
+            while permits < self.window and sem.acquire(blocking=False):
+                permits += 1
+            batch: List[Tuple[Request, Response]] = []
+            item = self._next_item(block=True)
+            while item is not None:
+                batch.append(item)
+                if len(batch) >= permits:
+                    break
+                item = self._next_item(block=False)
+            for _ in range(permits - len(batch)):
+                sem.release()
+            if not batch:
+                continue
+            with self._lock:
+                if self._dead[index]:
+                    if self.queue.closed:
+                        # Crash during drain: the surviving forwarders have
+                        # (or soon will have) sent their drain sentinels and
+                        # exited, so nobody is left to pop a re-pooled batch
+                        # — fail it typed instead of stranding it.  The
+                        # batch holds this replica's own window permits, so
+                        # the total loss stays within its in-flight window.
+                        error = ReplicaCrashError(
+                            f"replica {index} crashed during drain before "
+                            f"its last round was dispatched"
+                        )
+                        for request, response in batch:
+                            response.set_exception(error)
+                    else:
+                        # Lost the race with a crash mid-traffic: hand the
+                        # requests back to the pool so a surviving replica
+                        # serves them.  If the monitor's last-replica
+                        # cleanup already ran (or runs concurrently),
+                        # nobody will ever pop the pool again — re-check
+                        # and fail the strays ourselves.
+                        self._overflow.extend(batch)
+                        if self._live == 0 or self._aborting:
+                            self._fail_stranded_locked()
+                    return
+                for request, response in batch:
+                    self._inflight[index][request.request_id] = (request, response)
+            # Threshold check AFTER the pop, immediately before dispatch:
+            # a mutation that happened-before a submit is then visible when
+            # that submit is popped, and its control message precedes the
+            # request batch on the same FIFO — so a request never runs
+            # under a threshold older than any set before its submission.
+            self._maybe_send_threshold(index)
+            work.put((_MSG_REQUEST, [
+                (request.request_id, request.inputs, request.label)
+                for request, _ in batch
+            ]))
+
+    def _maybe_send_threshold(self, index: int) -> None:
+        """Propagate parent-side threshold mutations (SLA controller or a
+        caller poking ``server.policy.threshold`` directly — thread workers
+        see those instantly through the shared policy object, so replicas
+        must follow the same knob)."""
+        threshold = getattr(self.policy, "threshold", None)
+        if threshold is not None and threshold != self._sent_threshold[index]:
+            self._sent_threshold[index] = threshold
+            self._work_queues[index].put((_MSG_THRESHOLD, float(threshold)))
+
+    # ------------------------------------------------------------------ #
+    # Completion (single collector thread)
+    # ------------------------------------------------------------------ #
+    def _collect_loop(self) -> None:
+        indices = {id(reader): index
+                   for index, reader in enumerate(self._result_readers)}
+        active = list(self._result_readers)
+        while active or not self._finished.is_set():
+            if not active:
+                self._finished.wait(0.05)
+                continue
+            try:
+                ready = connection.wait(active, timeout=0.05)
+            except OSError:
+                # A teardown path closed a handle under us (abort after a
+                # partial spawn failure); prune and carry on.
+                active = [reader for reader in active if not reader.closed]
+                continue
+            for reader in ready:
+                try:
+                    message = reader.recv()
+                except (EOFError, OSError):
+                    # Replica gone (clean exit or crash) AND its channel is
+                    # fully drained — EOF cannot fire before every buffered
+                    # message was read, because the parent closed its own
+                    # write end at spawn.  The monitor waits on this flag
+                    # before deciding what the crash actually lost.
+                    active.remove(reader)
+                    self._pipe_drained[indices[id(reader)]].set()
+                    continue
+                except Exception:  # pragma: no cover - defensive: a partial
+                    # message from a replica killed mid-send corrupts only
+                    # its own channel; drop the channel, keep collecting.
+                    traceback.print_exc()
+                    active.remove(reader)
+                    self._pipe_drained[indices[id(reader)]].set()
+                    continue
+                try:
+                    self._handle_result(message)
+                except Exception:  # pragma: no cover - a malformed message
+                    # must not take down the collector with everyone's
+                    # futures.
+                    traceback.print_exc()
+
+    def _handle_result(self, message: Tuple) -> None:
+        index, kind = message[0], message[1]
+        if kind == _MSG_READY:
+            self._ready[index].set()
+        elif kind == _MSG_BYE:
+            self.telemetry.merge_state(message[2])
+        elif kind == _MSG_ERROR:
+            for request_id, text in message[2]:
+                entry = self._pop_inflight(index, request_id)
+                if entry is not None:
+                    entry[1].set_exception(AdmissionRejectedError(text))
+        else:
+            # The backpressure gauge must sample the *shared* admission
+            # queue (a replica's local queue is window-bounded and says
+            # nothing about overload); one sample per completion round
+            # mirrors the thread batcher's per-step sampling cadence.
+            self.telemetry.record_queue_depth(self.queue.depth())
+            for completion in message[2]:
+                self._resolve_completion(index, completion)
+
+    def _pop_inflight(self, index: int, request_id: int):
+        with self._lock:
+            entry = self._inflight[index].pop(request_id, None)
+        if entry is None:
+            return None  # already failed by the crash monitor
+        self._window_sems[index].release()
+        return entry
+
+    def _resolve_completion(self, index: int, completion: Tuple) -> None:
+        request_id, prediction, exit_timestep, score, threshold, start_t, finish_t = (
+            completion
+        )
+        entry = self._pop_inflight(index, request_id)
+        if entry is None:
+            return
+        request, response = entry
+        energy, edp = price_request(self.cost_model, exit_timestep)
+        # Timestamps stay in the server's (injectable) clock domain: the
+        # replica's absolute times live on a different process's clock, so
+        # only its service *duration* crosses the boundary.  Completion is
+        # stamped here — which is also the honest end-to-end finish time,
+        # since no client can observe a result before this thread resolves
+        # the future.
+        finish_time = self.clock()
+        start_time = finish_time - max(0.0, finish_t - start_t)
+        result = RequestResult(
+            request_id=request_id,
+            prediction=prediction,
+            exit_timestep=exit_timestep,
+            score=score,
+            label=request.label,
+            threshold=threshold,
+            arrival_time=request.arrival_time,
+            start_time=start_time,
+            finish_time=finish_time,
+            energy=energy,
+            edp=edp,
+        )
+        finalize_result(result, response, self.telemetry, self.controller)
+
+    # ------------------------------------------------------------------ #
+    # Failure (single monitor thread)
+    # ------------------------------------------------------------------ #
+    def _monitor_loop(self) -> None:
+        sentinels = {process.sentinel: index
+                     for index, process in enumerate(self.processes)}
+        pending = set(sentinels)
+        while pending:
+            for sentinel in connection.wait(list(pending), timeout=0.2):
+                pending.discard(sentinel)
+                self._on_replica_exit(sentinels[sentinel])
+
+    def _on_replica_exit(self, index: int) -> None:
+        process = self.processes[index]
+        process.join()
+        graceful = process.exitcode == 0
+        # Let the collector drain the replica's pipe to EOF first: messages
+        # the replica sent before dying — including completions buffered
+        # right up to a SIGKILL — must resolve as the results they are, not
+        # be misreported as crash casualties.  EOF is guaranteed promptly
+        # (the process is dead and the parent holds no write end), the
+        # timeout is only a parachute against collector stalls.
+        self._pipe_drained[index].wait(5.0)
+        with self._lock:
+            self._dead[index] = True
+            inflight = list(self._inflight[index].values())
+            self._inflight[index].clear()
+            self._live -= 1
+            live = self._live
+            if not graceful and not self._aborting:
+                self._crashed = True
+        if inflight:
+            if self._aborting:
+                error: BaseException = ServerClosedError("server shut down")
+            else:
+                error = ReplicaCrashError(
+                    f"replica {index} exited with code {process.exitcode} "
+                    f"while {len(inflight)} request(s) were in flight"
+                )
+            for request, response in inflight:
+                response.set_exception(error)
+        # Unblock the forwarder so it can observe the dead flag and exit.
+        for _ in range(self.window):
+            self._window_sems[index].release()
+        self.arena.release()
+        if live == 0 and not self._aborting:
+            # Nobody left to serve: close the door and resolve every queued
+            # future so no client blocks forever.  On a graceful drain the
+            # queue is already closed and empty and both calls no-op.
+            self.queue.close()
+            with self._lock:
+                self._fail_stranded_locked()
+            self.queue.drain_pending(
+                ReplicaCrashError("all serving replicas exited while work was queued")
+                if self._crashed
+                else None
+            )
+
+    def _stranded_error(self) -> BaseException:
+        if self._aborting:
+            return ServerClosedError("server shut down")
+        if self._crashed:
+            return ReplicaCrashError(
+                "all serving replicas exited while work was queued"
+            )
+        return ServerClosedError("server shut down before serving")
+
+    def _fail_stranded_locked(self) -> None:
+        """Resolve every re-pooled request nobody is left to serve.
+
+        Caller holds ``self._lock``.  Runs from whichever side loses the
+        crash race last — the monitor's last-replica cleanup or a forwarder
+        re-pooling a popped batch after its replica died — and from
+        :meth:`abort`; popping under the lock makes the duplicate calls
+        safe.
+        """
+        if not self._overflow:
+            return
+        error = self._stranded_error()
+        stranded = list(self._overflow)
+        self._overflow.clear()
+        for request, response in stranded:
+            response.set_exception(error)

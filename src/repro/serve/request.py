@@ -27,6 +27,7 @@ __all__ = [
     "AdmissionQueue",
     "QueueFullError",
     "QueueClosedError",
+    "ServerClosedError",
 ]
 
 
@@ -36,6 +37,14 @@ class QueueFullError(RuntimeError):
 
 class QueueClosedError(RuntimeError):
     """Raised when submitting to a queue that has been closed (draining server)."""
+
+
+class ServerClosedError(RuntimeError):
+    """Raised when submitting to a server that is not accepting requests.
+
+    Defined here beside its sibling exceptions so lower layers (the replica
+    pool's shutdown paths) can raise it without importing the server.
+    """
 
 
 @dataclass
@@ -211,13 +220,20 @@ class AdmissionQueue:
             self._not_empty.notify_all()
             self._not_full.notify_all()
 
-    def drain_pending(self) -> int:
-        """Fail every queued request (non-graceful shutdown); returns the count."""
+    def drain_pending(self, error: Optional[BaseException] = None) -> int:
+        """Fail every queued request (non-graceful shutdown); returns the count.
+
+        ``error`` overrides the default :class:`QueueClosedError` so callers
+        can surface *why* the queue died (e.g. a typed replica-crash error
+        when the last serving process exits with work still queued).
+        """
+        if error is None:
+            error = QueueClosedError("server shut down before serving")
         with self._lock:
             failed = 0
             while self._items:
                 _, response = self._items.popleft()
-                response.set_exception(QueueClosedError("server shut down before serving"))
+                response.set_exception(error)
                 failed += 1
             self._not_full.notify_all()
             return failed

@@ -1,11 +1,22 @@
-"""Threaded serving front-end around the continuous batcher.
+"""Serving front-end around the continuous batcher (threads or processes).
 
-:class:`Server` owns the admission queue, one worker thread per engine, and
-the lifecycle: ``start()`` → ``submit()`` futures → ``drain()`` (finish all
-accepted work, reject new) or ``shutdown(drain=False)`` (abort in-flight).
-Multiple workers each need their *own* model instance (LIF membrane state is
-per-engine); they share the queue, telemetry and — when adaptive — the exit
-policy, so the SLA controller steers the whole fleet with one knob.
+:class:`Server` owns the admission queue and the lifecycle: ``start()`` →
+``submit()`` futures → ``drain()`` (finish all accepted work, reject new) or
+``shutdown(drain=False)`` (abort in-flight).  Two scaling axes share that
+front-end:
+
+* ``num_workers=N`` — worker *threads* over one shared compiled plan.
+  Cheap, but GIL-bound: the op-dispatch loop serializes, so N threads
+  saturate about one core of Python.
+* ``num_replicas=N`` — worker *processes* over one shared-memory plan arena
+  (:mod:`repro.serve.replica`).  Each replica runs the same engine/batcher
+  stack in its own interpreter; the constants are zero-copy views into one
+  ``/dev/shm`` segment, so memory grows sub-linearly in N.
+
+Either way the workers share the queue, telemetry and — when adaptive — the
+exit policy, so the SLA controller steers the whole fleet with one knob, and
+per-sample batch invariance keeps every request's decisions identical to the
+sequential oracle regardless of which worker served it.
 """
 
 from __future__ import annotations
@@ -23,20 +34,18 @@ from ..snn.network import SpikingNetwork
 from .batcher import ContinuousBatcher
 from .controller import AdaptiveThresholdController
 from .engine import InferenceEngine
+from .replica import ReplicaPool
 from .request import (
     AdmissionQueue,
     QueueClosedError,
     QueueFullError,
     Request,
     Response,
+    ServerClosedError,
 )
 from .telemetry import Telemetry
 
 __all__ = ["Server", "ServerClosedError"]
-
-
-class ServerClosedError(RuntimeError):
-    """Raised when submitting to a server that is not accepting requests."""
 
 
 class Server:
@@ -59,6 +68,22 @@ class Server:
         replicas would corrupt each other.  Spike-statistics collection is
         disabled on shared-model workers (the per-layer counters live on the
         shared LIF modules and would race across threads).
+    num_replicas:
+        Worker *processes* serving ``model`` (mutually exclusive with
+        ``num_workers > 1`` / ``extra_models``).  The plan constants are
+        exported once into a shared-memory arena
+        (:class:`repro.runtime.PlanArena`) and every replica attaches
+        zero-copy views, so N replicas hold one copy of the weights; unlike
+        thread workers they do not share a GIL, which is what makes this
+        the CPU scaling axis.  Decisions stay identical to the sequential
+        oracle; a replica crash fails at most its in-flight round with
+        :class:`~repro.serve.ReplicaCrashError` while the survivors keep
+        serving.  After an in-place weight reload on ``model``, call
+        :meth:`refresh_replicas` to propagate.
+    replica_window:
+        Max requests resident in one replica at a time (default: one
+        ``batch_width`` — the crash-loss bound).  Raising it overlaps
+        dispatch with execution at the cost of a larger loss window.
     extra_models:
         Additional model replicas; each gets its own worker thread and
         engine.  Replicas must not share parameters *state* — build them
@@ -98,6 +123,8 @@ class Server:
         batch_width: int = 8,
         queue_capacity: int = 64,
         num_workers: int = 1,
+        num_replicas: int = 0,
+        replica_window: Optional[int] = None,
         extra_models: Sequence[SpikingNetwork] = (),
         cost_model: Optional[InferenceCostModel] = None,
         controller: Optional[AdaptiveThresholdController] = None,
@@ -107,10 +134,41 @@ class Server:
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if num_replicas < 0:
+            raise ValueError("num_replicas must be >= 0")
         self.clock = clock
         self.telemetry = telemetry or Telemetry()
         self.queue = AdmissionQueue(capacity=queue_capacity, clock=clock)
         self.policy = policy
+        self._ids = itertools.count()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+        if num_replicas:
+            if num_workers > 1 or extra_models:
+                raise ValueError(
+                    "num_replicas is a process-level alternative to thread "
+                    "workers: combine it with neither num_workers > 1 nor "
+                    "extra_models"
+                )
+            self.batchers: List[ContinuousBatcher] = []
+            self.replicas: Optional[ReplicaPool] = ReplicaPool(
+                model,
+                policy,
+                num_replicas=num_replicas,
+                queue=self.queue,
+                telemetry=self.telemetry,
+                max_timesteps=max_timesteps,
+                batch_width=batch_width,
+                use_runtime=use_runtime,
+                cost_model=cost_model,
+                controller=controller,
+                clock=clock,
+                inflight_window=replica_window,
+            )
+            self.max_timesteps = self.replicas.max_timesteps
+            return
+        self.replicas = None
         shared = num_workers > 1
         engines = [
             InferenceEngine(
@@ -150,10 +208,6 @@ class Server:
             for engine in engines
         ]
         self.max_timesteps = self.batchers[0].engine.max_timesteps
-        self._ids = itertools.count()
-        self._threads: List[threading.Thread] = []
-        self._stop = threading.Event()
-        self._started = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -162,6 +216,30 @@ class Server:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
+        if self.replicas is not None:
+            # Block until the replicas are actually serving: a "started"
+            # server accepts traffic at its steady-state latency instead of
+            # hiding N interpreter startups behind the first futures.  A
+            # failed start must not leak half a fleet (or the arena).
+            try:
+                self.replicas.start()
+                if self.replicas.wait_ready() == 0:
+                    # Every replica died during startup (rebuild/attach
+                    # failure in the spawn interpreter): surface it HERE,
+                    # not as ServerClosedError on some later submit with
+                    # only child stderr as the root-cause signal.
+                    raise ServerClosedError(
+                        "no serving replica became ready; see the replica "
+                        "process tracebacks on stderr"
+                    )
+            except BaseException:
+                self.queue.close()
+                self.replicas.abort()
+                # Anything a concurrent submitter slipped into the queue
+                # after _started flipped must not strand its client.
+                self.queue.drain_pending()
+                raise
+            return self
         for index, batcher in enumerate(self.batchers):
             thread = threading.Thread(
                 target=self._worker, args=(batcher,), name=f"repro-serve-{index}", daemon=True
@@ -187,8 +265,15 @@ class Server:
             raise
 
     def drain(self, timeout: Optional[float] = None) -> None:
-        """Stop admissions, finish every accepted request, stop the workers."""
+        """Stop admissions, finish every accepted request, stop the workers.
+
+        With replicas this also retires the worker processes and unlinks the
+        shared-memory arena: a drained server leaves no ``/dev/shm`` entry.
+        """
         self.queue.close()
+        if self.replicas is not None:
+            self.replicas.drain(timeout)
+            return
         for thread in self._threads:
             thread.join(timeout)
 
@@ -198,12 +283,24 @@ class Server:
             self.drain(timeout=timeout)
             return
         self.queue.close()
+        if self.replicas is not None:
+            self.replicas.abort()
+            self.queue.drain_pending()
+            return
         self._stop.set()
         for thread in self._threads:
             thread.join(timeout)
         self.queue.drain_pending()
         for batcher in self.batchers:
             batcher.engine.fail_active(ServerClosedError("server shut down"))
+
+    def refresh_replicas(self) -> int:
+        """Propagate an in-place weight reload (``load_state_dict``) to the
+        replica processes through the arena; returns changed slots.  Thread
+        workers read the live parameter objects and need no call."""
+        if self.replicas is None:
+            return 0
+        return self.replicas.refresh_weights()
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -253,7 +350,11 @@ class Server:
         """Telemetry snapshot plus live queue / threshold gauges."""
         stats = self.telemetry.snapshot()
         stats["queue_depth"] = float(self.queue.depth())
-        stats["num_workers"] = float(len(self.batchers))
+        if self.replicas is not None:
+            stats["num_workers"] = float(self.replicas.num_replicas)
+            stats["live_replicas"] = float(self.replicas.live_replicas)
+        else:
+            stats["num_workers"] = float(len(self.batchers))
         threshold = getattr(self.policy, "threshold", None)
         if threshold is not None:
             stats["threshold"] = float(threshold)

@@ -71,6 +71,67 @@ class Telemetry:
             self._rejected += 1
 
     # ------------------------------------------------------------------ #
+    # Cross-instance merging (multi-replica serving)
+    # ------------------------------------------------------------------ #
+    def export_state(self, include_results: bool = True) -> Dict[str, object]:
+        """A picklable snapshot of the raw samples behind every metric.
+
+        This is the wire format replica processes ship at drain and the
+        input to :meth:`merge_state`.  ``include_results=False`` drops every
+        per-request and clock-domain field — the results list, the rolling
+        latency window, and the first-arrival/last-finish span — leaving the
+        gauges (queue depths, occupancies) and the rejection count.  That is
+        the shape a replica may safely ship: its completions travel
+        individually through the response pipe (shipping them again would
+        double-count) and its absolute timestamps live on another process's
+        clock.
+        """
+        with self._lock:
+            return {
+                "results": list(self._results) if include_results else [],
+                "recent_latencies": (
+                    list(self._recent_latencies) if include_results else []
+                ),
+                "queue_depths": list(self._queue_depths),
+                "occupancies": list(self._occupancies),
+                "first_arrival": self._first_arrival if include_results else None,
+                "last_finish": self._last_finish if include_results else None,
+                "rejected": self._rejected,
+            }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another telemetry's exported state into this one.
+
+        Merging is defined so that every derived metric — latency
+        percentiles, exit histograms, energy aggregates, throughput — equals
+        the metric computed over the pooled raw samples (the property the
+        replica test harness asserts).  Only the bounded rolling windows
+        (recent latencies, gauges) are order-dependent: they concatenate in
+        merge order and keep their usual truncation.
+        """
+        with self._lock:
+            for result in state.get("results", ()):
+                self._results.append(result)
+            self._recent_latencies.extend(state.get("recent_latencies", ()))
+            self._queue_depths.extend(state.get("queue_depths", ()))
+            self._occupancies.extend(state.get("occupancies", ()))
+            first = state.get("first_arrival")
+            if first is not None and (
+                self._first_arrival is None or first < self._first_arrival
+            ):
+                self._first_arrival = first
+            last = state.get("last_finish")
+            if last is not None and (
+                self._last_finish is None or last > self._last_finish
+            ):
+                self._last_finish = last
+            self._rejected += int(state.get("rejected", 0))
+
+    def merge_from(self, other: "Telemetry") -> None:
+        """Merge another :class:`Telemetry` instance (see :meth:`merge_state`)."""
+        self.merge_state(other.export_state())
+
+    # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
     @property

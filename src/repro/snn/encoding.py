@@ -93,8 +93,18 @@ class EventFrameEncoder:
             raise ValueError(
                 f"EventFrameEncoder expects (N, T, C, H, W) input, got shape {x.shape}"
             )
-        index = min(timestep, x.shape[1] - 1)
-        return Tensor(x[:, index])
+        return Tensor(x[:, self.frame_index(x.shape[1], timestep)])
+
+    def frame_index(self, num_frames: int, timestep: int) -> int:
+        """Index of the recorded frame emitted at ``timestep``.
+
+        Exposes the padding rule (short recordings repeat their last frame)
+        so the serving engine can intern stem-memo keys per request: a
+        ``(clip digest, frame_index)`` pair fully determines the emitted
+        frame bytes, and padded tail timesteps collapse onto one key exactly
+        as their identical frame bytes used to.
+        """
+        return min(timestep, num_frames - 1)
 
     def __repr__(self) -> str:  # pragma: no cover
         return "EventFrameEncoder()"

@@ -1,0 +1,147 @@
+"""Property tests for cross-replica telemetry merging.
+
+The replica pool aggregates serving metrics from N processes into one
+:class:`~repro.serve.Telemetry`.  The invariant that makes those aggregates
+trustworthy: however the raw per-request samples are *partitioned* across
+replica telemetries, merging the parts must yield exactly the metrics of the
+pooled samples — latency percentiles, exit histograms, energy totals,
+throughput, accuracy, rejection counts.  Percentiles sort internally, so
+partition order cannot move them at all; mean-style metrics may differ only
+by float summation order (asserted to 1e-9 relative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import RequestResult, Telemetry
+
+MAX_TIMESTEPS = 6
+
+
+def _result(index: int, draw) -> RequestResult:
+    arrival, queue_delay, service = draw["timing"][index]
+    start = arrival + queue_delay
+    finish = start + service
+    energy = draw["energy"][index]
+    return RequestResult(
+        request_id=index,
+        prediction=int(draw["predictions"][index]),
+        exit_timestep=int(draw["exits"][index]),
+        score=float(draw["scores"][index]),
+        label=int(draw["labels"][index]) if draw["labels"][index] >= 0 else None,
+        arrival_time=arrival,
+        start_time=start,
+        finish_time=finish,
+        energy=energy,
+        edp=None if energy is None else energy * service,
+    )
+
+
+positive_floats = st.floats(1e-6, 10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def sample_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    fields = {
+        "timing": [
+            (draw(st.floats(0.0, 100.0)), draw(positive_floats), draw(positive_floats))
+            for _ in range(count)
+        ],
+        "predictions": [draw(st.integers(0, 9)) for _ in range(count)],
+        "exits": [draw(st.integers(1, MAX_TIMESTEPS)) for _ in range(count)],
+        "scores": [draw(st.floats(0.0, 1.0)) for _ in range(count)],
+        # -1 encodes "no label" so accuracy mixes labelled/unlabelled.
+        "labels": [draw(st.integers(-1, 9)) for _ in range(count)],
+        "energy": [
+            draw(st.one_of(st.none(), positive_floats)) for _ in range(count)
+        ],
+    }
+    results = [_result(index, fields) for index in range(count)]
+    partition = [draw(st.integers(0, 3)) for _ in range(count)]
+    rejections = [draw(st.integers(0, 3)) for _ in range(4)]
+    return results, partition, rejections
+
+
+def _record_all(telemetry: Telemetry, results, rejected=0) -> None:
+    for result in results:
+        telemetry.record_completion(result)
+    for _ in range(rejected):
+        telemetry.record_rejection()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sample_sets())
+def test_merged_telemetry_equals_pooled_raw_samples(data):
+    results, partition, rejections = data
+
+    pooled = Telemetry()
+    _record_all(pooled, results, rejected=sum(rejections))
+
+    parts = [Telemetry() for _ in range(4)]
+    for result, part_index in zip(results, partition):
+        parts[part_index].record_completion(result)
+    for part, rejected in zip(parts, rejections):
+        for _ in range(rejected):
+            part.record_rejection()
+
+    merged = Telemetry()
+    for part in parts:
+        merged.merge_from(part)
+
+    # Exit histograms and counts are integer-exact.
+    np.testing.assert_array_equal(
+        merged.exit_histogram(MAX_TIMESTEPS), pooled.exit_histogram(MAX_TIMESTEPS)
+    )
+    assert merged.completed == pooled.completed
+    assert merged.rejected == pooled.rejected
+
+    # Percentiles sort the pooled multiset internally: bitwise-equal.
+    assert merged.latency_percentiles() == pooled.latency_percentiles()
+
+    merged_stats = merged.snapshot()
+    pooled_stats = pooled.snapshot()
+    assert set(merged_stats) == set(pooled_stats)
+    for key in pooled_stats:
+        if key in ("latency_p50", "latency_p95", "latency_p99", "completed",
+                   "rejected", "throughput_rps", "queue_depth_max"):
+            assert merged_stats[key] == pooled_stats[key], key
+        else:
+            # Mean-style metrics may differ by summation order only.
+            np.testing.assert_allclose(
+                merged_stats[key], pooled_stats[key], rtol=1e-9, err_msg=key
+            )
+
+    accuracy = pooled.accuracy()
+    if accuracy is None:
+        assert merged.accuracy() is None
+    else:
+        np.testing.assert_allclose(merged.accuracy(), accuracy, rtol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sample_sets())
+def test_gauge_only_export_never_double_counts(data):
+    """The replica wire format (include_results=False) ships gauges but not
+    completions — merging it must not change any completion-derived metric."""
+    results, partition, _ = data
+    parent = Telemetry()
+    _record_all(parent, results)
+    before = parent.snapshot()
+
+    child = Telemetry()
+    _record_all(child, results)
+    child.record_queue_depth(3)
+    child.record_occupancy(2, 4)
+    state = child.export_state(include_results=False)
+    assert state["recent_latencies"] == []
+    assert state["first_arrival"] is None and state["last_finish"] is None
+    parent.merge_state(state)
+
+    after = parent.snapshot()
+    assert after["completed"] == before["completed"]
+    assert after.get("latency_p95") == before.get("latency_p95")
+    assert after.get("throughput_rps") == before.get("throughput_rps")
+    assert "queue_depth_mean" in after and "occupancy_mean" in after

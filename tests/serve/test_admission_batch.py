@@ -324,7 +324,7 @@ class TestAlignedStemPrecondition:
         engine.step()  # neighbour is mid-horizon
 
         bad_response = Response()
-        with pytest.raises(AdmissionRejectedError, match="does not match the live batch"):
+        with pytest.raises(AdmissionRejectedError, match="does not match the served"):
             engine.admit(
                 Request(request_id=1, inputs=np.zeros((3, 3), dtype=np.float32)),
                 bad_response, 0.0,
@@ -336,6 +336,42 @@ class TestAlignedStemPrecondition:
         while not engine.idle:
             _drain(engine, outcomes)
         assert 0 in outcomes and 1 not in outcomes
+
+    @pytest.mark.parametrize("use_runtime", [True, False])
+    def test_shape_mismatch_rejected_on_an_idle_engine(self, use_runtime):
+        """An IDLE engine must reject a wrong-shaped round too, not adopt
+        its shape: the executor still holds residual stem/scratch arrays of
+        the real shape, so an escaped mismatch would blow up inside
+        extend_rows/step — outside the typed-rejection guard — and take the
+        worker (or replica process) down."""
+        engine = InferenceEngine(
+            _build("direct"), EntropyExitPolicy(0.5), max_timesteps=TIMESTEPS,
+            use_runtime=use_runtime,
+        )
+        good = _inputs("direct", batch=2)
+        engine.admit(Request(request_id=0, inputs=good[0]), Response(), 0.0)
+        outcomes: dict = {}
+        while not engine.idle:
+            _drain(engine, outcomes)
+        assert 0 in outcomes  # engine is now idle, shape pinned
+
+        bad_response = Response()
+        with pytest.raises(AdmissionRejectedError, match="does not match the served"):
+            engine.admit(
+                Request(request_id=1, inputs=np.zeros((3, 5, 5), dtype=np.float32)),
+                bad_response, 0.0,
+            )
+        assert bad_response.done()
+        # The engine survives and keeps serving correctly shaped traffic.
+        engine.admit(Request(request_id=2, inputs=good[1]), Response(), 0.0)
+        while not engine.idle:
+            _drain(engine, outcomes)
+        assert 2 in outcomes
+        # fail_active wipes the residual arrays the pin protects, so the
+        # pin resets with them: a recovered engine is not chained to a
+        # shape adopted before any request ever met the model.
+        engine.fail_active(RuntimeError("worker abort"))
+        assert engine._sample_shape is None
 
     @pytest.mark.skipif(
         os.environ.get("REPRO_STEM_CACHE_CAPACITY", "").strip() == "0",

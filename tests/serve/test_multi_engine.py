@@ -1,4 +1,5 @@
-"""Multi-worker serving over one shared compiled plan.
+"""Multi-worker serving over one shared compiled plan — and the full
+cross-composition matrix.
 
 ``Server(num_workers=N)`` runs N engines against the *same* model: the
 lowered plan (op list, folded constants, stem memo) is compiled once through
@@ -7,11 +8,20 @@ executor state.  The tests pin the sharing itself, bitwise per-request
 equivalence under real thread concurrency, the Tensor-oracle refusal, and the
 abort-consistency contract: a replica failing mid-horizon must not disturb
 its neighbours' trajectories, the shared registry, or the stem memo.
+
+:class:`TestCrossCompositionMatrix` closes the loop over every scaling axis:
+{1 thread, N threads, 1 process replica, N process replicas} x {burst,
+steady} arrivals must all be decision-exact against the sequential oracle —
+the per-sample batch invariance contract is composition-blind, so neither
+the worker count, the worker *kind*, nor the arrival pattern may move a
+prediction or an exit timestep (scores carry the documented 1e-6
+cross-composition tolerance from BLAS GEMM blocking).
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -55,15 +65,22 @@ def _inputs(batch, event=False, seed=3):
     return rng.random((batch, 3, IMAGE_SIZE, IMAGE_SIZE)).astype(np.float32)
 
 
-def _serve(model, xs, num_workers, batch_width=3):
+def _serve(model, xs, num_workers, batch_width=3, num_replicas=0, profile="burst"):
     server = Server(
         model, EntropyExitPolicy(0.5), max_timesteps=TIMESTEPS,
-        batch_width=batch_width, queue_capacity=len(xs), num_workers=num_workers,
+        batch_width=batch_width, queue_capacity=len(xs),
+        num_workers=num_workers, num_replicas=num_replicas,
         use_runtime=True,
     ).start()
     try:
-        futures = [server.submit(x) for x in xs]
-        results = [future.result(timeout=30.0) for future in futures]
+        futures = []
+        for x in xs:
+            futures.append(server.submit(x))
+            if profile == "steady":
+                # Trickled arrivals: slots refill one by one, so every
+                # worker sees constantly shifting batch compositions.
+                time.sleep(0.002)
+        results = [future.result(timeout=60.0) for future in futures]
     finally:
         server.shutdown(drain=True)
     return server, results
@@ -130,6 +147,60 @@ class TestSharedPlanServing:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError, match="num_workers"):
             Server(_model(), EntropyExitPolicy(0.5), num_workers=0)
+
+
+class TestCrossCompositionMatrix:
+    COMPOSITIONS = (
+        ("threads", 1),
+        ("threads", 2),
+        ("replicas", 1),
+        ("replicas", 2),
+    )
+    PROFILES = ("burst", "steady")
+
+    def test_every_composition_is_decision_exact(self):
+        model = _model()
+        xs = _inputs(24)
+        policy = EntropyExitPolicy(0.5)
+
+        # Sequential oracle: one engine, one request at a time.
+        engine = InferenceEngine(model, policy, max_timesteps=TIMESTEPS,
+                                 use_runtime=True)
+        oracle = {}
+        for index in range(xs.shape[0]):
+            engine.admit(Request(request_id=index, inputs=xs[index]), Response(), 0.0)
+            while not engine.idle:
+                for sample in engine.step():
+                    oracle[sample.request.request_id] = (
+                        sample.prediction, sample.exit_timestep,
+                    )
+
+        reference_scores = None
+        for mode, count in self.COMPOSITIONS:
+            for profile in self.PROFILES:
+                cell = f"{count} {mode} / {profile}"
+                _, results = _serve(
+                    model, xs,
+                    num_workers=count if mode == "threads" else 1,
+                    num_replicas=count if mode == "replicas" else 0,
+                    profile=profile,
+                )
+                decisions = {
+                    r.request_id % len(xs): (r.prediction, r.exit_timestep)
+                    for r in results
+                }
+                assert decisions == oracle, f"decisions diverged at {cell}"
+                scores = [
+                    r.score
+                    for r in sorted(results, key=lambda r: r.request_id % len(xs))
+                ]
+                if reference_scores is None:
+                    reference_scores = scores
+                else:
+                    np.testing.assert_allclose(
+                        scores, reference_scores, rtol=1e-6, atol=1e-7,
+                        err_msg=f"scores drifted past tolerance at {cell}",
+                    )
 
 
 class TestReplicaAbortConsistency:

@@ -1,0 +1,319 @@
+"""Process-replica serving: lifecycle, arena sharing, reloads, fault injection.
+
+The contract under test, in increasing order of violence:
+
+* replicas serve decision-exact results versus the single-worker oracle
+  while sharing exactly one ``/dev/shm`` arena segment between them;
+* a drained server leaves no shared-memory segment behind;
+* an in-place weight reload (``load_state_dict`` + ``refresh_replicas``)
+  propagates to live replicas, whose subsequent decisions match a fresh
+  oracle of the new weights;
+* ``SIGKILL`` of a replica mid-traffic fails *at most its in-flight window*
+  with the typed :class:`ReplicaCrashError`, strands no client, leaves the
+  surviving replicas serving, and still releases the arena on drain;
+* when every replica is gone, queued clients fail typed instead of blocking
+  forever.
+
+Fault-injection tests are ``-m slow`` (they kill processes and ride out the
+recovery timeouts); the lifecycle tests stay in the fast tier.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.policies import EntropyExitPolicy
+from repro.serve import (
+    InferenceEngine,
+    ReplicaCrashError,
+    Request,
+    Response,
+    Server,
+    ServerClosedError,
+)
+from repro.snn import spiking_vgg
+from repro.snn.encoding import EventFrameEncoder
+from repro.utils import seed_everything
+
+TIMESTEPS = 4
+NUM_CLASSES = 6
+IMAGE_SIZE = 10
+
+
+def _model(seed=47, encoder=None):
+    seed_everything(seed)
+    model = spiking_vgg(
+        "tiny", num_classes=NUM_CLASSES, input_size=IMAGE_SIZE,
+        default_timesteps=TIMESTEPS,
+        **({"encoder": encoder} if encoder is not None else {}),
+    ).eval()
+    for parameter in model.classifier.parameters():
+        parameter.data = parameter.data * np.float32(25.0)
+    return model
+
+
+def _inputs(batch, seed=3, event=False):
+    rng = np.random.default_rng(seed)
+    if event:
+        return rng.random(
+            (batch, TIMESTEPS + 1, 3, IMAGE_SIZE, IMAGE_SIZE)
+        ).astype(np.float32)
+    return rng.random((batch, 3, IMAGE_SIZE, IMAGE_SIZE)).astype(np.float32)
+
+
+def _arena_segments():
+    return set(glob.glob("/dev/shm/repro-arena-*"))
+
+
+def _oracle_decisions(model, xs, threshold=0.5):
+    """Sequential single-engine reference (one request at a time)."""
+    engine = InferenceEngine(
+        model, EntropyExitPolicy(threshold), max_timesteps=TIMESTEPS
+    )
+    outcomes = {}
+    for index in range(xs.shape[0]):
+        engine.admit(Request(request_id=index, inputs=xs[index]), Response(), 0.0)
+        while not engine.idle:
+            for sample in engine.step():
+                outcomes[sample.request.request_id] = (
+                    sample.prediction, sample.exit_timestep,
+                )
+    return outcomes
+
+
+def _replica_server(model, threshold=0.5, num_replicas=2, batch_width=3,
+                    queue_capacity=64, **kwargs):
+    return Server(
+        model, EntropyExitPolicy(threshold), max_timesteps=TIMESTEPS,
+        batch_width=batch_width, queue_capacity=queue_capacity,
+        num_replicas=num_replicas, **kwargs,
+    )
+
+
+class TestReplicaServing:
+    def test_replicas_match_oracle_and_share_one_segment(self):
+        model = _model()
+        xs = _inputs(24)
+        reference = _oracle_decisions(model, xs)
+        before = _arena_segments()
+        server = _replica_server(model, num_replicas=2).start()
+        try:
+            during = _arena_segments() - before
+            assert len(during) == 1, (
+                f"expected exactly one arena segment for 2 replicas, got {during}"
+            )
+            futures = [server.submit(x) for x in xs]
+            results = [future.result(timeout=60.0) for future in futures]
+        finally:
+            server.shutdown(drain=True)
+        decisions = {r.request_id: (r.prediction, r.exit_timestep) for r in results}
+        assert decisions == reference
+        assert _arena_segments() <= before, "arena leaked past drain"
+        stats = server.stats()
+        assert stats["completed"] == len(xs)
+        assert stats["num_workers"] == 2.0
+        # Gauges shipped at drain and merged into the parent telemetry.
+        assert "occupancy_mean" in stats
+
+    def test_event_stream_replicas_match_oracle(self):
+        """The interned stem-memo keys must survive the process boundary:
+        clips are digested in the replica after pickling (layout/dtype
+        normalization included), each process fills its own memo, and the
+        decisions still match the sequential oracle — including on replay
+        traffic after an arena-backed fleet has been serving a while."""
+        model = _model(encoder=EventFrameEncoder())
+        xs = _inputs(16, seed=29, event=True)
+        reference = _oracle_decisions(model, xs)
+        server = _replica_server(model, num_replicas=2).start()
+        try:
+            first = [server.submit(x) for x in xs]
+            [future.result(timeout=60.0) for future in first]
+            # Replay pass: per-replica memos are warm now.
+            replay = [server.submit(x) for x in xs]
+            results = [future.result(timeout=60.0) for future in replay]
+        finally:
+            server.shutdown(drain=True)
+        decisions = {
+            r.request_id % len(xs): (r.prediction, r.exit_timestep) for r in results
+        }
+        assert decisions == reference
+
+    def test_shutdown_is_idempotent_and_timed_drain_does_not_tear_down(self):
+        """Thread-mode lifecycle contract, kept: explicit drain() followed
+        by the context-manager/second shutdown must no-op, and a drain whose
+        timeout expires mid-traffic just stops waiting — it must not close
+        channels under a live dispatcher or strand the backlog."""
+        model = _model()
+        xs = _inputs(30, seed=31)
+        server = _replica_server(
+            model, threshold=0.0, num_replicas=1, batch_width=2,
+            queue_capacity=len(xs),
+        ).start()
+        futures = [server.submit(x) for x in xs]
+        server.drain(timeout=0.01)  # expires with most of the backlog queued
+        results = [future.result(timeout=60.0) for future in futures]
+        assert len(results) == len(xs)
+        server.drain()          # completes the retirement
+        server.shutdown(drain=True)   # second shutdown: no-op, no ValueError
+        server.shutdown(drain=False)  # and the abort path no-ops too
+
+    def test_replica_server_rejects_mixed_scaling_axes(self):
+        with pytest.raises(ValueError, match="num_replicas"):
+            Server(_model(), EntropyExitPolicy(0.5), num_workers=2, num_replicas=2)
+
+    def test_weight_reload_propagates_to_live_replicas(self):
+        model = _model()
+        donor = _model(seed=99)
+        xs = _inputs(8, seed=21)
+        reference_new = _oracle_decisions(donor, xs)
+        server = _replica_server(model, num_replicas=1).start()
+        try:
+            # Warm the replica on the original weights first.
+            [server.submit(x) for x in xs][-1].result(timeout=60.0)
+            model.load_state_dict(donor.state_dict())
+            assert server.refresh_replicas() > 0
+            futures = [server.submit(x) for x in xs]
+            results = [future.result(timeout=60.0) for future in futures]
+        finally:
+            server.shutdown(drain=True)
+        decisions = {
+            r.request_id % len(xs): (r.prediction, r.exit_timestep) for r in results
+        }
+        assert decisions == reference_new
+
+    def test_threshold_mutation_propagates_without_controller(self):
+        """Thread workers see ``server.policy.threshold`` mutations through
+        the shared policy object; replicas must follow the same knob (the
+        forwarder sends the control message before its next dispatch on the
+        same FIFO, so propagation is deterministic)."""
+        model = _model()
+        xs = _inputs(4, seed=23)
+        server = _replica_server(model, threshold=0.0, num_replicas=1).start()
+        try:
+            first = server.submit(xs[0]).result(timeout=60.0)
+            assert first.exit_timestep == TIMESTEPS  # never exits early
+            server.policy.threshold = 0.999  # exit as soon as possible
+            second = server.submit(xs[0]).result(timeout=60.0)
+        finally:
+            server.shutdown(drain=True)
+        assert second.threshold == 0.999
+        assert second.exit_timestep < TIMESTEPS
+
+    def test_unlowerable_model_is_refused_up_front(self):
+        from repro.nn.module import Module
+
+        class Mystery(Module):
+            def forward(self, x):
+                return x
+
+        model = _model()
+        model.features = Mystery()  # the lowerer rejects unknown modules
+        with pytest.raises(ValueError, match="lower"):
+            _replica_server(model, num_replicas=1)
+
+
+@pytest.mark.slow
+class TestReplicaFaultInjection:
+    def test_sigkill_mid_traffic_loses_at_most_the_inflight_window(self):
+        model = _model()
+        xs = _inputs(60, seed=7)
+        # threshold 0: nothing exits early, every request runs the full
+        # horizon — a long, deterministic backlog to crash into.
+        reference = _oracle_decisions(model, xs, threshold=0.0)
+        before = _arena_segments()
+        window = 3
+        server = _replica_server(
+            model, threshold=0.0, num_replicas=2, batch_width=window,
+            queue_capacity=len(xs),
+        ).start()
+        victim = server.replicas.processes[0]
+        try:
+            futures = [server.submit(x) for x in xs]
+            deadline = time.monotonic() + 30.0
+            while server.telemetry.completed < 2:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("no completions before fault injection")
+                time.sleep(0.005)
+            os.kill(victim.pid, signal.SIGKILL)
+
+            completed, crashed = {}, []
+            for index, future in enumerate(futures):
+                try:
+                    result = future.result(timeout=60.0)
+                    completed[index] = (result.prediction, result.exit_timestep)
+                except ReplicaCrashError:
+                    crashed.append(index)
+        finally:
+            server.shutdown(drain=True)
+
+        # Every client got an answer (no stranded futures) and the blast
+        # radius is bounded by the victim's in-flight window.
+        assert len(completed) + len(crashed) == len(xs)
+        assert len(crashed) <= window
+        # The survivor kept serving the backlog...
+        assert len(completed) >= len(xs) - window
+        # ...decision-exact versus the sequential oracle.
+        for index, decision in completed.items():
+            assert decision == reference[index], f"request {index}"
+        # And the crash did not pin the arena.
+        assert _arena_segments() <= before, "arena leaked past drain"
+        assert server.stats()["live_replicas"] == 0.0
+
+    def test_all_replicas_dead_fails_queued_clients_typed(self):
+        model = _model()
+        xs = _inputs(32, seed=13)
+        server = _replica_server(
+            model, threshold=0.0, num_replicas=2, batch_width=2,
+            queue_capacity=len(xs),
+        ).start()
+        try:
+            futures = [server.submit(x) for x in xs]
+            for process in server.replicas.processes:
+                os.kill(process.pid, signal.SIGKILL)
+            outcomes = []
+            for future in futures:
+                try:
+                    future.result(timeout=60.0)
+                    outcomes.append("done")
+                except ReplicaCrashError:
+                    outcomes.append("crash")
+                except ServerClosedError:  # pragma: no cover - unexpected here
+                    outcomes.append("closed")
+            # Nobody hangs; the queue was closed and drained with the typed
+            # error, so everything not already served reports the crash.
+            assert len(outcomes) == len(xs)
+            assert "crash" in outcomes
+            assert all(outcome in ("done", "crash") for outcome in outcomes)
+            # New submissions are refused instead of queueing into the void.
+            with pytest.raises(ServerClosedError):
+                server.submit(xs[0])
+        finally:
+            server.shutdown(drain=True)
+        assert server.replicas.live_replicas == 0
+
+    def test_crash_during_drain_still_releases_arena(self):
+        model = _model()
+        xs = _inputs(30, seed=17)
+        before = _arena_segments()
+        server = _replica_server(
+            model, threshold=0.0, num_replicas=2, batch_width=3,
+            queue_capacity=len(xs),
+        ).start()
+        futures = [server.submit(x) for x in xs]
+        os.kill(server.replicas.processes[1].pid, signal.SIGKILL)
+        server.shutdown(drain=True)
+        resolved = 0
+        for future in futures:
+            try:
+                future.result(timeout=10.0)
+                resolved += 1
+            except (ReplicaCrashError, ServerClosedError):
+                resolved += 1
+        assert resolved == len(xs)
+        assert _arena_segments() <= before, "arena leaked past drain"
