@@ -280,3 +280,52 @@ def print_section(title: str) -> None:
     emit("=" * 78)
     emit(title)
     emit("=" * 78)
+
+
+# --------------------------------------------------------------------------- #
+# Machine-readable bench artifacts (BENCH_<name>.json)
+# --------------------------------------------------------------------------- #
+def machine_info() -> Dict[str, object]:
+    """The fields that make perf numbers comparable across runs/machines."""
+    import platform
+
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        available = os.cpu_count() or 1
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "cpus_available": available,
+    }
+
+
+def emit_bench_json(name: str, payload: Dict[str, object]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repository root.
+
+    The machine-readable twin of the prose report: every ``bench_serve_*``
+    script calls this with its headline numbers (req/s, percentiles,
+    composition) so the perf trajectory across PRs is diffable data, not
+    paragraphs.  The schema is documented in docs/OBSERVABILITY.md; ``smoke``
+    marks runs whose absolute numbers are not comparable to full runs.
+    CI uploads these as build artifacts.
+    """
+    import json
+    import time as _time
+
+    path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "schema_version": 1,
+        "smoke": SMOKE,
+        "unix_time": _time.time(),
+        "machine": machine_info(),
+    }
+    document.update(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(f"[bench-json] wrote {path.name}")
+    return path

@@ -28,7 +28,7 @@ import time
 
 import numpy as np
 
-from _bench_utils import SMOKE, emit, print_section
+from _bench_utils import SMOKE, emit, emit_bench_json, print_section
 from repro.core import EntropyExitPolicy
 from repro.imc import format_table
 from repro.serve import (
@@ -168,6 +168,26 @@ def test_admission_burst_cost(benchmark, suite):
     assert decisions[SERVE_BURSTS[0]] == decisions[SERVE_BURSTS[1]]
     emit("\nburst-profile decisions identical to smooth-profile decisions "
          "(per-sample batch invariance at the admission boundary)")
+    emit_bench_json("admission_burst", {
+        "num_requests": NUM_REQUESTS,
+        "offered_rps": rate,
+        "micro_per_request_us": {
+            str(burst): {
+                "batched": 1e6 * batched_s / burst,
+                "sequential": 1e6 * sequential_s / burst,
+                "speedup": sequential_s / batched_s,
+            }
+            for burst, (batched_s, sequential_s) in micro.items()
+        },
+        "served": {
+            f"burst_{burst}": {
+                "throughput_rps": report.throughput_rps,
+                "latency_p95_ms": 1000.0 * stats.get("latency_p95", 0.0),
+                "completed": report.completed,
+            }
+            for burst, (report, stats) in serve.items()
+        },
+    })
 
     if SMOKE:
         return

@@ -26,7 +26,7 @@ skipped in smoke mode).
 
 import numpy as np
 
-from _bench_utils import SMOKE, emit, print_section
+from _bench_utils import SMOKE, emit, emit_bench_json, print_section
 from repro.core import EntropyExitPolicy
 from repro.imc import format_table
 from repro.runtime import plan_for
@@ -105,6 +105,19 @@ def test_serve_event_stream_stem_cache(benchmark, suite):
     speedup = warm_report.throughput_rps / max(1e-9, cold_report.throughput_rps)
     emit(f"replayed-clip serve speedup: {speedup:.2f}x "
          f"({cold_report.throughput_rps:.1f} -> {warm_report.throughput_rps:.1f} req/s)")
+    emit_bench_json("serve_event_stream", {
+        "num_requests": NUM_REQUESTS,
+        "cold": {
+            "throughput_rps": cold_report.throughput_rps,
+            "latency_p95_ms": 1000.0 * cold_stats.get("latency_p95", 0.0),
+        },
+        "warm": {
+            "throughput_rps": warm_report.throughput_rps,
+            "latency_p95_ms": 1000.0 * warm_stats.get("latency_p95", 0.0),
+        },
+        "stem_memo_hit_rate": hit_rate,
+        "speedup": speedup,
+    })
 
     # The cache must be bitwise-invisible to every decision.
     cold = {r.request_id: (r.prediction, r.exit_timestep) for r in cold_report.results}

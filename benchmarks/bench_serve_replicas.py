@@ -8,15 +8,23 @@ constants (weights, running stats, folded conv+norm GEMM arrays) for every
 replica, so the constants' resident cost is O(1) in the replica count rather
 than O(N).
 
-Measurements (median of ``ROUNDS`` runs each):
+Method — the canonical-trace workload (docs/OBSERVABILITY.md):
 
-1. closed-loop serve throughput — 1 thread worker (baseline), N thread
-   workers, N process replicas;
-2. the arena's footprint: segment bytes (shared once) next to the private
-   per-replica memory (PSS from ``/proc``, Linux), which is what actually
-   grows per replica;
-3. decision-exactness: every configuration must complete every request with
-   predictions and exit timesteps identical to the single-worker baseline.
+1. one live single-worker serve run records its traffic to a WAL trace
+   (:class:`repro.serve.TraceRecorder`) — clips, arrival order, threshold,
+   and every recorded decision;
+2. every composition (1 worker baseline, N thread workers, N process
+   replicas) then replays *that same trace* through
+   :class:`repro.serve.TraceReplayer` (median of ``ROUNDS`` replays), so all
+   rows measure the identical workload through the identical submission
+   machinery — apples to apples by construction;
+3. decision-exactness is asserted per replay: every composition must
+   reproduce the recorded predictions and exit timesteps bitwise
+   (``ReplayReport.exact``), which is the trace-replay regression gate
+   doing double duty as the correctness check;
+4. the headline single-core ratio lands in ``BENCH_serve_replicas.json``
+   as structured data (machine, cores, req/s per composition, arena bytes,
+   replica PSS) instead of prose.
 
 Scaling assertion: with >= 4 usable cores and full (non-smoke) scale, N=4
 replicas must reach >= 2x the single-worker baseline throughput.  On fewer
@@ -27,14 +35,17 @@ honest on 1- and 2-core CI boxes; the 2x criterion is a multi-core claim).
 
 import os
 import statistics
-import time
 
-import numpy as np
-
-from _bench_utils import SMOKE, emit, print_section
+from _bench_utils import SMOKE, emit, emit_bench_json, print_section
 from repro.core import EntropyExitPolicy
 from repro.imc import format_table
-from repro.serve import Server, request_stream
+from repro.serve import (
+    Server,
+    TraceRecorder,
+    TraceReplayer,
+    load_trace,
+    request_stream,
+)
 
 REPLICAS = 4
 ROUNDS = 3
@@ -65,8 +76,9 @@ def _replica_pss_kb(server) -> float:
     return total
 
 
-def _serve_once(experiment, threshold, stream, *, num_workers=1, num_replicas=0):
-    server = Server(
+def _build_server(experiment, threshold, *, num_workers=1, num_replicas=0,
+                  trace=None):
+    return Server(
         experiment.model,
         EntropyExitPolicy(threshold),
         max_timesteps=experiment.timesteps,
@@ -74,34 +86,58 @@ def _serve_once(experiment, threshold, stream, *, num_workers=1, num_replicas=0)
         queue_capacity=max(64, NUM_REQUESTS),
         num_workers=num_workers,
         num_replicas=num_replicas,
+        trace=trace,
+    )
+
+
+def _record_canonical_trace(experiment, threshold, stream, path):
+    """One live single-worker serve run, recorded to the WAL at ``path``."""
+    recorder = TraceRecorder(path, meta={
+        "bench": "serve_replicas",
+        "threshold": float(threshold),
+        "max_timesteps": experiment.timesteps,
+        "batch_width": BATCH_WIDTH,
+    })
+    server = _build_server(experiment, threshold, num_workers=1, trace=recorder)
+    server.start()
+    try:
+        futures = [server.submit(inputs, label=label) for inputs, label in stream]
+        for future in futures:
+            future.result(timeout=300.0)
+    finally:
+        server.shutdown(drain=True)
+        recorder.close()
+    return load_trace(path)
+
+
+def _replay_once(experiment, threshold, trace, *, num_workers=1, num_replicas=0):
+    server = _build_server(
+        experiment, threshold, num_workers=num_workers, num_replicas=num_replicas
     ).start()
     pss_kb = None
     try:
         if num_replicas:
             pss_kb = _replica_pss_kb(server)
-        start = time.perf_counter()
-        futures = [server.submit(inputs, label=label) for inputs, label in stream]
-        results = [future.result(timeout=300.0) for future in futures]
-        elapsed = time.perf_counter() - start
+        replayer = TraceReplayer(trace, verify=True)
+        report = replayer.replay(server)
+        replayer.assert_exact(report)
     finally:
         server.shutdown(drain=True)
-    decisions = {r.request_id: (r.prediction, r.exit_timestep) for r in results}
     arena_bytes = (
         server.replicas.arena.spec.size if server.replicas is not None else None
     )
-    return len(results) / elapsed, decisions, arena_bytes, pss_kb
+    return report.throughput_rps, arena_bytes, pss_kb
 
 
-def _median_rps(experiment, threshold, stream, **kwargs):
-    runs = [_serve_once(experiment, threshold, stream, **kwargs) for _ in range(ROUNDS)]
+def _median_rps(experiment, threshold, trace, **kwargs):
+    runs = [
+        _replay_once(experiment, threshold, trace, **kwargs) for _ in range(ROUNDS)
+    ]
     rps = statistics.median(run[0] for run in runs)
-    decisions = runs[0][1]
-    for run in runs[1:]:
-        assert run[1] == decisions, "decisions varied across rounds"
-    return rps, decisions, runs[0][2], runs[0][3]
+    return rps, runs[0][1], runs[0][2]
 
 
-def test_replica_scaling(benchmark, suite):
+def test_replica_scaling(benchmark, suite, tmp_path):
     # Width-doubled model: per-request compute must outweigh the ~0.1 ms
     # per-request IPC cost for process scaling to mean anything — the
     # shared tiny model serves at ~0.12 ms/request in-process, a regime
@@ -112,26 +148,30 @@ def test_replica_scaling(benchmark, suite):
     stream = list(
         request_stream(experiment.test_dataset, NUM_REQUESTS, seed=STREAM_SEED)
     )
+    trace_path = str(tmp_path / "canonical_trace.jsonl")
+    trace = _record_canonical_trace(experiment, point.threshold, stream, trace_path)
+    assert len(trace.records) == NUM_REQUESTS and not trace.truncated
 
     def run():
-        baseline = _median_rps(experiment, point.threshold, stream, num_workers=1)
+        baseline = _median_rps(experiment, point.threshold, trace, num_workers=1)
         threads = _median_rps(
-            experiment, point.threshold, stream, num_workers=REPLICAS
+            experiment, point.threshold, trace, num_workers=REPLICAS
         )
         replicas = _median_rps(
-            experiment, point.threshold, stream, num_replicas=REPLICAS
+            experiment, point.threshold, trace, num_replicas=REPLICAS
         )
         return baseline, threads, replicas
 
     baseline, threads, replicas = benchmark.pedantic(run, rounds=1, iterations=1)
-    base_rps, base_decisions, _, _ = baseline
-    thread_rps, thread_decisions, _, _ = threads
-    replica_rps, replica_decisions, arena_bytes, pss_kb = replicas
+    base_rps, _, _ = baseline
+    thread_rps, _, _ = threads
+    replica_rps, arena_bytes, pss_kb = replicas
 
     cores = _cores()
     print_section(
         f"Serve scaling: 1 worker vs {REPLICAS} threads vs {REPLICAS} process "
-        f"replicas ({cores} core(s), {NUM_REQUESTS} requests, median of {ROUNDS})"
+        f"replicas ({cores} core(s), canonical trace of {NUM_REQUESTS} requests, "
+        f"median of {ROUNDS} replays)"
     )
     emit(format_table(
         ["configuration", "req/s", "vs baseline"],
@@ -152,13 +192,33 @@ def test_replica_scaling(benchmark, suite):
         emit(f"replica private memory: {pss_kb:.0f} kB PSS total across "
              f"{REPLICAS} processes at start of serving (interpreter + executor "
              "state; the weights live in the shared segment above)")
+    emit("\nall compositions replayed the canonical trace decision-exact "
+         f"({NUM_REQUESTS}/{NUM_REQUESTS} requests bitwise vs the recording)")
 
-    # Decision-exactness is unconditional: scaling may never move a decision.
-    assert len(base_decisions) == NUM_REQUESTS
-    assert thread_decisions == base_decisions
-    assert replica_decisions == base_decisions
-    emit("\nall configurations decision-exact vs the single-worker baseline "
-         f"({NUM_REQUESTS}/{NUM_REQUESTS} requests completed everywhere)")
+    emit_bench_json("serve_replicas", {
+        "workload": {
+            "kind": "trace_replay",
+            "num_requests": NUM_REQUESTS,
+            "batch_width": BATCH_WIDTH,
+            "threshold": float(point.threshold),
+            "rounds": ROUNDS,
+        },
+        "cores": cores,
+        "compositions": {
+            "baseline_1_worker": {"throughput_rps": base_rps, "ratio": 1.0},
+            f"{REPLICAS}_thread_workers": {
+                "throughput_rps": thread_rps, "ratio": thread_rps / base_rps,
+            },
+            f"{REPLICAS}_process_replicas": {
+                "throughput_rps": replica_rps, "ratio": replica_rps / base_rps,
+                "arena_bytes": arena_bytes,
+                "replica_pss_kb": pss_kb,
+            },
+        },
+        "single_core_ratio": replica_rps / base_rps if cores < 4 else None,
+        "multicore_ratio": replica_rps / base_rps if cores >= 4 else None,
+        "decision_exact": True,
+    })
 
     if SMOKE:
         emit("smoke mode: throughput gate skipped")
@@ -166,7 +226,7 @@ def test_replica_scaling(benchmark, suite):
     if cores < 4:
         emit(f"only {cores} core(s) visible: the >=2x replica gate needs >=4 "
              f"cores of real parallelism; measured ratio {replica_rps / base_rps:.2f}x "
-             "recorded above")
+             "recorded in BENCH_serve_replicas.json")
         return
     assert replica_rps >= 2.0 * base_rps, (
         f"{REPLICAS} replicas reached only {replica_rps / base_rps:.2f}x the "

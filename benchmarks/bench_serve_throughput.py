@@ -26,7 +26,7 @@ Assertions (the acceptance criteria of the serving subsystem):
 import numpy as np
 import pytest
 
-from _bench_utils import SMOKE, emit, print_section
+from _bench_utils import SMOKE, emit, emit_bench_json, print_section
 from repro.core import DynamicTimestepInference, EntropyExitPolicy, StaticExitPolicy
 from repro.imc import format_table
 from repro.serve import LoadGenerator, Server, request_stream
@@ -95,6 +95,28 @@ def test_serve_throughput_static_vs_dtsnn(benchmark, suite):
          f"SNN forward work reduced {static_work / max(1, dynamic_work):.2f}x")
     emit("Paper reference (Table III, VGG-16 RTX 2080Ti): static T=4 64.3 img/s, "
          "DT-SNN avg T=1.46 142.0 img/s (2.2x)")
+    emit_bench_json("serve_throughput", {
+        "composition": {"workers": 1, "replicas": 0, "batch_width": BATCH_WIDTH},
+        "num_requests": NUM_REQUESTS,
+        "static": {
+            "throughput_rps": static_report.throughput_rps,
+            "latency_p50_ms": 1000.0 * static_stats.get("latency_p50", 0.0),
+            "latency_p95_ms": 1000.0 * static_stats.get("latency_p95", 0.0),
+            "avg_exit_timesteps": static_report.average_exit_timesteps(),
+            "accuracy": static_report.accuracy(),
+            "sample_timesteps": float(static_work),
+        },
+        "dynamic": {
+            "threshold": float(point.threshold),
+            "throughput_rps": dynamic_report.throughput_rps,
+            "latency_p50_ms": 1000.0 * dynamic_stats.get("latency_p50", 0.0),
+            "latency_p95_ms": 1000.0 * dynamic_stats.get("latency_p95", 0.0),
+            "avg_exit_timesteps": dynamic_report.average_exit_timesteps(),
+            "accuracy": dynamic_report.accuracy(),
+            "sample_timesteps": float(dynamic_work),
+        },
+        "speedup": speedup,
+    })
 
     # (1) strictly higher requests/sec on identical traffic — a wall-clock
     # comparison, so smoke mode (noisy CI runners) skips it and keeps the

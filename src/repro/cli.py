@@ -17,6 +17,10 @@ without writing Python:
                    non-zero on failure).
 * ``loadgen``    — sweep offered arrival rates against the serving runtime
                    and print the achieved throughput / latency table.
+* ``replay``     — replay a traffic trace recorded with ``serve
+                   --record-trace`` against any server composition and verify
+                   every decision bitwise (the cross-composition regression
+                   gate; see docs/OBSERVABILITY.md).
 
 Example
 -------
@@ -55,8 +59,13 @@ from .imc import IMCChip, format_breakdown, format_table
 from .serve import (
     AdaptiveThresholdController,
     LoadGenerator,
+    MetricsRegistry,
     Server,
+    SpanTracker,
+    TraceRecorder,
+    TraceReplayer,
     calibrated_threshold_bounds,
+    load_trace,
     request_stream,
 )
 from .snn import EventFrameEncoder, spiking_resnet, spiking_vgg
@@ -171,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--self-test", action="store_true",
                        help="small deterministic run verifying serve-path equivalence; "
                             "exits non-zero on failure")
+    serve.add_argument("--record-trace", default=None, metavar="PATH",
+                       help="record served traffic to a replayable WAL trace at "
+                            "PATH (clips land at PATH.clips)")
+    serve.add_argument("--stats-dump", default=None, metavar="PATH",
+                       help="write the metrics registry as JSON to PATH and "
+                            "Prometheus text to PATH.prom at exit (also enables "
+                            "request-lifecycle span tracking)")
 
     loadgen = subparsers.add_parser(
         "loadgen", help="sweep offered arrival rates against the serving runtime"
@@ -181,6 +197,33 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--shed", action="store_true",
                          help="drop requests on a full queue instead of blocking the "
                               "arrival process")
+
+    replay = subparsers.add_parser(
+        "replay", help="replay a recorded traffic trace against a server "
+                       "composition and verify decisions bitwise"
+    )
+    replay.add_argument("--trace", required=True,
+                        help="trace recorded with `serve --record-trace`")
+    replay.add_argument("--workers", type=int, default=1,
+                        help="worker threads for the replay composition")
+    replay.add_argument("--replicas", type=int, default=0,
+                        help="worker processes for the replay composition")
+    replay.add_argument("--batch-width", type=int, default=None,
+                        help="override the recorded batch width")
+    replay.add_argument("--queue-capacity", type=int, default=None,
+                        help="override the recorded queue capacity")
+    replay.add_argument("--honor-arrivals", action="store_true",
+                        help="pace submissions to the recorded arrival offsets "
+                             "instead of replaying closed-loop")
+    replay.add_argument("--speed", type=float, default=1.0,
+                        help="time compression for --honor-arrivals")
+    replay.add_argument("--no-verify", action="store_true",
+                        help="use the trace as a load source only (skip the "
+                             "bitwise decision check)")
+    replay.add_argument("--checkpoint", default=None,
+                        help="override the checkpoint recorded in the trace header")
+    replay.add_argument("--reference-path", action="store_true",
+                        help="replay on the define-by-run Tensor oracle")
     return parser
 
 
@@ -375,7 +418,33 @@ def _prepare_serving(args: argparse.Namespace):
     return model, test, collected, policy, controller, cost_model
 
 
-def _build_server(args: argparse.Namespace, model, policy, controller, cost_model) -> Server:
+def _trace_meta(args: argparse.Namespace, policy) -> Dict[str, object]:
+    """Everything a `replay` run needs to rebuild the identical serving
+    context: the deterministic model recipe (seeded dataset + in-process
+    training or checkpoint path) and the decision knobs."""
+    return {
+        "dataset": args.dataset,
+        "arch": args.arch,
+        "preset": args.preset,
+        "width_multiplier": args.width_multiplier,
+        "samples": args.samples,
+        "image_size": args.image_size,
+        "timesteps": args.timesteps,
+        "max_timesteps": args.timesteps,
+        "seed": args.seed,
+        "checkpoint": args.checkpoint,
+        "train_epochs": args.train_epochs,
+        "threshold": float(policy.threshold),
+        "tolerance": args.tolerance,
+        "batch_width": args.batch_width,
+        "queue_capacity": args.queue_capacity,
+        "workers": args.workers,
+        "replicas": args.replicas,
+    }
+
+
+def _build_server(args: argparse.Namespace, model, policy, controller, cost_model,
+                  trace=None, spans=None) -> Server:
     server = Server(
         model,
         policy,
@@ -387,6 +456,8 @@ def _build_server(args: argparse.Namespace, model, policy, controller, cost_mode
         cost_model=cost_model,
         controller=controller,
         use_runtime=False if args.reference_path else None,
+        trace=trace,
+        spans=spans,
     )
     if server.replicas is not None:
         arena = server.replicas.arena
@@ -434,6 +505,24 @@ def _print_serving_report(args: argparse.Namespace, report, server: Server) -> N
             title="Exit-timestep histogram", float_format="{:.1f}"))
 
 
+def _write_stats_dump(path: str, server: Server, spans, max_timesteps: int) -> None:
+    """Export the metrics registry (JSON at ``path``, Prometheus text at
+    ``path.prom``) plus the span-stage breakdown."""
+    registry = MetricsRegistry()
+    server.telemetry.fill_registry(registry, max_timesteps=max_timesteps)
+    payload = {
+        "metrics": registry.to_json(),
+        "snapshot": server.telemetry.snapshot(),
+    }
+    if spans is not None:
+        payload["spans"] = spans.summary()
+    save_json(path, payload)
+    prom_path = path + ".prom"
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(registry.to_prometheus())
+    print(f"wrote stats dump to {path} (+ {prom_path})")
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.self_test:
         args.checkpoint = None
@@ -447,15 +536,33 @@ def _command_serve(args: argparse.Namespace) -> int:
             print("self-test: ignoring --target-p95-ms (needs a fixed threshold)")
             args.target_p95_ms = None
     model, test, collected, policy, controller, cost_model = _prepare_serving(args)
-    server = _build_server(args, model, policy, controller, cost_model).start()
+    trace = None
+    if args.record_trace:
+        trace = TraceRecorder(args.record_trace, meta=_trace_meta(args, policy))
+    spans = SpanTracker() if args.stats_dump else None
+    server = _build_server(args, model, policy, controller, cost_model,
+                           trace=trace, spans=spans).start()
     stream = list(request_stream(test, args.num_requests, seed=args.stream_seed))
     generator = LoadGenerator(server, rate=args.rate, burst=args.burst)
     report = generator.run(iter(stream))
     server.shutdown(drain=True)
+    if trace is not None:
+        trace.close()
+        print(f"recorded {trace.records_written} request(s) + "
+              f"{trace.rejections_written} rejection(s) to {args.record_trace}")
     _print_serving_report(args, report, server)
+    if args.stats_dump:
+        _write_stats_dump(args.stats_dump, server, spans, args.timesteps)
 
     if not args.self_test:
         return 0
+    # A complete telemetry snapshot (every counter and gauge family the
+    # telemetry records — completed/rejected/shed, queue depth, occupancy).
+    snapshot = server.telemetry.snapshot()
+    print()
+    print(format_table(["metric", "value"],
+                       [[key, snapshot[key]] for key in sorted(snapshot)],
+                       title="Telemetry snapshot", float_format="{:.4f}"))
     # Self-test: the serve path (by default the compiled-plan fast path) must
     # reproduce the define-by-run Tensor oracle bitwise on the identical
     # stream — model.forward below runs the Tensor graph — and drain must
@@ -517,6 +624,79 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    if trace.truncated:
+        print("note: trace had a truncated tail; replaying the recovered prefix")
+    header = trace.header
+    if not header:
+        print("REPLAY FAIL: trace has no header (not a serve --record-trace file?)")
+        return 1
+    # Rebuild the identical serving context from the header: same seeded
+    # dataset + in-process training (or checkpoint), threshold pinned to the
+    # recorded one so calibration cannot drift the decisions.
+    ns = argparse.Namespace(
+        dataset=header.get("dataset", "cifar10"),
+        arch=header.get("arch", "vgg"),
+        preset=header.get("preset", "tiny"),
+        width_multiplier=float(header.get("width_multiplier", 1.0)),
+        samples=int(header.get("samples", 400)),
+        image_size=int(header.get("image_size", 10)),
+        timesteps=int(header.get("max_timesteps", header.get("timesteps", 4))),
+        seed=int(header.get("seed", 0)),
+        checkpoint=args.checkpoint or header.get("checkpoint"),
+        train_epochs=int(header.get("train_epochs", 4)),
+        threshold=trace.fixed_threshold(),
+        tolerance=float(header.get("tolerance", 0.005)),
+        target_p95_ms=None,
+        with_energy=False,
+        batch_width=(args.batch_width if args.batch_width is not None
+                     else int(header.get("batch_width", 8))),
+        queue_capacity=(args.queue_capacity if args.queue_capacity is not None
+                        else int(header.get("queue_capacity", 64))),
+        workers=args.workers,
+        replicas=args.replicas,
+        reference_path=args.reference_path,
+    )
+    verify = not args.no_verify
+    if verify and ns.threshold is None:
+        print("REPLAY FAIL: the trace's threshold moved mid-run (SLA "
+              "controller recording); bitwise verification is undefined — "
+              "pass --no-verify to use it as a load source")
+        return 1
+    replayer = TraceReplayer(trace, honor_arrivals=args.honor_arrivals,
+                             speed=args.speed, verify=verify)
+    model, test, collected, policy, controller, cost_model = _prepare_serving(ns)
+    server = _build_server(ns, model, policy, controller, cost_model).start()
+    try:
+        report = replayer.replay(server)
+    finally:
+        server.shutdown(drain=True)
+    composition = (f"{ns.replicas} process replica(s)" if ns.replicas
+                   else f"{ns.workers} worker thread(s)")
+    rows = [
+        ["replayed requests", float(report.offered)],
+        ["completed", float(report.completed)],
+        ["duration (s)", report.duration],
+        ["throughput (req/s)", report.throughput_rps],
+        ["latency p95 (ms)", 1000.0 * report.stats.get("latency_p95", 0.0)],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"Trace replay against {composition}",
+                       float_format="{:.3f}"))
+    if not verify:
+        return 0
+    if report.exact:
+        print(f"REPLAY PASS: {report.offered} decisions bitwise-identical to "
+              f"the recorded trace under {composition}")
+        return 0
+    for mismatch in report.mismatches[:10]:
+        print(f"REPLAY FAIL: {mismatch}")
+    print(f"REPLAY FAIL: {len(report.mismatches)} of {report.offered} "
+          "decisions diverged")
+    return 1
+
+
 _COMMANDS = {
     "train": _command_train,
     "evaluate": _command_evaluate,
@@ -524,6 +704,7 @@ _COMMANDS = {
     "chip-report": _command_chip_report,
     "serve": _command_serve,
     "loadgen": _command_loadgen,
+    "replay": _command_replay,
 }
 
 

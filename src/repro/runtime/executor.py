@@ -19,6 +19,8 @@ equivalence test harness asserts.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -26,6 +28,16 @@ import numpy as np
 from .plan import CompiledPlan, StemCache
 
 __all__ = ["PlanExecutor"]
+
+
+def _trace_ops_enabled() -> bool:
+    """``REPRO_TRACE_OPS=1`` turns on per-op wall-clock timing.
+
+    Read at executor construction (like ``REPRO_RUNTIME``/``REPRO_FLOAT64``):
+    the hot loop then branches on a bound attribute, so the default-off cost
+    is one attribute check per step, not an environment lookup per op.
+    """
+    return os.environ.get("REPRO_TRACE_OPS", "").strip() in {"1", "true", "yes"}
 
 
 class PlanExecutor:
@@ -84,6 +96,9 @@ class PlanExecutor:
         self._stem: Optional[Dict[int, np.ndarray]] = None
         self._registers: List[Optional[np.ndarray]] = [None] * plan.num_registers
         self._scratch: List[Dict[str, np.ndarray]] = [dict() for _ in plan.ops]
+        self.trace_ops = _trace_ops_enabled()
+        self._op_seconds = [0.0] * len(plan.ops)
+        self._op_calls = [0] * len(plan.ops)
 
     # ------------------------------------------------------------------ #
     @property
@@ -182,10 +197,23 @@ class PlanExecutor:
         plan = self.plan
         registers: List[Optional[np.ndarray]] = [None] * plan.num_registers
         registers[0] = frame
-        for index in range(plan.stem_len):
-            op = plan.ops[index]
-            op.run(registers, self._scratch[index] if scratch is not None else None,
-                   self._membranes, self.collect_statistics)
+        if self.trace_ops:
+            timer = time.perf_counter
+            for index in range(plan.stem_len):
+                began = timer()
+                plan.ops[index].run(
+                    registers,
+                    self._scratch[index] if scratch is not None else None,
+                    self._membranes, self.collect_statistics,
+                )
+                self._op_seconds[index] += timer() - began
+                self._op_calls[index] += 1
+        else:
+            for index in range(plan.stem_len):
+                op = plan.ops[index]
+                op.run(registers,
+                       self._scratch[index] if scratch is not None else None,
+                       self._membranes, self.collect_statistics)
         return {reg: registers[reg] for reg in plan.stem_registers}
 
     def _memo_stem(self, frame: np.ndarray, keys: Sequence[bytes]) -> Dict[int, np.ndarray]:
@@ -292,14 +320,45 @@ class PlanExecutor:
             for reg, value in self._memo_stem(frame, stem_keys).items():
                 registers[reg] = value
             start = plan.stem_len
-        for index in range(start, len(plan.ops)):
-            plan.ops[index].run(registers, self._scratch[index], self._membranes,
-                                self.collect_statistics)
+        if self.trace_ops:
+            timer = time.perf_counter
+            seconds, calls = self._op_seconds, self._op_calls
+            for index in range(start, len(plan.ops)):
+                began = timer()
+                plan.ops[index].run(registers, self._scratch[index],
+                                    self._membranes, self.collect_statistics)
+                seconds[index] += timer() - began
+                calls[index] += 1
+        else:
+            for index in range(start, len(plan.ops)):
+                plan.ops[index].run(registers, self._scratch[index],
+                                    self._membranes, self.collect_statistics)
         output = registers[plan.output_register]
         # Uphold the freshness contract when the producing op hands back
         # reused scratch (anything but a Linear head): the next step() would
         # otherwise overwrite the caller's running sum in place.
         return output.copy() if plan.output_needs_copy else output
+
+    # ------------------------------------------------------------------ #
+    def op_timings(self) -> List[Dict[str, object]]:
+        """Accumulated per-op wall-clock profile (``REPRO_TRACE_OPS=1``).
+
+        One entry per plan op, in execution order: op index, the op's class
+        name, call count and total seconds.  All zeros when tracing is off —
+        callers can tell from :attr:`trace_ops`.  The profile accumulates
+        over the executor's lifetime (the whole serve session), which is the
+        useful granularity for a breakdown report; it is cheap to reset by
+        building a fresh executor.
+        """
+        return [
+            {
+                "index": index,
+                "op": type(op).__name__,
+                "calls": self._op_calls[index],
+                "seconds": self._op_seconds[index],
+            }
+            for index, op in enumerate(self.plan.ops)
+        ]
 
     # ------------------------------------------------------------------ #
     @property

@@ -29,6 +29,14 @@ this package turns that saving into *throughput*.  The pieces, front to back:
   the entropy threshold between calibrated accuracy bounds.
 * :class:`LoadGenerator` / :func:`request_stream` — deterministic open- and
   closed-loop load for benchmarks and tests.
+* :class:`TraceRecorder` / :class:`TraceReplayer` — a WAL-style traffic
+  trace (every admitted request with its clip digest, arrival offset,
+  threshold and recorded decision, plus a content-addressed clip store) and
+  its deterministic replay against any server composition, asserting
+  decision-exactness bitwise (docs/OBSERVABILITY.md).
+* :class:`SpanTracker` / :class:`MetricsRegistry` — per-request lifecycle
+  spans (queued → dispatched → admitted → exited → completed) and a
+  Prometheus/JSON-exportable metrics registry fed by :class:`Telemetry`.
 
 Quickstart::
 
@@ -45,6 +53,16 @@ from .batcher import ContinuousBatcher
 from .controller import AdaptiveThresholdController, calibrated_threshold_bounds
 from .engine import AdmissionRejectedError, CompletedSample, InferenceEngine
 from .loadgen import LoadGenerator, LoadReport, request_stream
+from .obs import (
+    SPAN_STAGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RequestSpan,
+    SpanTracker,
+)
+from .replay import ReplayMismatch, ReplayReport, TraceReplayer
 from .replica import ReplicaCrashError, ReplicaPool
 from .request import (
     AdmissionQueue,
@@ -56,6 +74,7 @@ from .request import (
 )
 from .server import Server, ServerClosedError
 from .telemetry import Telemetry
+from .trace import Trace, TraceRecord, TraceRecorder, clip_digest, load_trace
 
 __all__ = [
     "Request",
@@ -78,4 +97,19 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "request_stream",
+    "Trace",
+    "TraceRecord",
+    "TraceRecorder",
+    "clip_digest",
+    "load_trace",
+    "TraceReplayer",
+    "ReplayReport",
+    "ReplayMismatch",
+    "SpanTracker",
+    "RequestSpan",
+    "SPAN_STAGES",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
 ]

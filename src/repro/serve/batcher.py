@@ -73,6 +73,12 @@ class ContinuousBatcher:
         timestep, exactly like :func:`repro.core.account_result`.
     controller:
         Optional SLA threshold controller, consulted after completions.
+    trace:
+        Optional :class:`repro.serve.trace.TraceRecorder`; every completed
+        request is appended to the WAL just before its future resolves.
+    spans:
+        Optional :class:`repro.serve.obs.SpanTracker`; each completion
+        stamps the request's lifecycle stages in one call.
     """
 
     def __init__(
@@ -84,6 +90,8 @@ class ContinuousBatcher:
         cost_model: Optional[InferenceCostModel] = None,
         controller: Optional[AdaptiveThresholdController] = None,
         clock: Callable[[], float] = time.monotonic,
+        trace=None,
+        spans=None,
     ):
         if batch_width < 1:
             raise ValueError("batch_width must be >= 1")
@@ -94,6 +102,8 @@ class ContinuousBatcher:
         self.cost_model = cost_model
         self.controller = controller
         self.clock = clock
+        self.trace = trace
+        self.spans = spans
         # Admission rounds rejected by engine validation (e.g. a malformed
         # request co-drained with the round); their futures were failed but
         # the worker kept serving.
@@ -150,6 +160,12 @@ class ContinuousBatcher:
                 edp=edp,
             )
             results.append(result)
+            # Observability first, future last: a trace/span consumer that
+            # reacts to the resolved future must already see this request.
+            if self.trace is not None:
+                self.trace.record_request(sample.request, result)
+            if self.spans is not None:
+                self.spans.record_result(result, now)
             finalize_result(result, sample.response, self.telemetry, self.controller)
         return results
 

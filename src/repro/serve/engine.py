@@ -148,6 +148,17 @@ class InferenceEngine:
         """True when steps execute through the compiled-plan runtime."""
         return self._executor is not None
 
+    def op_timings(self):
+        """Per-op wall-clock profile from the executor (``REPRO_TRACE_OPS=1``).
+
+        ``None`` on the Tensor oracle (no op list to attribute time to) or
+        when tracing is off; otherwise the executor's accumulated
+        ``[{index, op, calls, seconds}, ...]`` breakdown.
+        """
+        if self._executor is None or not self._executor.trace_ops:
+            return None
+        return self._executor.op_timings()
+
     # ------------------------------------------------------------------ #
     def admit(self, request: Request, response: Response, start_time: float) -> None:
         """Occupy one slot with a fresh request (see :meth:`admit_batch`)."""

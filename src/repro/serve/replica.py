@@ -278,6 +278,8 @@ class ReplicaPool:
         clock: Callable[[], float] = time.monotonic,
         inflight_window: Optional[int] = None,
         blas_threads: int = 1,
+        trace=None,
+        spans=None,
     ):
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -308,6 +310,11 @@ class ReplicaPool:
         self.controller = controller
         self.clock = clock
         self.use_runtime = use_runtime
+        # Observability sinks live parent-side only: the trace recorder and
+        # span tracker see completions in the collector (one clock domain),
+        # so replicas ship no extra bytes for them.
+        self.trace = trace
+        self.spans = spans
         self.blas_threads = int(blas_threads)
         # Export before anything serves: the arena copies the constants and
         # the skeleton captures the structure exactly once for all replicas.
@@ -669,6 +676,7 @@ class ReplicaPool:
                         )
                         for request, response in batch:
                             response.set_exception(error)
+                        self.telemetry.record_shed(len(batch))
                     else:
                         # Lost the race with a crash mid-traffic: hand the
                         # requests back to the pool so a surviving replica
@@ -692,6 +700,16 @@ class ReplicaPool:
                 (request.request_id, request.inputs, request.label)
                 for request, _ in batch
             ]))
+            if self.spans is not None:
+                # The one lifecycle stage only replica mode can observe live:
+                # the moment a request leaves the parent for a worker
+                # process.  Stamped after the put so dispatched >= queued and
+                # the span stays monotone in the parent's clock domain.
+                dispatched_at = self.clock()
+                for request, _ in batch:
+                    self.spans.record(
+                        request.request_id, "dispatched", dispatched_at
+                    )
 
     def _maybe_send_threshold(self, index: int) -> None:
         """Propagate parent-side threshold mutations (SLA controller or a
@@ -805,6 +823,10 @@ class ReplicaPool:
             energy=energy,
             edp=edp,
         )
+        if self.trace is not None:
+            self.trace.record_request(request, result)
+        if self.spans is not None:
+            self.spans.record_result(result, finish_time)
         finalize_result(result, response, self.telemetry, self.controller)
 
     # ------------------------------------------------------------------ #
@@ -848,6 +870,7 @@ class ReplicaPool:
                 )
             for request, response in inflight:
                 response.set_exception(error)
+            self.telemetry.record_shed(len(inflight))
         # Unblock the forwarder so it can observe the dead flag and exit.
         for _ in range(self.window):
             self._window_sems[index].release()
@@ -859,11 +882,13 @@ class ReplicaPool:
             self.queue.close()
             with self._lock:
                 self._fail_stranded_locked()
-            self.queue.drain_pending(
+            failed = self.queue.drain_pending(
                 ReplicaCrashError("all serving replicas exited while work was queued")
                 if self._crashed
                 else None
             )
+            if failed:
+                self.telemetry.record_shed(failed)
 
     def _stranded_error(self) -> BaseException:
         if self._aborting:
@@ -890,3 +915,4 @@ class ReplicaPool:
         self._overflow.clear()
         for request, response in stranded:
             response.set_exception(error)
+        self.telemetry.record_shed(len(stranded))

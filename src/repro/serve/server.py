@@ -131,6 +131,8 @@ class Server:
         telemetry: Optional[Telemetry] = None,
         clock: Callable[[], float] = time.monotonic,
         use_runtime: Optional[bool] = None,
+        trace=None,
+        spans=None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -138,6 +140,12 @@ class Server:
             raise ValueError("num_replicas must be >= 0")
         self.clock = clock
         self.telemetry = telemetry or Telemetry()
+        # Observability sinks (both optional, both None-cost when absent):
+        # ``trace`` is a repro.serve.trace.TraceRecorder appending one WAL
+        # record per completion/rejection; ``spans`` is a
+        # repro.serve.obs.SpanTracker stamping request lifecycle stages.
+        self.trace = trace
+        self.spans = spans
         self.queue = AdmissionQueue(capacity=queue_capacity, clock=clock)
         self.policy = policy
         self._ids = itertools.count()
@@ -165,6 +173,8 @@ class Server:
                 controller=controller,
                 clock=clock,
                 inflight_window=replica_window,
+                trace=trace,
+                spans=spans,
             )
             self.max_timesteps = self.replicas.max_timesteps
             return
@@ -204,6 +214,8 @@ class Server:
                 cost_model=cost_model,
                 controller=controller,
                 clock=clock,
+                trace=trace,
+                spans=spans,
             )
             for engine in engines
         ]
@@ -259,9 +271,10 @@ class Server:
             # clients see the error instead of hanging until their timeout.
             failure = ServerClosedError(f"serving worker crashed: {error!r}")
             failure.__cause__ = error
-            batcher.engine.fail_active(failure)
+            shed = batcher.engine.fail_active(failure)
             self.queue.close()
-            self.queue.drain_pending()
+            shed += self.queue.drain_pending()
+            self.telemetry.record_shed(shed)
             raise
 
     def drain(self, timeout: Optional[float] = None) -> None:
@@ -273,9 +286,13 @@ class Server:
         self.queue.close()
         if self.replicas is not None:
             self.replicas.drain(timeout)
-            return
-        for thread in self._threads:
-            thread.join(timeout)
+        else:
+            for thread in self._threads:
+                thread.join(timeout)
+        if self.trace is not None:
+            # Drain is the orderly exit: make the WAL durable while the
+            # process is still healthy (crash recovery is the *other* path).
+            self.trace.flush()
 
     def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop the server; with ``drain=False`` abort queued/in-flight work."""
@@ -285,14 +302,19 @@ class Server:
         self.queue.close()
         if self.replicas is not None:
             self.replicas.abort()
-            self.queue.drain_pending()
+            self.telemetry.record_shed(self.queue.drain_pending())
+            if self.trace is not None:
+                self.trace.flush()
             return
         self._stop.set()
         for thread in self._threads:
             thread.join(timeout)
-        self.queue.drain_pending()
+        shed = self.queue.drain_pending()
         for batcher in self.batchers:
-            batcher.engine.fail_active(ServerClosedError("server shut down"))
+            shed += batcher.engine.fail_active(ServerClosedError("server shut down"))
+        self.telemetry.record_shed(shed)
+        if self.trace is not None:
+            self.trace.flush()
 
     def refresh_replicas(self) -> int:
         """Propagate an in-place weight reload (``load_state_dict``) to the
@@ -336,6 +358,8 @@ class Server:
             self.queue.put(request, response, block=block, timeout=timeout)
         except QueueFullError:
             self.telemetry.record_rejection()
+            if self.trace is not None:
+                self.trace.record_rejection(request, self.clock())
             raise
         except QueueClosedError as error:
             raise ServerClosedError(str(error)) from error

@@ -45,6 +45,7 @@ class Telemetry:
         self._first_arrival: Optional[float] = None
         self._last_finish: Optional[float] = None
         self._rejected = 0
+        self._shed = 0
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -69,6 +70,12 @@ class Telemetry:
     def record_rejection(self) -> None:
         with self._lock:
             self._rejected += 1
+
+    def record_shed(self, count: int = 1) -> None:
+        """Requests failed *after* admission (abort/crash drain), as opposed
+        to rejections shed at the door by queue backpressure."""
+        with self._lock:
+            self._shed += int(count)
 
     # ------------------------------------------------------------------ #
     # Cross-instance merging (multi-replica serving)
@@ -97,6 +104,7 @@ class Telemetry:
                 "first_arrival": self._first_arrival if include_results else None,
                 "last_finish": self._last_finish if include_results else None,
                 "rejected": self._rejected,
+                "shed": self._shed,
             }
 
     def merge_state(self, state: Dict[str, object]) -> None:
@@ -126,6 +134,7 @@ class Telemetry:
             ):
                 self._last_finish = last
             self._rejected += int(state.get("rejected", 0))
+            self._shed += int(state.get("shed", 0))
 
     def merge_from(self, other: "Telemetry") -> None:
         """Merge another :class:`Telemetry` instance (see :meth:`merge_state`)."""
@@ -143,6 +152,11 @@ class Telemetry:
     def rejected(self) -> int:
         with self._lock:
             return self._rejected
+
+    @property
+    def shed(self) -> int:
+        with self._lock:
+            return self._shed
 
     def results(self) -> List[RequestResult]:
         with self._lock:
@@ -187,15 +201,23 @@ class Telemetry:
         return float(np.mean(flags))
 
     def snapshot(self) -> Dict[str, float]:
-        """One flat dict with every headline serving metric."""
+        """One flat dict with every headline serving metric.
+
+        Complete by construction: every counter (completed / rejected /
+        shed) and every gauge family (queue depth, occupancy) the telemetry
+        records is surfaced here, so ``serve --self-test`` and
+        ``--stats-dump`` print the whole picture rather than a subset.
+        """
         with self._lock:
             results = list(self._results)
             depths = list(self._queue_depths)
             occupancies = list(self._occupancies)
             rejected = self._rejected
+            shed = self._shed
         stats: Dict[str, float] = {
             "completed": float(len(results)),
             "rejected": float(rejected),
+            "shed": float(shed),
         }
         if results:
             latencies = np.array([r.latency for r in results])
@@ -227,6 +249,70 @@ class Telemetry:
         if depths:
             stats["queue_depth_mean"] = float(np.mean(depths))
             stats["queue_depth_max"] = float(np.max(depths))
+            stats["queue_depth_p95"] = float(np.percentile(np.asarray(depths), 95))
         if occupancies:
             stats["occupancy_mean"] = float(np.mean(occupancies))
+            stats["occupancy_max"] = float(np.max(occupancies))
         return stats
+
+    # ------------------------------------------------------------------ #
+    # Metrics-registry export (repro.serve.obs)
+    # ------------------------------------------------------------------ #
+    def fill_registry(self, registry, max_timesteps: Optional[int] = None) -> None:
+        """Feed a :class:`~repro.serve.obs.MetricsRegistry` from raw samples.
+
+        Additive: counters increment and histograms observe on top of
+        whatever the registry already holds, so feed a *fresh* registry per
+        export (the registry's own :meth:`~repro.serve.obs.MetricsRegistry.merge`
+        is the cross-instance aggregation path).  Histogram metrics are
+        built from the raw per-request samples — not from the snapshot's
+        derived percentiles — which is what makes merged registries equal
+        pooled ones (fixed buckets, exact bucket-count addition).
+        """
+        with self._lock:
+            results = list(self._results)
+            depths = list(self._queue_depths)
+            occupancies = list(self._occupancies)
+            rejected = self._rejected
+            shed = self._shed
+        registry.counter(
+            "repro_requests_completed_total", "Requests completed"
+        ).inc(len(results))
+        registry.counter(
+            "repro_requests_rejected_total", "Submissions shed at the door"
+        ).inc(rejected)
+        registry.counter(
+            "repro_requests_shed_total", "Admitted requests failed by shutdown/crash"
+        ).inc(shed)
+        latency = registry.histogram(
+            "repro_request_latency_seconds", "End-to-end request latency"
+        )
+        queue_delay = registry.histogram(
+            "repro_request_queue_delay_seconds", "Arrival-to-admission wait"
+        )
+        horizon = max_timesteps or max(
+            (r.exit_timestep for r in results), default=1
+        )
+        exits = registry.histogram(
+            "repro_request_exit_timesteps", "Exit timestep per request",
+            buckets=tuple(float(t) for t in range(1, horizon + 1)),
+        )
+        energy_total = registry.counter(
+            "repro_request_energy_total", "Summed per-request energy (cost model units)"
+        )
+        for result in results:
+            latency.observe(result.latency)
+            queue_delay.observe(result.queue_delay)
+            exits.observe(float(result.exit_timestep))
+            if result.energy is not None:
+                energy_total.inc(result.energy)
+        depth_gauge = registry.gauge(
+            "repro_queue_depth_max", "Peak admission-queue depth", mode="max"
+        )
+        for depth in depths:
+            depth_gauge.set(depth)
+        occupancy_gauge = registry.gauge(
+            "repro_occupancy_max", "Peak batch-slot occupancy fraction", mode="max"
+        )
+        for occupancy in occupancies:
+            occupancy_gauge.set(occupancy)

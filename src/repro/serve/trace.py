@@ -1,0 +1,406 @@
+"""Traffic trace recording: a WAL-style, append-only record of served traffic.
+
+A serving deployment needs *evidence*, not anecdotes: which requests arrived
+when, what threshold each was admitted under, where each one exited, and what
+it cost.  The :class:`TraceRecorder` captures exactly that as two append-only
+files:
+
+* ``<path>`` — the **record WAL**: one JSON object per line, one line per
+  event (a ``header`` describing the serving configuration, a ``request``
+  line per completed request, a ``reject`` line per load-shed submission).
+  Every line carries a CRC32 of its canonical payload, so a reader can
+  detect — and recover cleanly from — a partial line left by a crash
+  mid-write: :func:`load_trace` keeps the longest valid prefix, exactly like
+  a write-ahead log.
+* ``<path>.clips`` — the **clip store**: the raw input arrays, framed as
+  ``magic | digest | dtype | shape | payload | crc`` records and written
+  once per *unique* clip (content-addressed by the same 128-bit BLAKE2b
+  digest the serving engine interns), so replayed traffic costs one frame no
+  matter how often it recurs.  A truncated tail frame is likewise dropped at
+  load.
+
+Records reference clips by digest, which is what makes a trace *replayable*:
+:class:`repro.serve.replay.TraceReplayer` resubmits the recorded clips in
+recorded arrival order against any server composition and checks the
+decisions bitwise against the recorded exits.
+
+Timestamps are stored as offsets from the first recorded arrival, in the
+server's (injectable) clock domain — a trace is a relative schedule, not a
+wall-clock log, so replays can honor or compress it deterministically.
+
+Overhead: recording is OFF unless a recorder is passed to
+:class:`~repro.serve.Server`; when on, the hot path pays one dict + one
+buffered ``write`` per completion (flushed per record so a crashed server
+loses at most the line being written) and one digest per request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .request import Request, RequestResult
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceRecord",
+    "Trace",
+    "TraceRecorder",
+    "load_trace",
+    "clip_digest",
+]
+
+TRACE_VERSION = 1
+
+# Clip-store framing: magic, 16-byte digest, dtype string, shape, payload, crc.
+_CLIP_MAGIC = b"RPCL"
+_CLIP_HEADER = struct.Struct("<4s16sB")  # magic, digest, dtype-string length
+
+
+def clip_digest(inputs: np.ndarray) -> bytes:
+    """128-bit BLAKE2b content digest of one clip (shape/dtype-prefixed).
+
+    Matches the serving engine's stem-key interning rule
+    (:meth:`repro.serve.InferenceEngine._intern_stem_key`): same clip bytes,
+    same digest — so a trace deduplicates replayed traffic exactly the way
+    the stem memo does.
+    """
+    array = np.ascontiguousarray(inputs, dtype=np.float32)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr((array.shape, array.dtype.str)).encode())
+    digest.update(array.data)
+    return digest.digest()
+
+
+@dataclass
+class TraceRecord:
+    """One admitted-and-completed request, as recorded in the WAL."""
+
+    request_id: int
+    digest: str  # hex of the 16-byte clip digest (clip-store key)
+    arrival_offset: float  # seconds since the trace's first arrival
+    exit_timestep: int
+    prediction: int
+    score: float
+    threshold: Optional[float] = None
+    label: Optional[int] = None
+    queue_delay: float = 0.0
+    service_time: float = 0.0
+    energy: Optional[float] = None
+    sla_class: Optional[str] = None
+
+
+@dataclass
+class Trace:
+    """A loaded trace: header + request records + rejections + clip store."""
+
+    header: Dict[str, Any]
+    records: List[TraceRecord]
+    rejections: List[Dict[str, Any]]
+    clips: Dict[str, np.ndarray]
+    truncated: bool = False  # a partial/corrupt tail was dropped at load
+
+    @property
+    def threshold(self) -> Optional[float]:
+        value = self.header.get("threshold")
+        return None if value is None else float(value)
+
+    @property
+    def max_timesteps(self) -> Optional[int]:
+        value = self.header.get("max_timesteps")
+        return None if value is None else int(value)
+
+    def fixed_threshold(self) -> Optional[float]:
+        """The single threshold every record ran under, or ``None`` if the
+        threshold moved mid-trace (an SLA controller run) — in which case a
+        bitwise replay is not defined and the replayer refuses by default."""
+        values = {record.threshold for record in self.records}
+        values.discard(None)
+        if len(values) > 1:
+            return None
+        if values:
+            return float(next(iter(values)))
+        return self.threshold
+
+
+def _encode_line(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+    return json.dumps({**payload, "crc": crc}, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def _decode_line(line: str) -> Optional[Dict[str, Any]]:
+    """Parse + CRC-check one WAL line; ``None`` marks a corrupt/partial line."""
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    crc = payload.pop("crc", None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if crc != zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF:
+        return None
+    return payload
+
+
+class TraceRecorder:
+    """Appends served-traffic records to a WAL + content-addressed clip store.
+
+    Thread-safe: the thread batcher, the replica collector and the server
+    front-end all record through one lock.  Every record is flushed to the OS
+    on write (a crashed *process* loses at most the line in flight; a crashed
+    *machine* loses what the OS had not persisted — call :meth:`close`, which
+    fsyncs, at drain for full durability).
+
+    Parameters
+    ----------
+    path:
+        WAL file path; the clip store lands at ``<path>.clips``.
+    meta:
+        Arbitrary JSON-serializable configuration recorded in the header
+        (model/dataset/threshold — whatever a replay needs to rebuild the
+        serving context).
+    store_clips:
+        Record the input payloads (required for replay).  ``False`` keeps
+        only the event stream — half the bytes, still audit-grade.
+    """
+
+    def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None,
+                 store_clips: bool = True):
+        self.path = str(path)
+        self.clips_path = self.path + ".clips"
+        self._lock = threading.Lock()
+        self._store_clips = bool(store_clips)
+        self._seen_digests: set = set()
+        self._base: Optional[float] = None
+        self._closed = False
+        self.records_written = 0
+        self.rejections_written = 0
+        self._wal = open(self.path, "w", encoding="utf-8")
+        self._clips = open(self.clips_path, "wb") if self._store_clips else None
+        header = {
+            "kind": "header",
+            "version": TRACE_VERSION,
+            "store_clips": self._store_clips,
+        }
+        header.update(meta or {})
+        self._write_line(header)
+
+    # ------------------------------------------------------------------ #
+    def _write_line(self, payload: Dict[str, Any]) -> None:
+        self._wal.write(_encode_line(payload))
+        self._wal.flush()
+
+    def _offset(self, timestamp: float) -> float:
+        # First recorded event pins the trace origin; offsets are what make
+        # the trace a replayable schedule rather than a wall-clock log.
+        if self._base is None:
+            self._base = float(timestamp)
+        return float(timestamp) - self._base
+
+    def _write_clip(self, digest: bytes, inputs: np.ndarray) -> None:
+        if self._clips is None or digest in self._seen_digests:
+            return
+        self._seen_digests.add(digest)
+        array = np.ascontiguousarray(inputs, dtype=np.float32)
+        dtype = array.dtype.str.encode("ascii")
+        body = io.BytesIO()
+        body.write(_CLIP_HEADER.pack(_CLIP_MAGIC, digest, len(dtype)))
+        body.write(dtype)
+        body.write(struct.pack("<B", array.ndim))
+        body.write(struct.pack(f"<{array.ndim}I", *array.shape))
+        payload = array.tobytes()
+        body.write(struct.pack("<Q", len(payload)))
+        body.write(payload)
+        frame = body.getvalue()
+        self._clips.write(frame)
+        self._clips.write(struct.pack("<I", zlib.crc32(frame) & 0xFFFFFFFF))
+        self._clips.flush()
+
+    # ------------------------------------------------------------------ #
+    def record_request(self, request: Request, result: RequestResult,
+                       sla_class: Optional[str] = None) -> None:
+        """Record one completed request (called by every completion path)."""
+        digest = clip_digest(request.inputs)
+        with self._lock:
+            if self._closed:
+                return
+            self._write_clip(digest, request.inputs)
+            self._write_line({
+                "kind": "request",
+                "id": int(result.request_id),
+                "digest": digest.hex(),
+                "arrival": round(self._offset(result.arrival_time), 9),
+                "exit_t": int(result.exit_timestep),
+                "prediction": int(result.prediction),
+                "score": float(result.score),
+                "threshold": result.threshold,
+                "label": result.label,
+                "queue_delay": round(float(result.queue_delay), 9),
+                "service": round(float(result.service_time), 9),
+                "energy": result.energy,
+                "sla": sla_class,
+            })
+            self.records_written += 1
+
+    def record_rejection(self, request: Request, timestamp: float) -> None:
+        """Record one shed/rejected submission (queue-full backpressure)."""
+        digest = clip_digest(request.inputs)
+        with self._lock:
+            if self._closed:
+                return
+            self._write_line({
+                "kind": "reject",
+                "id": int(request.request_id),
+                "digest": digest.hex(),
+                "arrival": round(self._offset(timestamp), 9),
+            })
+            self.rejections_written += 1
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Push buffered bytes to the OS (the server calls this at drain)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._wal.flush()
+            if self._clips is not None:
+                self._clips.flush()
+
+    def close(self) -> None:
+        """Flush, fsync and close both files (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for handle in (self._wal, self._clips):
+                if handle is None:
+                    continue
+                handle.flush()
+                os.fsync(handle.fileno())
+                handle.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# Loading (WAL recovery)
+# --------------------------------------------------------------------------- #
+def _load_clips(path: str) -> Tuple[Dict[str, np.ndarray], bool]:
+    """Read the framed clip store; returns (clips, truncated-tail flag).
+
+    Recovery contract: frames are validated front to back, and the first
+    frame that fails (short read, bad magic, CRC mismatch — a crash mid-
+    append) ends the scan.  Everything before it is intact by construction.
+    """
+    clips: Dict[str, np.ndarray] = {}
+    if not os.path.exists(path):
+        return clips, False
+    with open(path, "rb") as handle:
+        data = handle.read()
+    cursor = 0
+    truncated = False
+    total = len(data)
+    while cursor < total:
+        start = cursor
+        head = data[cursor:cursor + _CLIP_HEADER.size]
+        if len(head) < _CLIP_HEADER.size:
+            truncated = True
+            break
+        magic, digest, dtype_len = _CLIP_HEADER.unpack(head)
+        if magic != _CLIP_MAGIC:
+            truncated = True
+            break
+        cursor += _CLIP_HEADER.size
+        if cursor + dtype_len + 1 > total:
+            truncated = True
+            break
+        dtype = data[cursor:cursor + dtype_len].decode("ascii")
+        cursor += dtype_len
+        ndim = data[cursor]
+        cursor += 1
+        if cursor + 4 * ndim + 8 > total:
+            truncated = True
+            break
+        shape = struct.unpack(f"<{ndim}I", data[cursor:cursor + 4 * ndim])
+        cursor += 4 * ndim
+        (nbytes,) = struct.unpack("<Q", data[cursor:cursor + 8])
+        cursor += 8
+        if cursor + nbytes + 4 > total:
+            truncated = True
+            break
+        payload = data[cursor:cursor + nbytes]
+        cursor += nbytes
+        (crc,) = struct.unpack("<I", data[cursor:cursor + 4])
+        cursor += 4
+        if zlib.crc32(data[start:cursor - 4]) & 0xFFFFFFFF != crc:
+            truncated = True
+            cursor = start
+            break
+        clips[digest.hex()] = np.frombuffer(payload, dtype=dtype).reshape(shape)
+    return clips, truncated
+
+
+def load_trace(path: str, load_clips: bool = True) -> Trace:
+    """Load a trace, recovering the longest valid prefix of each file.
+
+    A line that fails to parse or fails its CRC ends the record scan (WAL
+    semantics: a crash corrupts only the tail, so the first bad line marks
+    the durable frontier); ``Trace.truncated`` reports whether anything was
+    dropped from either file.
+    """
+    header: Dict[str, Any] = {}
+    records: List[TraceRecord] = []
+    rejections: List[Dict[str, Any]] = []
+    truncated = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.endswith("\n"):
+                # A line without its terminator is an interrupted append.
+                truncated = True
+                break
+            payload = _decode_line(line)
+            if payload is None:
+                truncated = True
+                break
+            kind = payload.get("kind")
+            if kind == "header":
+                header = {k: v for k, v in payload.items() if k != "kind"}
+            elif kind == "request":
+                records.append(TraceRecord(
+                    request_id=int(payload["id"]),
+                    digest=str(payload["digest"]),
+                    arrival_offset=float(payload["arrival"]),
+                    exit_timestep=int(payload["exit_t"]),
+                    prediction=int(payload["prediction"]),
+                    score=float(payload["score"]),
+                    threshold=payload.get("threshold"),
+                    label=payload.get("label"),
+                    queue_delay=float(payload.get("queue_delay", 0.0)),
+                    service_time=float(payload.get("service", 0.0)),
+                    energy=payload.get("energy"),
+                    sla_class=payload.get("sla"),
+                ))
+            elif kind == "reject":
+                rejections.append(payload)
+    clips: Dict[str, np.ndarray] = {}
+    if load_clips and header.get("store_clips", True):
+        clips, clips_truncated = _load_clips(path + ".clips")
+        truncated = truncated or clips_truncated
+    return Trace(header=header, records=records, rejections=rejections,
+                 clips=clips, truncated=truncated)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.serve import RequestResult, Telemetry
+from repro.serve import MetricsRegistry, RequestResult, SpanTracker, Telemetry
 
 MAX_TIMESTEPS = 6
 
@@ -119,6 +119,112 @@ def test_merged_telemetry_equals_pooled_raw_samples(data):
         assert merged.accuracy() is None
     else:
         np.testing.assert_allclose(merged.accuracy(), accuracy, rtol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sample_sets())
+def test_merged_registries_equal_pooled_registry(data):
+    """The metrics-registry mirror of the telemetry invariant: filling one
+    registry per replica telemetry and merging them must equal filling a
+    single registry from the pooled samples — counters and histogram bucket
+    counts integer-exact, float sums to summation-order tolerance."""
+    results, partition, rejections = data
+
+    pooled_telemetry = Telemetry()
+    _record_all(pooled_telemetry, results, rejected=sum(rejections))
+
+    parts = [Telemetry() for _ in range(4)]
+    for result, part_index in zip(results, partition):
+        parts[part_index].record_completion(result)
+    for part, rejected in zip(parts, rejections):
+        for _ in range(rejected):
+            part.record_rejection()
+    # Gauges ride along: each part samples its own queue depth/occupancy.
+    for depth, part in enumerate(parts):
+        part.record_queue_depth(depth)
+        part.record_occupancy(depth, 4)
+        pooled_telemetry.record_queue_depth(depth)
+        pooled_telemetry.record_occupancy(depth, 4)
+
+    pooled = MetricsRegistry()
+    pooled_telemetry.fill_registry(pooled, max_timesteps=MAX_TIMESTEPS)
+    merged = MetricsRegistry()
+    for part in parts:
+        registry = MetricsRegistry()
+        part.fill_registry(registry, max_timesteps=MAX_TIMESTEPS)
+        merged.merge(registry)
+
+    merged_json, pooled_json = merged.to_json(), pooled.to_json()
+    assert set(merged_json) == set(pooled_json)
+    for name, pooled_metric in pooled_json.items():
+        merged_metric = merged_json[name]
+        assert merged_metric["type"] == pooled_metric["type"], name
+        if pooled_metric["type"] == "histogram":
+            # Bucket assignment is a pure function of the value: exact.
+            assert merged_metric["buckets"] == pooled_metric["buckets"], name
+            assert merged_metric["counts"] == pooled_metric["counts"], name
+            assert merged_metric["count"] == pooled_metric["count"], name
+            np.testing.assert_allclose(
+                merged_metric["sum"], pooled_metric["sum"], rtol=1e-9,
+                err_msg=name,
+            )
+        elif name == "repro_request_energy_total":
+            # The one float-summed counter: summation order may differ.
+            np.testing.assert_allclose(
+                merged_metric["value"], pooled_metric["value"], rtol=1e-9,
+                err_msg=name,
+            )
+        else:
+            # Integer-valued counters and max-gauges are exact.
+            assert merged_metric["value"] == pooled_metric["value"], name
+    # Both exports agree textually up to the float-summed fields.
+    assert merged.to_prometheus().count("# TYPE") == \
+        pooled.to_prometheus().count("# TYPE")
+
+
+@settings(max_examples=40, deadline=None)
+@given(sample_sets())
+def test_merged_span_state_equals_pooled_spans(data):
+    """Span state from N replicas unions disjoint request ids: merging the
+    exported states reproduces the pooled tracker's spans and therefore
+    every per-stage duration multiset exactly."""
+    results, partition, _ = data
+
+    pooled = SpanTracker()
+    parts = [SpanTracker() for _ in range(4)]
+    for result, part_index in zip(results, partition):
+        completed_at = result.finish_time + 1e-4
+        pooled.record_result(result, completed_at)
+        parts[part_index].record_result(result, completed_at)
+
+    merged = SpanTracker()
+    for part in parts:
+        merged.merge_state(part.export_state())
+
+    assert len(merged) == len(pooled)
+    assert {s.request_id: s.events for s in merged.spans()} == \
+        {s.request_id: s.events for s in pooled.spans()}
+
+    merged_durations = merged.stage_durations()
+    pooled_durations = pooled.stage_durations()
+    assert set(merged_durations) == set(pooled_durations)
+    for stage in pooled_durations:
+        assert sorted(merged_durations[stage]) == sorted(pooled_durations[stage])
+    # Percentiles sort internally (bitwise-equal); means are float sums over
+    # differently-ordered spans, so summation order is the only slack.
+    merged_summary, pooled_summary = merged.summary(), pooled.summary()
+    assert set(merged_summary) == set(pooled_summary)
+    for stage, pooled_entry in pooled_summary.items():
+        merged_entry = merged_summary[stage]
+        assert set(merged_entry) == set(pooled_entry)
+        for key, value in pooled_entry.items():
+            if key == "mean":
+                np.testing.assert_allclose(
+                    merged_entry[key], value, rtol=1e-9,
+                    err_msg=f"{stage}.{key}",
+                )
+            else:
+                assert merged_entry[key] == value, f"{stage}.{key}"
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,335 @@
+"""Traffic WAL record/replay: format, crash recovery, and the bitwise gate.
+
+Three contracts pinned here:
+
+1. **WAL round trip** — a live serve run recorded through
+   :class:`~repro.serve.TraceRecorder` loads back with every field intact,
+   clips deduplicated by content digest, and rejections preserved.
+2. **Crash recovery** — a trace whose tail was interrupted mid-append (torn
+   record line, corrupt CRC, truncated clip frame) loads its longest valid
+   prefix and flags ``Trace.truncated``; nothing before the tear is lost.
+3. **Cross-composition replay** — the same recorded trace replays
+   decision-exact (bitwise predictions and exit timesteps) through thread
+   workers and process replicas alike.  Per-sample batch invariance is what
+   makes this well-defined; the replayer's refusal cases (missing clips,
+   moving threshold, mismatched server knobs) keep it honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import EntropyExitPolicy
+from repro.serve import (
+    Request,
+    Server,
+    Trace,
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayer,
+    clip_digest,
+    load_trace,
+)
+from repro.snn import spiking_vgg
+from repro.utils import seed_everything
+
+TIMESTEPS = 4
+NUM_CLASSES = 6
+IMAGE_SIZE = 10
+THRESHOLD = 0.5
+
+
+def _model(seed=47):
+    seed_everything(seed)
+    model = spiking_vgg(
+        "tiny", num_classes=NUM_CLASSES, input_size=IMAGE_SIZE,
+        default_timesteps=TIMESTEPS,
+    ).eval()
+    for parameter in model.classifier.parameters():
+        parameter.data = parameter.data * np.float32(25.0)
+    return model
+
+
+def _inputs(batch, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.random((batch, 3, IMAGE_SIZE, IMAGE_SIZE)).astype(np.float32)
+
+
+def _server(model, *, num_workers=1, num_replicas=0, trace=None, capacity=64):
+    return Server(
+        model, EntropyExitPolicy(THRESHOLD), max_timesteps=TIMESTEPS,
+        batch_width=3, queue_capacity=capacity,
+        num_workers=num_workers, num_replicas=num_replicas,
+        use_runtime=True, trace=trace,
+    )
+
+
+def _record(model, xs, path, labels=None, meta=None):
+    """One live 1-worker serve run recorded to ``path``; returns the Trace."""
+    base_meta = {"threshold": THRESHOLD, "max_timesteps": TIMESTEPS}
+    base_meta.update(meta or {})
+    recorder = TraceRecorder(str(path), meta=base_meta)
+    server = _server(model, trace=recorder).start()
+    try:
+        futures = [
+            server.submit(x, label=None if labels is None else labels[i])
+            for i, x in enumerate(xs)
+        ]
+        for future in futures:
+            future.result(timeout=60.0)
+    finally:
+        server.shutdown(drain=True)
+        recorder.close()
+    return load_trace(str(path))
+
+
+# --------------------------------------------------------------------------- #
+class TestWalRoundTrip:
+    def test_recorded_run_loads_back_intact(self, tmp_path):
+        model = _model()
+        xs = _inputs(10)
+        labels = list(range(10))
+        trace = _record(model, xs, tmp_path / "t.jsonl", labels=labels)
+
+        assert not trace.truncated
+        assert trace.header["version"] == 1
+        assert trace.header["store_clips"] is True
+        assert trace.threshold == THRESHOLD
+        assert trace.max_timesteps == TIMESTEPS
+        assert len(trace.records) == len(xs)
+        assert trace.fixed_threshold() == THRESHOLD
+
+        by_id = {record.request_id: record for record in trace.records}
+        assert sorted(by_id) == list(range(10))
+        for i, x in enumerate(xs):
+            record = by_id[i]
+            assert record.digest == clip_digest(x).hex()
+            assert record.digest in trace.clips
+            np.testing.assert_array_equal(
+                trace.clips[record.digest], x.astype(np.float32)
+            )
+            assert 1 <= record.exit_timestep <= TIMESTEPS
+            assert 0 <= record.prediction < NUM_CLASSES
+            assert record.label == labels[i]
+            assert record.threshold == THRESHOLD
+            assert record.arrival_offset >= 0.0
+            assert record.service_time >= 0.0
+
+    def test_clip_store_dedupes_by_content(self, tmp_path):
+        model = _model()
+        clip = _inputs(1)[0]
+        xs = [clip.copy() for _ in range(6)]  # same bytes, 6 requests
+        trace = _record(model, xs, tmp_path / "t.jsonl")
+        assert len(trace.records) == 6
+        assert len(trace.clips) == 1  # content-addressed: one stored frame
+
+    def test_rejection_round_trip_and_close_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        recorder = TraceRecorder(str(path), meta={"threshold": 0.7})
+        clip = _inputs(1)[0]
+        recorder.record_rejection(Request(request_id=5, inputs=clip), 12.5)
+        recorder.record_rejection(Request(request_id=6, inputs=clip), 13.0)
+        assert recorder.rejections_written == 2
+        recorder.close()
+        recorder.close()  # idempotent
+        # Records after close are dropped, not written to a closed handle.
+        recorder.record_rejection(Request(request_id=7, inputs=clip), 14.0)
+
+        trace = load_trace(str(path))
+        assert len(trace.rejections) == 2
+        assert trace.rejections[0]["id"] == 5
+        assert trace.rejections[0]["digest"] == clip_digest(clip).hex()
+        # Offsets are relative to the first recorded event.
+        assert trace.rejections[0]["arrival"] == 0.0
+        assert trace.rejections[1]["arrival"] == pytest.approx(0.5)
+
+    def test_store_clips_false_records_events_only(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceRecorder(str(path), store_clips=False) as recorder:
+            recorder.record_rejection(
+                Request(request_id=0, inputs=_inputs(1)[0]), 0.0
+            )
+        trace = load_trace(str(path))
+        assert trace.header["store_clips"] is False
+        assert trace.clips == {}
+        assert not (tmp_path / "t.jsonl.clips").exists()
+
+
+# --------------------------------------------------------------------------- #
+class TestWalRecovery:
+    def _recorded(self, tmp_path):
+        model = _model()
+        return _record(model, _inputs(8), tmp_path / "t.jsonl"), tmp_path / "t.jsonl"
+
+    def test_torn_tail_line_drops_only_the_tail(self, tmp_path):
+        trace, path = self._recorded(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind":"request","id":99')  # crash mid-append
+        recovered = load_trace(str(path))
+        assert recovered.truncated
+        assert len(recovered.records) == len(trace.records)
+        assert [r.request_id for r in recovered.records] == [
+            r.request_id for r in trace.records
+        ]
+
+    def test_corrupt_crc_ends_the_scan_at_the_bad_line(self, tmp_path):
+        _, path = self._recorded(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines(keepends=True)
+        # Flip payload bytes in the 4th line (header + 3 records survive).
+        lines[4] = lines[4].replace('"kind":"request"', '"kind":"requesX"')
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        recovered = load_trace(str(path))
+        assert recovered.truncated
+        assert len(recovered.records) == 3  # longest valid prefix
+
+    def test_truncated_clip_store_keeps_whole_frames(self, tmp_path):
+        trace, path = self._recorded(tmp_path)
+        clips_path = str(path) + ".clips"
+        size = len(open(clips_path, "rb").read())
+        with open(clips_path, "rb+") as handle:
+            handle.truncate(size - 37)  # tear the last frame mid-payload
+        recovered = load_trace(str(path))
+        assert recovered.truncated
+        assert len(recovered.clips) < len(trace.clips)
+        # Every surviving clip is bitwise intact (CRC-validated frames).
+        for digest, clip in recovered.clips.items():
+            np.testing.assert_array_equal(clip, trace.clips[digest])
+        # A replay over records whose clips were lost must refuse loudly.
+        if any(r.digest not in recovered.clips for r in recovered.records):
+            with pytest.raises(ValueError, match="missing from the clip store"):
+                TraceReplayer(recovered)
+
+
+# --------------------------------------------------------------------------- #
+def _fake_trace(records, clips=None, header=None):
+    return Trace(header=header or {}, records=records, rejections=[],
+                 clips=clips or {})
+
+
+def _fake_record(request_id, digest="00" * 16, threshold=0.5, arrival=0.0):
+    return TraceRecord(
+        request_id=request_id, digest=digest, arrival_offset=arrival,
+        exit_timestep=1, prediction=0, score=1.0, threshold=threshold,
+    )
+
+
+class TestReplayerRefusals:
+    def test_empty_trace_refused(self):
+        with pytest.raises(ValueError, match="no request records"):
+            TraceReplayer(_fake_trace([]))
+
+    def test_missing_clips_refused(self):
+        trace = _fake_trace([_fake_record(0)])  # no clip store at all
+        with pytest.raises(ValueError, match="missing from the clip store"):
+            TraceReplayer(trace)
+
+    def test_moving_threshold_refused_unless_unverified(self):
+        clip = _inputs(1)[0]
+        digest = clip_digest(clip).hex()
+        records = [
+            _fake_record(0, digest=digest, threshold=0.4),
+            _fake_record(1, digest=digest, threshold=0.6),
+        ]
+        trace = _fake_trace(records, clips={digest: clip})
+        assert trace.fixed_threshold() is None
+        with pytest.raises(ValueError, match="moving threshold"):
+            TraceReplayer(trace)
+        # As a pure load source the same trace is fine.
+        replayer = TraceReplayer(trace, verify=False)
+        assert replayer.verify is False
+
+    def test_check_server_rejects_mismatched_knobs(self, tmp_path):
+        model = _model()
+        trace = _record(model, _inputs(4), tmp_path / "t.jsonl")
+        replayer = TraceReplayer(trace)
+
+        wrong_threshold = Server(
+            model, EntropyExitPolicy(0.9), max_timesteps=TIMESTEPS,
+            use_runtime=True,
+        )
+        with pytest.raises(ValueError, match="threshold"):
+            replayer.check_server(wrong_threshold)
+
+        wrong_horizon = Server(
+            model, EntropyExitPolicy(THRESHOLD), max_timesteps=TIMESTEPS + 2,
+            use_runtime=True,
+        )
+        with pytest.raises(ValueError, match="max_timesteps"):
+            replayer.check_server(wrong_horizon)
+
+
+# --------------------------------------------------------------------------- #
+class TestCrossCompositionReplay:
+    """The canonical gate: one recorded trace, bitwise-exact everywhere."""
+
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        model = _model()
+        xs = _inputs(12, seed=11)
+        path = tmp_path_factory.mktemp("trace") / "canonical.jsonl"
+        return model, _record(model, xs, path)
+
+    @pytest.mark.parametrize(
+        "num_workers,num_replicas",
+        [(1, 0), (2, 0), (1, 1), (1, 2)],
+        ids=["1-worker", "2-workers", "1-replica", "2-replicas"],
+    )
+    def test_replay_is_bitwise_exact(self, recorded, num_workers, num_replicas):
+        model, trace = recorded
+        server = _server(
+            model, num_workers=num_workers, num_replicas=num_replicas
+        ).start()
+        try:
+            replayer = TraceReplayer(trace)
+            report = replayer.replay(server, result_timeout=60.0)
+        finally:
+            server.shutdown(drain=True)
+        assert report.exact
+        assert report.completed == report.offered == len(trace.records)
+        replayer.assert_exact(report)
+
+    def test_assert_exact_diff_is_readable(self, recorded):
+        _, trace = recorded
+        replayer = TraceReplayer(trace)
+        from repro.serve import ReplayMismatch, ReplayReport
+
+        report = ReplayReport(
+            offered=2, completed=2, duration=1.0,
+            mismatches=[ReplayMismatch(7, 1, 2, 3, 4)],
+        )
+        assert not report.exact
+        with pytest.raises(AssertionError, match="request 7"):
+            replayer.assert_exact(report)
+
+    def test_honored_arrivals_pace_through_injectable_clock(self, recorded):
+        model, trace = recorded
+        sleeps = []
+
+        class FakeClock:
+            def __init__(self):
+                self.t = 0.0
+
+            def __call__(self):
+                return self.t
+
+            def sleep(self, delay):
+                sleeps.append(delay)
+                self.t += delay
+
+        clock = FakeClock()
+        replayer = TraceReplayer(
+            trace, honor_arrivals=True, speed=2.0,
+            clock=clock, sleep=clock.sleep,
+        )
+        server = _server(model).start()
+        try:
+            report = replayer.replay(server, result_timeout=60.0)
+        finally:
+            server.shutdown(drain=True)
+        assert report.exact
+        # The fake clock only advances inside sleep(): the total slept time
+        # is exactly the last arrival offset, compressed by the speed factor.
+        last_offset = max(r.arrival_offset for r in trace.records)
+        assert sum(sleeps) == pytest.approx(last_offset / 2.0)
