@@ -57,15 +57,22 @@ from .data import (
 )
 from .imc import IMCChip, format_breakdown, format_table
 from .serve import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
     AdaptiveThresholdController,
     LoadGenerator,
     MetricsRegistry,
     Server,
     SpanTracker,
+    StormConfig,
+    StormPhase,
+    StormState,
     TraceRecorder,
     TraceReplayer,
     calibrated_threshold_bounds,
     load_trace,
+    priority_cycle,
     request_stream,
 )
 from .snn import EventFrameEncoder, spiking_resnet, spiking_vgg
@@ -180,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--self-test", action="store_true",
                        help="small deterministic run verifying serve-path equivalence; "
                             "exits non-zero on failure")
+    serve.add_argument("--storm", action="store_true",
+                       help="with --self-test: drive a 4x-capacity load storm "
+                            "through the storm-guard admission FSM and verify "
+                            "the resilience invariants (conservation of "
+                            "outcomes, shed-by-class monotonicity, bounded "
+                            "high-priority p99, brown-out engagement, NORMAL "
+                            "recovery, epoch-exact per-request thresholds)")
     serve.add_argument("--record-trace", default=None, metavar="PATH",
                        help="record served traffic to a replayable WAL trace at "
                             "PATH (clips land at PATH.clips)")
@@ -444,7 +458,7 @@ def _trace_meta(args: argparse.Namespace, policy) -> Dict[str, object]:
 
 
 def _build_server(args: argparse.Namespace, model, policy, controller, cost_model,
-                  trace=None, spans=None) -> Server:
+                  trace=None, spans=None, storm=None) -> Server:
     server = Server(
         model,
         policy,
@@ -458,6 +472,7 @@ def _build_server(args: argparse.Namespace, model, policy, controller, cost_mode
         use_runtime=False if args.reference_path else None,
         trace=trace,
         spans=spans,
+        storm=storm,
     )
     if server.replicas is not None:
         arena = server.replicas.arena
@@ -523,7 +538,229 @@ def _write_stats_dump(path: str, server: Server, spans, max_timesteps: int) -> N
     print(f"wrote stats dump to {path} (+ {prom_path})")
 
 
+def _serve_storm_self_test(args: argparse.Namespace) -> int:
+    """`serve --self-test --storm`: overload-resilience smoke test.
+
+    Two runs over the identical deterministic stream: a closed-loop
+    calibration run measuring serving capacity, then a storm-guarded run
+    whose offered load follows calm → 4x-capacity storm → calm, with a
+    deterministic priority mix and per-request deadlines.  Verifies the
+    resilience invariants end to end: conservation of outcomes, shed-by-class
+    monotonicity, bounded high-priority p99, brown-out engagement under
+    STORM, recovery to NORMAL, and — per epoch group — bitwise equality of
+    every completed decision against the Tensor oracle under the *stamped*
+    threshold/horizon (the PR 5 threshold-consistency fix, observable).
+    """
+    args.checkpoint = None
+    args.samples = min(args.samples, 160)
+    # More requests than the plain self-test cap: the storm phase needs
+    # enough arrivals to outgrow the WARN-level shedding and cross the
+    # STORM watermark.
+    args.num_requests = min(args.num_requests, 144)
+    args.train_epochs = min(args.train_epochs, 4)
+    # A small queue keeps the watermark crossings deterministic at this
+    # request count (growth during the storm must clear queue_storm), and a
+    # narrow batch keeps service capacity well below the rate one Python
+    # submission loop can offer — otherwise "4x capacity" is not reachable
+    # and the storm never materializes.  Calibration runs under the same
+    # knobs, so the measured capacity matches the storm-run server.
+    args.queue_capacity = min(args.queue_capacity, 32)
+    args.batch_width = min(args.batch_width, 2)
+    if args.target_p95_ms is not None:
+        print("storm self-test: ignoring --target-p95-ms (the FSM must be "
+              "queue-signal-driven for deterministic recovery)")
+        args.target_p95_ms = None
+    if args.record_trace:
+        print("storm self-test: ignoring --record-trace (use a plain serve "
+              "run to record traffic)")
+        args.record_trace = None
+    model, test, collected, policy, controller, cost_model = _prepare_serving(args)
+    stream = list(request_stream(test, args.num_requests, seed=args.stream_seed))
+
+    # ---- calibration: closed-loop capacity + calm p95 ------------------- #
+    server = _build_server(args, model, policy, None, cost_model).start()
+    calibration = LoadGenerator(server).run(iter(stream))
+    server.shutdown(drain=True)
+    capacity = max(calibration.throughput_rps, 1.0)
+    calm_p95 = float(calibration.stats.get("latency_p95", 0.0))
+    sla_target = max(4.0 * calm_p95, 0.1)
+    print(f"calibration: capacity {capacity:.1f} req/s, calm p95 "
+          f"{1000.0 * calm_p95:.2f} ms, SLA target {1000.0 * sla_target:.2f} ms")
+
+    # ---- storm run: calm -> 4x capacity -> calm ------------------------- #
+    # Aggressive brown-out knob: double the calibrated threshold, clamped to
+    # the normalized-entropy ceiling (exit as early as confidence allows).
+    brownout = min(1.0, 2.0 * float(policy.threshold))
+    # Watermarks below the defaults: at self-test scale the WARN-level LOW
+    # shedding slows queue growth enough that the default 0.85 STORM line
+    # is a coin flip; 0.65 keeps the crossing deterministic while still
+    # exercising the full NORMAL -> WARN -> STORM -> recovery arc.
+    storm_config = StormConfig(
+        queue_warn=0.4,
+        queue_storm=0.65,
+        horizon_cap=max(1, args.timesteps - 1),
+        brownout_threshold=brownout,
+    )
+    total = len(stream)
+    warm_count = max(4, total // 6)
+    storm_count = max(8, (7 * total) // 12)
+    recovery_count = max(1, total - warm_count - storm_count)
+    base_rate = 0.5 * capacity
+    storm_rate = 4.0 * capacity
+    phases = [
+        StormPhase(duration=warm_count / base_rate, rate=base_rate),
+        StormPhase(duration=storm_count / storm_rate, rate=storm_rate),
+        StormPhase(duration=recovery_count / base_rate, rate=base_rate),
+    ]
+    spans = SpanTracker() if args.stats_dump else None
+    server = _build_server(args, model, policy, None, cost_model,
+                           spans=spans, storm=storm_config).start()
+    # Uniform priority mix: every class is offered equally often, so raw
+    # shed counts (not just shed rates) must come out monotone by class.
+    mix_cycle = [PRIORITY_HIGH, PRIORITY_NORMAL, PRIORITY_LOW]
+    generator = LoadGenerator(
+        server,
+        block=False,
+        phases=phases,
+        priorities=priority_cycle({p: 1 for p in mix_cycle}),
+        deadline=sla_target,
+    )
+    report = generator.run(iter(stream))
+    # The stream is exhausted and every accepted request resolved, so the
+    # queue is empty: force calm evaluations until the FSM walks home.
+    for _ in range(10 * storm_config.cooldown):
+        if server.storm.observe() == StormState.NORMAL:
+            break
+    final_state = server.storm.state
+    peak = server.telemetry.storm_peak
+    sheds = server.telemetry.storm_shed_by_class
+    server.shutdown(drain=True)
+
+    _print_serving_report(args, report, server)
+    shed_high = sheds.get(PRIORITY_HIGH, 0)
+    shed_normal = sheds.get(PRIORITY_NORMAL, 0)
+    shed_low = sheds.get(PRIORITY_LOW, 0)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [["offered", float(report.offered)],
+         ["completed", float(report.completed)],
+         ["dropped (shed + queue-full)", float(report.dropped)],
+         ["expired (deadline)", float(report.expired)],
+         ["storm sheds (high)", float(shed_high)],
+         ["storm sheds (normal)", float(shed_normal)],
+         ["storm sheds (low)", float(shed_low)],
+         ["peak storm state (0=normal,2=storm)", float(peak)],
+         ["final storm state (code)", float(StormState.CODES[final_state])]],
+        title="Storm run", float_format="{:.0f}"))
+    if args.stats_dump:
+        _write_stats_dump(args.stats_dump, server, spans, args.timesteps)
+
+    failures = []
+    if report.completed + report.dropped + report.expired != report.offered:
+        failures.append(
+            f"outcome conservation broken: {report.completed} completed + "
+            f"{report.dropped} dropped + {report.expired} expired != "
+            f"{report.offered} offered")
+    if peak < StormState.CODES[StormState.STORM]:
+        failures.append(f"the 4x storm never drove the FSM to STORM "
+                        f"(peak state code {peak})")
+    if final_state != StormState.NORMAL:
+        failures.append(f"FSM failed to recover to NORMAL (final: {final_state})")
+    if not (shed_low >= shed_normal >= shed_high):
+        failures.append(
+            f"shed counts not monotone by priority class: "
+            f"low={shed_low} normal={shed_normal} high={shed_high}")
+
+    # High-priority p99: accepted HIGH requests must stay within 2x the SLA
+    # target — the deadline bounds queue wait, brown-out bounds service time.
+    high_latencies = [
+        result.latency
+        for result, index in zip(report.results, report.accepted_indices)
+        if mix_cycle[index % len(mix_cycle)] == PRIORITY_HIGH
+    ]
+    if not high_latencies:
+        failures.append("no high-priority request completed the storm run")
+    else:
+        p99_high = float(np.percentile(np.asarray(high_latencies), 99))
+        print(f"high-priority accepted p99: {1000.0 * p99_high:.2f} ms "
+              f"(bound: {2000.0 * sla_target:.2f} ms)")
+        if p99_high > 2.0 * sla_target:
+            failures.append(
+                f"high-priority p99 {1000.0 * p99_high:.2f} ms exceeds 2x "
+                f"SLA target {2000.0 * sla_target:.2f} ms")
+
+    # Brown-out must have engaged, and browned requests must carry the
+    # aggressive knobs they actually ran under.
+    browned = [r for r in report.results if r.brownout]
+    if not browned:
+        failures.append("no completed request carries a brown-out epoch "
+                        "(STORM admitted no high-priority traffic?)")
+    for result in browned:
+        if float(result.threshold) != brownout:
+            failures.append(
+                f"request {result.request_id}: brown-out threshold "
+                f"{result.threshold} != configured {brownout}")
+            break
+        if result.exit_timestep > storm_config.horizon_cap:
+            failures.append(
+                f"request {result.request_id}: exit timestep "
+                f"{result.exit_timestep} exceeds brown-out horizon cap "
+                f"{storm_config.horizon_cap}")
+            break
+
+    # Epoch-exact decisions: group completions by their stamped
+    # (threshold, horizon) and check each group bitwise against the Tensor
+    # oracle running under exactly those knobs.  This is the PR 5
+    # threshold-consistency fix made observable: the recorded threshold IS
+    # the one the engine slot evaluated, whatever the FSM did meanwhile.
+    inputs = np.stack([clip for clip, _ in stream])
+    reference_logits = []
+    for start in range(0, inputs.shape[0], 64):
+        output = model.forward(inputs[start:start + 64], args.timesteps)
+        reference_logits.append(output.cumulative_numpy())
+    logits = np.concatenate(reference_logits, axis=1)
+    groups: Dict[tuple, list] = {}
+    for result, index in zip(report.results, report.accepted_indices):
+        horizon = args.timesteps if result.horizon is None else int(result.horizon)
+        key = (float(result.threshold), horizon)
+        groups.setdefault(key, []).append((index, result))
+    for (threshold, horizon), members in sorted(groups.items()):
+        indices = [index for index, _ in members]
+        reference = DynamicTimestepInference(
+            policy=EntropyExitPolicy(threshold), max_timesteps=horizon
+        ).infer_from_logits(logits[:horizon, indices, :])
+        predictions = np.array([r.prediction for _, r in members])
+        exits = np.array([r.exit_timestep for _, r in members])
+        exact = (np.array_equal(predictions, reference.predictions)
+                 and np.array_equal(exits, reference.exit_timesteps))
+        print(f"epoch group (threshold={threshold:.4f}, horizon={horizon}): "
+              f"{len(members)} request(s) "
+              f"{'bitwise-exact' if exact else 'DIVERGED'}")
+        if not exact:
+            failures.append(
+                f"epoch group (threshold={threshold}, horizon={horizon}): "
+                "decisions diverge from infer_from_logits under the stamped "
+                "knobs")
+
+    if failures:
+        for failure in failures:
+            print(f"STORM SELF-TEST FAIL: {failure}")
+        return 1
+    print(f"STORM SELF-TEST PASS: {report.offered} offered / "
+          f"{report.completed} completed under a 4x-capacity storm; sheds "
+          f"monotone (low={shed_low} >= normal={shed_normal} >= "
+          f"high={shed_high}), {len(browned)} brown-out completion(s), "
+          f"recovered to NORMAL, {len(groups)} epoch group(s) bitwise-exact")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.storm:
+        if not args.self_test:
+            print("--storm is a self-test profile; pass --self-test too")
+            return 2
+        return _serve_storm_self_test(args)
     if args.self_test:
         args.checkpoint = None
         args.samples = min(args.samples, 160)
@@ -659,11 +896,25 @@ def _command_replay(args: argparse.Namespace) -> int:
         reference_path=args.reference_path,
     )
     verify = not args.no_verify
-    if verify and ns.threshold is None:
-        print("REPLAY FAIL: the trace's threshold moved mid-run (SLA "
-              "controller recording); bitwise verification is undefined — "
-              "pass --no-verify to use it as a load source")
-        return 1
+    if ns.threshold is None:
+        if trace.epoch_stamped():
+            # The threshold moved mid-run, but every record is epoch-stamped
+            # with the threshold its engine slot evaluated, so the replayer
+            # pins each request to its recorded knobs and bitwise
+            # verification is defined again.  The live policy threshold only
+            # seeds the server; take it from the header (or first record).
+            ns.threshold = float(header.get("threshold",
+                                            trace.records[0].threshold))
+            if verify:
+                print("trace threshold moved mid-run; records are "
+                      "epoch-stamped — replaying with per-request pinned "
+                      "thresholds")
+        elif verify:
+            print("REPLAY FAIL: the trace's threshold moved mid-run without "
+                  "epoch stamps (pre-epoch recording); bitwise verification "
+                  "is undefined — pass --no-verify to use it as a load "
+                  "source, or re-record with an epoch-stamping server")
+            return 1
     replayer = TraceReplayer(trace, honor_arrivals=args.honor_arrivals,
                              speed=args.speed, verify=verify)
     model, test, collected, policy, controller, cost_model = _prepare_serving(ns)

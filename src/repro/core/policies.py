@@ -42,6 +42,12 @@ class ExitPolicy:
     """Base class for timestep-exit decisions."""
 
     name = "base"
+    #: Direction of the threshold comparison in ``should_exit``: "below"
+    #: (exit when score < θ), "above" (exit when score > θ), or None (no
+    #: threshold — static).  Lets the serving engine evaluate a *per-request*
+    #: threshold against ``score()`` bitwise-identically to ``should_exit``
+    #: without mutating the shared policy object (docs/RESILIENCE.md).
+    exit_when = None
 
     def should_exit(self, cumulative_logits: np.ndarray) -> np.ndarray:
         """Return a boolean array: True where inference may terminate."""
@@ -59,6 +65,7 @@ class EntropyExitPolicy(ExitPolicy):
 
     threshold: float = 0.1
     name: str = "entropy"
+    exit_when = "below"
 
     def __post_init__(self):
         if not 0.0 <= self.threshold <= 1.0:
@@ -78,6 +85,7 @@ class ConfidenceExitPolicy(ExitPolicy):
 
     threshold: float = 0.9
     name: str = "confidence"
+    exit_when = "above"
 
     def __post_init__(self):
         if not 0.0 < self.threshold <= 1.0:
@@ -97,6 +105,7 @@ class MarginExitPolicy(ExitPolicy):
 
     threshold: float = 0.5
     name: str = "margin"
+    exit_when = "above"
 
     def __post_init__(self):
         if not 0.0 < self.threshold <= 1.0:

@@ -27,6 +27,12 @@ this package turns that saving into *throughput*.  The pieces, front to back:
   depth, occupancy and per-request energy/EDP via ``repro.imc``.
 * :class:`AdaptiveThresholdController` — holds a p95 latency SLA by nudging
   the entropy threshold between calibrated accuracy bounds.
+* :class:`StormGuard` — a load-storm FSM (NORMAL → WARN → STORM with
+  hysteresis) over the admission queue: sheds by priority class, drops
+  deadline-expired requests, and browns accuracy out gracefully under
+  sustained overload (docs/RESILIENCE.md).  Threshold/horizon knobs are
+  versioned :class:`ThresholdEpoch` stamps fixed at admission, so every
+  recorded decision names the exact knob values its engine slot evaluated.
 * :class:`LoadGenerator` / :func:`request_stream` — deterministic open- and
   closed-loop load for benchmarks and tests.
 * :class:`TraceRecorder` / :class:`TraceReplayer` — a WAL-style traffic
@@ -52,7 +58,14 @@ Quickstart::
 from .batcher import ContinuousBatcher
 from .controller import AdaptiveThresholdController, calibrated_threshold_bounds
 from .engine import AdmissionRejectedError, CompletedSample, InferenceEngine
-from .loadgen import LoadGenerator, LoadReport, request_stream
+from .loadgen import (
+    LoadGenerator,
+    LoadReport,
+    StormPhase,
+    priority_cycle,
+    request_stream,
+    storm_phases,
+)
 from .obs import (
     SPAN_STAGES,
     Counter,
@@ -66,13 +79,25 @@ from .replay import ReplayMismatch, ReplayReport, TraceReplayer
 from .replica import ReplicaCrashError, ReplicaPool
 from .request import (
     AdmissionQueue,
+    EpochLedger,
     QueueClosedError,
     QueueFullError,
     Request,
     RequestResult,
     Response,
+    ThresholdEpoch,
 )
 from .server import Server, ServerClosedError
+from .storm import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    DeadlineExceededError,
+    StormConfig,
+    StormGuard,
+    StormShedError,
+    StormState,
+)
 from .telemetry import Telemetry
 from .trace import Trace, TraceRecord, TraceRecorder, clip_digest, load_trace
 
@@ -97,6 +122,19 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "request_stream",
+    "StormPhase",
+    "storm_phases",
+    "priority_cycle",
+    "StormGuard",
+    "StormConfig",
+    "StormState",
+    "StormShedError",
+    "DeadlineExceededError",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+    "ThresholdEpoch",
+    "EpochLedger",
     "Trace",
     "TraceRecord",
     "TraceRecorder",

@@ -19,6 +19,7 @@ from ..core.accounting import InferenceCostModel
 from .controller import AdaptiveThresholdController
 from .engine import AdmissionRejectedError, InferenceEngine
 from .request import AdmissionQueue, RequestResult
+from .storm import DeadlineExceededError
 from .telemetry import Telemetry
 
 __all__ = ["ContinuousBatcher", "finalize_result", "price_request"]
@@ -129,6 +130,22 @@ class ContinuousBatcher:
             if item is None:
                 break
             request, response = item
+            # Deadline enforcement happens here, at dispatch: a request that
+            # waited out its deadline in the queue is dropped before it can
+            # occupy an engine slot — spending timesteps on an answer whose
+            # client already gave up only deepens the backlog.
+            if request.deadline is not None and self.clock() > request.deadline:
+                error = DeadlineExceededError(
+                    f"request {request.request_id} missed its deadline "
+                    f"before dispatch"
+                )
+                self.telemetry.record_deadline_drop(request.priority)
+                if self.trace is not None:
+                    self.trace.record_rejection(
+                        request, self.clock(), reason="deadline"
+                    )
+                response.set_exception(error)
+                continue
             admissions.append((request, response, self.clock()))
         try:
             self.engine.admit_batch(admissions)
@@ -158,6 +175,9 @@ class ContinuousBatcher:
                 finish_time=now,
                 energy=energy,
                 edp=edp,
+                epoch=sample.epoch,
+                brownout=sample.brownout,
+                horizon=sample.horizon,
             )
             results.append(result)
             # Observability first, future last: a trace/span consumer that

@@ -14,8 +14,9 @@ signed off on.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,6 +69,11 @@ class AdaptiveThresholdController:
         is made, preventing oscillation.
     adjust_every:
         Number of completions between control decisions.
+    history_limit:
+        Cap on the retained ``(p95, θ)`` decision history.  A long-running
+        server makes one decision every ``adjust_every`` completions forever;
+        an unbounded list is a slow leak.  ``None`` disables the cap (for
+        offline backtesting runs that want the full trajectory).
     """
 
     policy: ExitPolicy
@@ -78,10 +84,14 @@ class AdaptiveThresholdController:
     deadband: float = 0.1
     adjust_every: int = 16
     aggressive_is_higher: bool = True
-    history: List[Tuple[float, float]] = field(default_factory=list)  # (p95, θ)
+    history_limit: Optional[int] = 4096
+    history: Deque[Tuple[float, float]] = field(default_factory=deque)  # (p95, θ)
     _since_last: int = 0
 
     def __post_init__(self):
+        if self.history_limit is not None and self.history_limit < 1:
+            raise ValueError("history_limit must be >= 1 (or None to disable)")
+        self.history = deque(self.history, maxlen=self.history_limit)
         if not hasattr(self.policy, "threshold"):
             raise ValueError("policy must expose a mutable 'threshold' attribute")
         if not 0 < self.min_threshold <= self.max_threshold:

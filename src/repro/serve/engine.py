@@ -56,7 +56,14 @@ class AdmissionRejectedError(RuntimeError):
 
 @dataclass
 class CompletedSample:
-    """A request that satisfied the exit policy (or hit the horizon)."""
+    """A request that satisfied the exit policy (or hit the horizon).
+
+    ``threshold`` is the *effective* threshold the exit decision used — the
+    request's stamped epoch when it carries one, the live policy knob
+    otherwise — so the recorded value is provably the deciding one (the PR 5
+    torn-read fix).  ``epoch``/``brownout`` echo the stamp; ``horizon`` is
+    the effective timestep cap the slot ran under.
+    """
 
     request: Request
     response: Response
@@ -65,6 +72,9 @@ class CompletedSample:
     score: float
     threshold: Optional[float]
     start_time: float
+    epoch: Optional[int] = None
+    brownout: bool = False
+    horizon: Optional[int] = None
 
 
 @dataclass
@@ -411,7 +421,56 @@ class InferenceEngine:
         horizon_used = local_ts + 1
         cumulative = self._running_sum / horizon_used[:, None].astype(self._running_sum.dtype)
 
-        exit_now = self.policy.should_exit(cumulative) | (horizon_used >= self.max_timesteps)
+        # Per-slot effective knobs.  The live policy threshold is read ONCE,
+        # up front — the PR 5 bug was reading it again after should_exit, so
+        # a concurrent controller nudge landed between the decision and the
+        # record.  A slot carrying a ThresholdEpoch runs under its *stamped*
+        # threshold/horizon instead of the live knob (brown-out, replay
+        # pinning), so the recorded value is the deciding one by construction.
+        live_threshold = getattr(self.policy, "threshold", None)
+        if live_threshold is not None:
+            live_threshold = float(live_threshold)
+        thresholds: List[Optional[float]] = []
+        horizons = np.empty(len(self._slots), dtype=np.int64)
+        heterogeneous = False
+        for index, slot in enumerate(self._slots):
+            epoch = slot.request.epoch
+            slot_threshold = live_threshold
+            slot_horizon = self.max_timesteps
+            if epoch is not None:
+                if epoch.threshold is not None:
+                    slot_threshold = float(epoch.threshold)
+                if epoch.horizon is not None:
+                    slot_horizon = min(slot_horizon, int(epoch.horizon))
+            thresholds.append(slot_threshold)
+            horizons[index] = slot_horizon
+            if slot_threshold != live_threshold or slot_horizon != self.max_timesteps:
+                heterogeneous = True
+
+        policy_mask = self.policy.should_exit(cumulative)
+        if heterogeneous:
+            direction = getattr(self.policy, "exit_when", None)
+            override = np.array(
+                [t is not None and t != live_threshold for t in thresholds],
+                dtype=bool,
+            )
+            if override.any() and direction in ("below", "above"):
+                # Evaluate overridden rows against their stamped thresholds
+                # via score(); casting the threshold array to the score dtype
+                # reproduces the weak-scalar comparison should_exit performs
+                # with a live float knob, so a pinned row decides bitwise
+                # identically to an engine whose live threshold equals the pin.
+                scores_all = np.asarray(self.policy.score(cumulative))
+                threshold_array = np.asarray(
+                    [0.0 if t is None else t for t in thresholds],
+                    dtype=scores_all.dtype,
+                )
+                if direction == "below":
+                    stamped_mask = scores_all < threshold_array
+                else:
+                    stamped_mask = scores_all > threshold_array
+                policy_mask = np.where(override, stamped_mask, policy_mask)
+        exit_now = policy_mask | (horizon_used >= horizons)
         self.total_steps += 1
         self.total_sample_timesteps += len(self._slots)
 
@@ -420,9 +479,9 @@ class InferenceEngine:
             exit_rows = np.where(exit_now)[0]
             predictions = np.argmax(cumulative[exit_rows], axis=-1)
             scores = np.asarray(self.policy.score(cumulative[exit_rows]), dtype=np.float64)
-            threshold = getattr(self.policy, "threshold", None)
             for row, prediction, score in zip(exit_rows, predictions, scores):
                 slot = self._slots[row]
+                epoch = slot.request.epoch
                 completed.append(
                     CompletedSample(
                         request=slot.request,
@@ -430,8 +489,11 @@ class InferenceEngine:
                         prediction=int(prediction),
                         exit_timestep=int(horizon_used[row]),
                         score=float(score),
-                        threshold=None if threshold is None else float(threshold),
+                        threshold=thresholds[row],
                         start_time=slot.start_time,
+                        epoch=None if epoch is None else epoch.epoch,
+                        brownout=False if epoch is None else epoch.brownout,
+                        horizon=int(horizons[row]),
                     )
                 )
             keep = ~exit_now

@@ -54,10 +54,19 @@ _STAGE_ORDER = {stage: index for index, stage in enumerate(SPAN_STAGES)}
 
 @dataclass
 class RequestSpan:
-    """Stage → timestamp map for one request (server clock domain)."""
+    """Stage → timestamp map for one request (server clock domain).
+
+    ``tags`` annotates the span with non-timing attributes (currently
+    ``brownout=True`` for requests served under storm-degraded accuracy,
+    plus the stamped threshold epoch).  Tags are a local annotation: the
+    cross-replica export/merge wire format remains the bare
+    ``{request_id: events}`` map, because the parent stamps the tags itself
+    at completion time — replicas never ship them.
+    """
 
     request_id: int
     events: Dict[str, float] = field(default_factory=dict)
+    tags: Dict[str, Any] = field(default_factory=dict)
 
     def duration(self, start: str, end: str) -> Optional[float]:
         if start in self.events and end in self.events:
@@ -121,11 +130,16 @@ class SpanTracker:
             span.events.setdefault("admitted", float(result.start_time))
             span.events.setdefault("exited", float(result.finish_time))
             span.events["completed"] = float(completed_at)
+            if getattr(result, "brownout", False):
+                span.tags["brownout"] = True
+            epoch = getattr(result, "epoch", None)
+            if epoch is not None:
+                span.tags["epoch"] = int(epoch)
 
     # ------------------------------------------------------------------ #
     def spans(self) -> List[RequestSpan]:
         with self._lock:
-            return [RequestSpan(s.request_id, dict(s.events))
+            return [RequestSpan(s.request_id, dict(s.events), dict(s.tags))
                     for s in self._spans.values()]
 
     def __len__(self) -> int:

@@ -50,13 +50,20 @@ class ReplayMismatch:
     recorded_exit: int
     replayed_prediction: int
     replayed_exit: int
+    recorded_threshold: Optional[float] = None
+    replayed_threshold: Optional[float] = None
 
     def __str__(self) -> str:
-        return (f"request {self.request_id}: recorded "
+        text = (f"request {self.request_id}: recorded "
                 f"(prediction={self.recorded_prediction}, "
                 f"exit_t={self.recorded_exit}) vs replayed "
                 f"(prediction={self.replayed_prediction}, "
                 f"exit_t={self.replayed_exit})")
+        if (self.recorded_threshold is not None
+                or self.replayed_threshold is not None):
+            text += (f" [threshold recorded={self.recorded_threshold} "
+                     f"replayed={self.replayed_threshold}]")
+        return text
 
 
 @dataclass
@@ -132,11 +139,20 @@ class TraceReplayer:
                 f"request {missing[0]}) — recorded with store_clips=False "
                 "or a truncated .clips file"
             )
-        if self.verify and trace.fixed_threshold() is None:
+        # A moving threshold is only un-replayable when the records do not
+        # say which threshold each request ran under.  Epoch-stamped traces
+        # (PR 7) do: every record carries the threshold its engine slot
+        # evaluated, so the replayer pins each request to its recorded knobs
+        # via submit(threshold=..., horizon=...) and bitwise verification is
+        # defined again.
+        self._pin_epochs = trace.fixed_threshold() is None and trace.epoch_stamped()
+        if self.verify and trace.fixed_threshold() is None and not self._pin_epochs:
             raise ValueError(
                 "trace was recorded under a moving threshold (SLA "
-                "controller); bitwise verification is undefined — replay "
-                "with verify=False or against a fixed-threshold trace"
+                "controller) without epoch stamps; bitwise verification is "
+                "undefined — replay with verify=False, against a "
+                "fixed-threshold trace, or re-record with an epoch-stamping "
+                "server"
             )
 
     # ------------------------------------------------------------------ #
@@ -174,11 +190,23 @@ class TraceReplayer:
                 delay = scheduled - self.clock()
                 if delay > 0:
                     self.sleep(delay)
-            response = server.submit(
-                clips[record.digest],
-                label=record.label,
-                block=True,
-            )
+            if self._pin_epochs:
+                # Pin each request to its recorded epoch: the engine
+                # evaluates the slot under exactly the recorded threshold /
+                # horizon, independent of the replay server's live knob.
+                response = server.submit(
+                    clips[record.digest],
+                    label=record.label,
+                    block=True,
+                    threshold=record.threshold,
+                    horizon=record.horizon,
+                )
+            else:
+                response = server.submit(
+                    clips[record.digest],
+                    label=record.label,
+                    block=True,
+                )
             pending.append((record, response))
         results = [(record, response.result(timeout=result_timeout))
                    for record, response in pending]
@@ -186,14 +214,22 @@ class TraceReplayer:
         mismatches: List[ReplayMismatch] = []
         if self.verify:
             for record, result in results:
+                threshold_moved = (
+                    record.threshold is not None
+                    and result.threshold is not None
+                    and float(result.threshold) != float(record.threshold)
+                )
                 if (result.prediction != record.prediction
-                        or result.exit_timestep != record.exit_timestep):
+                        or result.exit_timestep != record.exit_timestep
+                        or threshold_moved):
                     mismatches.append(ReplayMismatch(
                         request_id=record.request_id,
                         recorded_prediction=record.prediction,
                         recorded_exit=record.exit_timestep,
                         replayed_prediction=result.prediction,
                         replayed_exit=result.exit_timestep,
+                        recorded_threshold=record.threshold,
+                        replayed_threshold=result.threshold,
                     ))
         return ReplayReport(
             offered=len(records),

@@ -74,7 +74,9 @@ from .request import (
     RequestResult,
     Response,
     ServerClosedError,
+    ThresholdEpoch,
 )
+from .storm import DeadlineExceededError
 from .telemetry import Telemetry
 
 __all__ = ["ReplicaCrashError", "ReplicaPool"]
@@ -109,8 +111,11 @@ class _ReplicaConfig:
 # travel as *batches* — one pickle + one pipe wakeup per dispatch round or
 # step round, not per request — which is what keeps the IPC cost per request
 # flat in the window size (the same argument as batched admission).
+# Threshold changes need no control message: every request carries its
+# ThresholdEpoch stamp, and the replica engine evaluates each slot under its
+# stamped knobs — the recorded threshold is the deciding one by construction
+# (the PR 5 one-way-message caveat, closed; docs/RESILIENCE.md).
 _MSG_REQUEST = "reqs"
-_MSG_THRESHOLD = "threshold"
 _MSG_DRAIN = "drain"
 # Result-pipe message kinds (replica -> parent).
 _MSG_READY = "ready"
@@ -201,14 +206,16 @@ def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
                 while True:
                     kind = message[0]
                     if kind == _MSG_REQUEST:
-                        for request_id, inputs, label in message[1]:
+                        for request_id, inputs, label, epoch in message[1]:
                             local_queue.put(
-                                Request(request_id=request_id, inputs=inputs,
-                                        label=label),
+                                Request(
+                                    request_id=request_id, inputs=inputs,
+                                    label=label,
+                                    epoch=(None if epoch is None
+                                           else ThresholdEpoch(*epoch)),
+                                ),
                                 _RelayResponse(request_id, outbox),
                             )
-                    elif kind == _MSG_THRESHOLD:
-                        engine.policy.threshold = message[1]
                     elif kind == _MSG_DRAIN:
                         draining = True
                     message = work_queue.get_nowait()
@@ -224,7 +231,8 @@ def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
                 result_conn.send((index, _MSG_DONE, [
                     (result.request_id, result.prediction, result.exit_timestep,
                      result.score, result.threshold, result.start_time,
-                     result.finish_time)
+                     result.finish_time, result.epoch, result.brownout,
+                     result.horizon)
                     for result in results
                 ]))
             if outbox:
@@ -350,11 +358,6 @@ class ReplicaPool:
         self._window_sems = [
             threading.Semaphore(self.window) for _ in range(self.num_replicas)
         ]
-        # Replicas start from the pickled policy's current threshold; only
-        # later mutations need a control message.
-        self._sent_threshold: List[Optional[float]] = [
-            getattr(policy, "threshold", None)
-        ] * self.num_replicas
         self._dead = [False] * self.num_replicas
         self._ready = [threading.Event() for _ in range(self.num_replicas)]
         # Set by the collector when a replica's result pipe hits EOF — i.e.
@@ -633,11 +636,6 @@ class ReplicaPool:
         work = self._work_queues[index]
         sem = self._window_sems[index]
         while not self._dead[index] and not self._aborting:
-            # Loop-top check keeps IN-FLIGHT requests tracking controller
-            # updates (~one poll interval of lag, like thread workers); the
-            # second check just before dispatch below makes newly submitted
-            # requests see any threshold set before their submission.
-            self._maybe_send_threshold(index)
             if self.queue.closed and self._backlog_empty():
                 work.put((_MSG_DRAIN,))
                 return
@@ -659,6 +657,28 @@ class ReplicaPool:
                 item = self._next_item(block=False)
             for _ in range(permits - len(batch)):
                 sem.release()
+            if batch:
+                # Deadline enforcement stays parent-side (one clock domain):
+                # a request that waited out its deadline in the shared queue
+                # is dropped here, before it costs a window slot and a
+                # cross-process round trip.
+                kept: List[Tuple[Request, Response]] = []
+                now = self.clock()
+                for request, response in batch:
+                    if request.deadline is not None and now > request.deadline:
+                        response.set_exception(DeadlineExceededError(
+                            f"request {request.request_id} missed its "
+                            f"deadline before dispatch"
+                        ))
+                        self.telemetry.record_deadline_drop(request.priority)
+                        if self.trace is not None:
+                            self.trace.record_rejection(
+                                request, now, reason="deadline"
+                            )
+                        sem.release()
+                    else:
+                        kept.append((request, response))
+                batch = kept
             if not batch:
                 continue
             with self._lock:
@@ -690,14 +710,14 @@ class ReplicaPool:
                     return
                 for request, response in batch:
                     self._inflight[index][request.request_id] = (request, response)
-            # Threshold check AFTER the pop, immediately before dispatch:
-            # a mutation that happened-before a submit is then visible when
-            # that submit is popped, and its control message precedes the
-            # request batch on the same FIFO — so a request never runs
-            # under a threshold older than any set before its submission.
-            self._maybe_send_threshold(index)
+            # Each request ships its ThresholdEpoch stamp: the replica engine
+            # evaluates the slot under exactly these knobs, so no control
+            # message (and no ordering argument about one) is needed — a
+            # request can never run under knobs other than the ones stamped
+            # at its submission.
             work.put((_MSG_REQUEST, [
-                (request.request_id, request.inputs, request.label)
+                (request.request_id, request.inputs, request.label,
+                 None if request.epoch is None else request.epoch.as_tuple())
                 for request, _ in batch
             ]))
             if self.spans is not None:
@@ -710,16 +730,6 @@ class ReplicaPool:
                     self.spans.record(
                         request.request_id, "dispatched", dispatched_at
                     )
-
-    def _maybe_send_threshold(self, index: int) -> None:
-        """Propagate parent-side threshold mutations (SLA controller or a
-        caller poking ``server.policy.threshold`` directly — thread workers
-        see those instantly through the shared policy object, so replicas
-        must follow the same knob)."""
-        threshold = getattr(self.policy, "threshold", None)
-        if threshold is not None and threshold != self._sent_threshold[index]:
-            self._sent_threshold[index] = threshold
-            self._work_queues[index].put((_MSG_THRESHOLD, float(threshold)))
 
     # ------------------------------------------------------------------ #
     # Completion (single collector thread)
@@ -794,9 +804,8 @@ class ReplicaPool:
         return entry
 
     def _resolve_completion(self, index: int, completion: Tuple) -> None:
-        request_id, prediction, exit_timestep, score, threshold, start_t, finish_t = (
-            completion
-        )
+        (request_id, prediction, exit_timestep, score, threshold, start_t,
+         finish_t, epoch, brownout, horizon) = completion
         entry = self._pop_inflight(index, request_id)
         if entry is None:
             return
@@ -822,6 +831,9 @@ class ReplicaPool:
             finish_time=finish_time,
             energy=energy,
             edp=edp,
+            epoch=epoch,
+            brownout=brownout,
+            horizon=horizon,
         )
         if self.trace is not None:
             self.trace.record_request(request, result)

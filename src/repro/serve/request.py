@@ -28,6 +28,8 @@ __all__ = [
     "QueueFullError",
     "QueueClosedError",
     "ServerClosedError",
+    "ThresholdEpoch",
+    "EpochLedger",
 ]
 
 
@@ -47,12 +49,82 @@ class ServerClosedError(RuntimeError):
     """
 
 
+@dataclass(frozen=True)
+class ThresholdEpoch:
+    """An immutable snapshot of the serving knobs one request runs under.
+
+    The PR 5 caveat was a torn read: the engine recorded ``policy.threshold``
+    *after* deciding exits with it, and replicas learned of changes through
+    one-way messages — so a recorded threshold was not provably the one the
+    decision used.  Epochs close that hole: the server stamps the live knobs
+    into a frozen epoch at admission, the engine *evaluates* each slot under
+    its stamped epoch, and the recorded threshold is the stamped value by
+    construction.  ``epoch`` is a monotone version number so traces can prove
+    ordering; ``brownout`` marks storm-degraded service (docs/RESILIENCE.md).
+    """
+
+    epoch: int
+    threshold: Optional[float]
+    horizon: Optional[int] = None
+    brownout: bool = False
+
+    def as_tuple(self) -> Tuple[int, Optional[float], Optional[int], bool]:
+        """Picklable wire form for replica dispatch."""
+        return (self.epoch, self.threshold, self.horizon, self.brownout)
+
+
+class EpochLedger:
+    """Versions the (threshold, horizon, brownout) triple across a server.
+
+    ``stamp()`` returns the current epoch, bumping the version only when the
+    knobs actually changed — so a steady-state server stamps one epoch into
+    millions of requests and a moving-threshold trace records exactly one
+    epoch per distinct operating point.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._current: Optional[ThresholdEpoch] = None
+
+    def stamp(
+        self,
+        threshold: Optional[float],
+        horizon: Optional[int] = None,
+        brownout: bool = False,
+    ) -> ThresholdEpoch:
+        with self._lock:
+            current = self._current
+            if (
+                current is not None
+                and current.threshold == threshold
+                and current.horizon == horizon
+                and current.brownout == brownout
+            ):
+                return current
+            number = 0 if current is None else current.epoch + 1
+            self._current = ThresholdEpoch(
+                epoch=number, threshold=threshold, horizon=horizon,
+                brownout=brownout,
+            )
+            return self._current
+
+    @property
+    def current(self) -> Optional[ThresholdEpoch]:
+        with self._lock:
+            return self._current
+
+
 @dataclass
 class Request:
     """A single-sample inference request.
 
     ``inputs`` holds one sample *without* the batch axis (shape equal to the
     dataset's ``sample_shape``); the batcher stacks requests into batches.
+
+    ``priority`` is a storm-guard admission class (0=high, 1=normal, 2=low;
+    see :mod:`repro.serve.storm`); ``deadline`` is an *absolute* time in the
+    server's clock domain after which dispatch drops the request instead of
+    serving it; ``epoch`` is the threshold epoch stamped at admission.
     """
 
     request_id: int
@@ -60,6 +132,9 @@ class Request:
     label: Optional[int] = None
     arrival_time: float = 0.0
     metadata: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 1
+    deadline: Optional[float] = None
+    epoch: Optional[ThresholdEpoch] = None
 
 
 @dataclass
@@ -77,6 +152,9 @@ class RequestResult:
     finish_time: float = 0.0
     energy: Optional[float] = None
     edp: Optional[float] = None
+    epoch: Optional[int] = None
+    brownout: bool = False
+    horizon: Optional[int] = None
 
     @property
     def latency(self) -> float:
@@ -192,14 +270,24 @@ class AdmissionQueue:
             self._not_empty.notify()
 
     def get(self, timeout: Optional[float] = None) -> Optional[Tuple[Request, Response]]:
-        """Dequeue the oldest request, or None on timeout / closed-and-empty."""
+        """Dequeue the oldest request, or None on timeout / closed-and-empty.
+
+        The wait is a predicate loop, mirroring :meth:`put`: a spurious
+        ``Condition.wait()`` wakeup (or a ``notify`` raced away by another
+        consumer) re-waits for the *remaining* deadline instead of returning
+        ``None`` early — with ``timeout=None`` the old single-wait version
+        could return ``None`` from a spurious wakeup and the batcher would
+        misread an occupied queue as an idle poll.
+        """
         with self._not_empty:
-            if not self._items:
+            deadline = None if timeout is None else self.clock() + timeout
+            while not self._items:
                 if self._closed:
                     return None
-                self._not_empty.wait(timeout)
-            if not self._items:
-                return None
+                remaining = None if deadline is None else deadline - self.clock()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
             item = self._items.popleft()
             self._not_full.notify()
             return item

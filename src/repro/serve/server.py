@@ -37,12 +37,14 @@ from .engine import InferenceEngine
 from .replica import ReplicaPool
 from .request import (
     AdmissionQueue,
+    EpochLedger,
     QueueClosedError,
     QueueFullError,
     Request,
     Response,
     ServerClosedError,
 )
+from .storm import PRIORITY_NORMAL, StormConfig, StormGuard, StormShedError
 from .telemetry import Telemetry
 
 __all__ = ["Server", "ServerClosedError"]
@@ -133,6 +135,7 @@ class Server:
         use_runtime: Optional[bool] = None,
         trace=None,
         spans=None,
+        storm=None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -148,6 +151,24 @@ class Server:
         self.spans = spans
         self.queue = AdmissionQueue(capacity=queue_capacity, clock=clock)
         self.policy = policy
+        # Every submission is stamped with a ThresholdEpoch — the frozen
+        # (threshold, horizon, brownout) triple its engine slot will evaluate
+        # under — so the recorded threshold is provably the deciding one on
+        # every composition (docs/RESILIENCE.md).
+        self.epochs = EpochLedger()
+        # Overload resilience (docs/RESILIENCE.md): ``storm`` may be a
+        # StormConfig, or any truthy value for the default watermarks.
+        self.storm: Optional[StormGuard] = None
+        if storm:
+            config = storm if isinstance(storm, StormConfig) else None
+            self.storm = StormGuard(
+                self.queue,
+                self.telemetry,
+                config=config,
+                clock=clock,
+                controller=controller,
+                policy=policy,
+            )
         self._ids = itertools.count()
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
@@ -339,12 +360,27 @@ class Server:
         label: Optional[int] = None,
         block: bool = True,
         timeout: Optional[float] = None,
+        *,
+        priority: int = PRIORITY_NORMAL,
+        deadline: Optional[float] = None,
+        threshold: Optional[float] = None,
+        horizon: Optional[int] = None,
     ) -> Response:
         """Enqueue one sample; returns a future.
 
         With ``block=False`` a full queue raises :class:`QueueFullError`
         immediately (load shedding); otherwise the caller waits for a slot,
         up to ``timeout`` seconds.
+
+        ``priority`` is the storm-guard admission class (0=high, 1=normal,
+        2=low); under WARN/STORM lower classes are shed at the door with
+        :class:`~repro.serve.StormShedError`.  ``deadline`` is a *relative*
+        budget in seconds: a request still undispatched after it is dropped
+        with :class:`~repro.serve.DeadlineExceededError`.  ``threshold`` /
+        ``horizon`` pin this request's exit knobs explicitly (the trace
+        replayer uses this to re-run each request under its recorded epoch);
+        when omitted, the live policy knob — possibly brown-out-escalated by
+        the storm guard — is stamped instead.
         """
         if not self._started:
             raise ServerClosedError("server not started")
@@ -352,8 +388,40 @@ class Server:
             request_id=next(self._ids),
             inputs=np.asarray(inputs, dtype=np.float32),
             label=None if label is None else int(label),
+            priority=int(priority),
         )
+        if deadline is not None:
+            request.deadline = self.clock() + float(deadline)
         response = Response()
+        if self.storm is not None:
+            self.storm.observe()
+            try:
+                self.storm.admit(request.priority)
+            except StormShedError:
+                self.telemetry.record_storm_shed(request.priority)
+                if self.trace is not None:
+                    self.trace.record_rejection(
+                        request, self.clock(), reason="storm"
+                    )
+                raise
+        # Stamp the epoch AFTER the admission gate: the stamped knobs are the
+        # ones in force at the instant this request enters the system.
+        live = getattr(self.policy, "threshold", None)
+        if live is not None:
+            live = float(live)
+        if threshold is not None or horizon is not None:
+            effective_threshold = live if threshold is None else float(threshold)
+            effective_horizon = None if horizon is None else int(horizon)
+            brownout = False
+        elif self.storm is not None:
+            effective_threshold, effective_horizon, brownout = (
+                self.storm.effective(live)
+            )
+        else:
+            effective_threshold, effective_horizon, brownout = live, None, False
+        request.epoch = self.epochs.stamp(
+            effective_threshold, effective_horizon, brownout
+        )
         try:
             self.queue.put(request, response, block=block, timeout=timeout)
         except QueueFullError:
@@ -382,4 +450,9 @@ class Server:
         threshold = getattr(self.policy, "threshold", None)
         if threshold is not None:
             stats["threshold"] = float(threshold)
+        if self.storm is not None:
+            stats["storm_state"] = float(self.storm.state_code)
+        current = self.epochs.current
+        if current is not None:
+            stats["threshold_epoch"] = float(current.epoch)
         return stats

@@ -1,0 +1,360 @@
+"""Overload resilience: the load-storm admission FSM and accuracy brown-out.
+
+A serving fleet sized for millions of users treats overload as a *mode*, not
+an error: the interesting question is never "did the queue fill" but "what
+does the system degrade first, and how does it come back".  This module is
+that policy layer, ported from the storm-guard / circuit-breaker admission
+pattern of low-latency trading gateways and specialized to DT-SNN's unique
+knob — the entropy threshold, which can trade accuracy for latency smoothly
+instead of queueing to death:
+
+* :class:`StormGuard` — a three-state FSM (``NORMAL → WARN → STORM``) driven
+  by two pressure signals the serving stack already measures: admission-queue
+  depth (as a fraction of capacity) and rolling p95 latency (as a multiple of
+  the SLA target, when one is known).  Escalation is immediate; recovery is
+  hysteretic — signals must fall *well below* the entry watermark
+  (``exit_fraction``) for ``cooldown`` consecutive evaluations, and the FSM
+  steps down one level at a time — so a storm's trailing edge cannot flap the
+  guard open and shut.
+* **Priority shedding** — requests carry a priority class
+  (:data:`PRIORITY_HIGH` < :data:`PRIORITY_NORMAL` < :data:`PRIORITY_LOW`;
+  lower value = more important).  Under WARN the guard sheds the lowest
+  class at the door; under STORM only the highest class is admitted.  Sheds
+  raise :class:`StormShedError`, a :class:`~repro.serve.QueueFullError`
+  subclass, so every existing backpressure handler (the load generator, the
+  CLI) treats them as drops without modification.
+* **Graceful accuracy brown-out** — under STORM the guard escalates the exit
+  threshold to its aggressive bound (the calibrated accuracy envelope the
+  operator signed off on, via the SLA controller's bounds or an explicit
+  knob) and caps the engine horizon, so admitted traffic exits earlier and
+  the backlog drains at reduced accuracy instead of unbounded latency.  Both
+  overrides flow through per-request :class:`~repro.serve.ThresholdEpoch`
+  stamps — never through shared mutable state — so recovery is per-request
+  exact: the first request admitted after the storm clears runs at full
+  accuracy while storm-stamped stragglers finish under their recorded knobs.
+
+Deadlines ride along: a request may carry an absolute deadline (server clock
+domain), and the dispatch layers drop expired requests with
+:class:`DeadlineExceededError` before wasting engine timesteps on an answer
+nobody is waiting for.
+
+See docs/RESILIENCE.md for the full state machine and its proof obligations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .request import QueueFullError
+
+__all__ = [
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+    "PRIORITY_NAMES",
+    "StormState",
+    "StormConfig",
+    "StormGuard",
+    "StormShedError",
+    "DeadlineExceededError",
+]
+
+# Priority classes: lower value = more important (shed order is reversed).
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+PRIORITY_NAMES = {PRIORITY_HIGH: "high", PRIORITY_NORMAL: "normal",
+                  PRIORITY_LOW: "low"}
+
+
+class StormState:
+    """FSM states (string constants) and their numeric severity codes."""
+
+    NORMAL = "normal"
+    WARN = "warn"
+    STORM = "storm"
+
+    CODES = {NORMAL: 0, WARN: 1, STORM: 2}
+    FROM_CODE = {0: NORMAL, 1: WARN, 2: STORM}
+
+
+class StormShedError(QueueFullError):
+    """A submission shed at the door by the storm guard.
+
+    Subclasses :class:`QueueFullError` deliberately: to every existing
+    backpressure consumer (load generator, CLI, client retry loops) a storm
+    shed *is* a rejection — the subclass only adds which state and priority
+    class made the decision.
+    """
+
+    def __init__(self, message: str, state: str, priority: int):
+        super().__init__(message)
+        self.state = state
+        self.priority = int(priority)
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request's deadline expired before it reached an engine slot.
+
+    Raised through the request's future by the dispatch layer that popped it
+    (thread batcher or replica forwarder): spending timesteps on an answer
+    whose client has already given up is the purest waste a storm can cause.
+    """
+
+
+@dataclass
+class StormConfig:
+    """Watermarks and hysteresis for the :class:`StormGuard` FSM.
+
+    Parameters
+    ----------
+    queue_warn / queue_storm:
+        Queue-depth fractions of capacity that enter WARN / STORM.
+    p95_warn / p95_storm:
+        Rolling-p95 latency as a multiple of ``target_p95`` that enters
+        WARN / STORM.  Ignored until a target is known (explicit or from the
+        SLA controller) and telemetry has latency samples.
+    exit_fraction:
+        Hysteresis: an evaluation only counts as *calm* when every signal is
+        below ``exit_fraction`` times the current state's entry watermark.
+    cooldown:
+        Consecutive calm evaluations required to step down one level.
+    min_interval:
+        Minimum seconds between FSM evaluations (0 = evaluate every call).
+        Bounds the per-submission cost under a flood.
+    target_p95:
+        The latency SLA in clock units; ``None`` defers to the attached
+        controller's ``target_p95_latency`` (or disables the p95 signal).
+    horizon_cap:
+        Brown-out: maximum engine timesteps stamped into epochs under STORM
+        (``None`` leaves the horizon alone).
+    brownout_threshold:
+        Brown-out: the aggressive exit threshold stamped into epochs under
+        STORM.  ``None`` defers to the controller's aggressive bound
+        (``max_threshold`` when ``aggressive_is_higher``, else
+        ``min_threshold``); with neither, the live threshold is kept.
+    """
+
+    queue_warn: float = 0.5
+    queue_storm: float = 0.85
+    p95_warn: float = 1.5
+    p95_storm: float = 3.0
+    exit_fraction: float = 0.6
+    cooldown: int = 3
+    min_interval: float = 0.0
+    target_p95: Optional[float] = None
+    horizon_cap: Optional[int] = None
+    brownout_threshold: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 < self.queue_warn <= self.queue_storm:
+            raise ValueError("need 0 < queue_warn <= queue_storm")
+        if not 0.0 < self.p95_warn <= self.p95_storm:
+            raise ValueError("need 0 < p95_warn <= p95_storm")
+        if not 0.0 < self.exit_fraction <= 1.0:
+            raise ValueError("exit_fraction must be in (0, 1]")
+        if self.cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        if self.horizon_cap is not None and self.horizon_cap < 1:
+            raise ValueError("horizon_cap must be >= 1")
+
+
+class StormGuard:
+    """NORMAL → WARN → STORM admission FSM over the serving stack's signals.
+
+    The guard owns no traffic: :meth:`observe` evaluates the signals (called
+    by the server on every submission), :meth:`admit` gates one request by
+    priority class, and :meth:`effective` reports the brown-out overrides
+    the server stamps into each request's :class:`~repro.serve.ThresholdEpoch`.
+    Everything is thread-safe; transitions are reported to the telemetry
+    sink (``record_storm_state``) when it has one.
+    """
+
+    def __init__(
+        self,
+        queue,
+        telemetry,
+        config: Optional[StormConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        controller=None,
+        policy=None,
+    ):
+        self.queue = queue
+        self.telemetry = telemetry
+        self.config = config or StormConfig()
+        self.clock = clock
+        self.controller = controller
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._state = StormState.NORMAL
+        self._calm = 0
+        self._last_eval: Optional[float] = None
+        # (timestamp, state) transition log, bounded; tests and stats read it.
+        self.transitions: List[Tuple[float, str]] = []
+        self._pre_storm_threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        return StormState.CODES[self.state]
+
+    # ------------------------------------------------------------------ #
+    def _target_p95(self) -> Optional[float]:
+        if self.config.target_p95 is not None:
+            return self.config.target_p95
+        if self.controller is not None:
+            return float(self.controller.target_p95_latency)
+        return None
+
+    def _signals(self) -> Tuple[float, Optional[float]]:
+        """(queue-depth fraction, p95/target ratio or None)."""
+        depth_fraction = self.queue.depth() / float(self.queue.capacity)
+        ratio = None
+        target = self._target_p95()
+        if target:
+            p95 = self.telemetry.recent_p95()
+            if p95 is not None:
+                ratio = p95 / target
+        return depth_fraction, ratio
+
+    def _pressure_level(self, depth_fraction: float,
+                        ratio: Optional[float]) -> int:
+        if depth_fraction >= self.config.queue_storm or (
+            ratio is not None and ratio >= self.config.p95_storm
+        ):
+            return 2
+        if depth_fraction >= self.config.queue_warn or (
+            ratio is not None and ratio >= self.config.p95_warn
+        ):
+            return 1
+        return 0
+
+    def _calm_enough(self, depth_fraction: float, ratio: Optional[float],
+                     level: int) -> bool:
+        """Hysteresis: calm means well below the *current* entry watermark."""
+        enter_queue = (self.config.queue_storm if level >= 2
+                       else self.config.queue_warn)
+        enter_p95 = (self.config.p95_storm if level >= 2
+                     else self.config.p95_warn)
+        margin = self.config.exit_fraction
+        if depth_fraction >= enter_queue * margin:
+            return False
+        if ratio is not None and ratio >= enter_p95 * margin:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    def observe(self) -> str:
+        """Evaluate the pressure signals; maybe transition.  Returns state."""
+        with self._lock:
+            now = self.clock()
+            if (self.config.min_interval > 0.0 and self._last_eval is not None
+                    and now - self._last_eval < self.config.min_interval):
+                return self._state
+            self._last_eval = now
+            depth_fraction, ratio = self._signals()
+            level = StormState.CODES[self._state]
+            pressure = self._pressure_level(depth_fraction, ratio)
+            if pressure > level:
+                # Escalation is immediate: a storm front does not wait for a
+                # cooldown, and skipping WARN on a vertical load edge is
+                # correct — the FSM tracks pressure, not ceremony.
+                self._transition_locked(pressure, now)
+            elif pressure < level:
+                if self._calm_enough(depth_fraction, ratio, level):
+                    self._calm += 1
+                    if self._calm >= self.config.cooldown:
+                        # Step down ONE level per cooldown: recovery from a
+                        # storm passes back through WARN, keeping partial
+                        # shedding active while the backlog drains.
+                        self._transition_locked(level - 1, now)
+                else:
+                    self._calm = 0
+            else:
+                self._calm = 0
+            return self._state
+
+    def _transition_locked(self, level: int, now: float) -> None:
+        previous = self._state
+        self._state = StormState.FROM_CODE[level]
+        self._calm = 0
+        self.transitions.append((now, self._state))
+        del self.transitions[:-256]
+        if level == 2 and StormState.CODES[previous] < 2:
+            self._enter_storm_locked()
+        if level < 2 and StormState.CODES[previous] == 2:
+            self._leave_storm_locked()
+        record = getattr(self.telemetry, "record_storm_state", None)
+        if record is not None:
+            record(level)
+
+    # ------------------------------------------------------------------ #
+    # Brown-out
+    # ------------------------------------------------------------------ #
+    def brownout_threshold(self) -> Optional[float]:
+        """The aggressive θ stamped under STORM (None = keep the live knob)."""
+        if self.config.brownout_threshold is not None:
+            return float(self.config.brownout_threshold)
+        if self.controller is not None:
+            if getattr(self.controller, "aggressive_is_higher", True):
+                return float(self.controller.max_threshold)
+            return float(self.controller.min_threshold)
+        return None
+
+    def _enter_storm_locked(self) -> None:
+        # Escalate the *live* knob too when a controller steers it: the SLA
+        # feedback loop then continues from the aggressive bound instead of
+        # multiplicatively walking toward it while the queue burns.  Without
+        # a controller the live knob is left alone — brown-out flows purely
+        # through epoch stamps and recovery is automatic.
+        threshold = self.brownout_threshold()
+        if threshold is None or self.policy is None:
+            return
+        live = getattr(self.policy, "threshold", None)
+        if self.controller is not None and live is not None:
+            self._pre_storm_threshold = float(live)
+            self.policy.threshold = threshold
+
+    def _leave_storm_locked(self) -> None:
+        # The controller relaxes the threshold itself as pressure clears (it
+        # saw every storm completion); nothing to restore.
+        self._pre_storm_threshold = None
+
+    def effective(
+        self, live_threshold: Optional[float]
+    ) -> Tuple[Optional[float], Optional[int], bool]:
+        """(threshold, horizon, brownout?) to stamp into the next epoch."""
+        with self._lock:
+            if self._state != StormState.STORM:
+                return live_threshold, None, False
+            threshold = self.brownout_threshold()
+            if threshold is None:
+                threshold = live_threshold
+            return threshold, self.config.horizon_cap, True
+
+    # ------------------------------------------------------------------ #
+    # Admission gate
+    # ------------------------------------------------------------------ #
+    def admit(self, priority: int) -> None:
+        """Gate one submission by priority class; raises on shed."""
+        state = self.state
+        if state == StormState.NORMAL:
+            return
+        if state == StormState.WARN and priority <= PRIORITY_NORMAL:
+            return
+        if state == StormState.STORM and priority <= PRIORITY_HIGH:
+            return
+        name = PRIORITY_NAMES.get(int(priority), str(priority))
+        raise StormShedError(
+            f"storm guard in {state.upper()} shed a {name}-priority request",
+            state=state,
+            priority=priority,
+        )

@@ -46,6 +46,13 @@ class Telemetry:
         self._last_finish: Optional[float] = None
         self._rejected = 0
         self._shed = 0
+        # Storm-guard accounting (docs/RESILIENCE.md): sheds and deadline
+        # drops keyed by priority class, the peak FSM severity code observed
+        # (0=NORMAL, 1=WARN, 2=STORM), and the number of state transitions.
+        self._storm_shed: Dict[int, int] = {}
+        self._deadline_drops: Dict[int, int] = {}
+        self._storm_peak = 0
+        self._storm_transitions = 0
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -77,6 +84,27 @@ class Telemetry:
         with self._lock:
             self._shed += int(count)
 
+    def record_storm_shed(self, priority: int) -> None:
+        """A submission shed at the door by the storm guard, by class."""
+        with self._lock:
+            priority = int(priority)
+            self._storm_shed[priority] = self._storm_shed.get(priority, 0) + 1
+
+    def record_deadline_drop(self, priority: int) -> None:
+        """A request dropped at dispatch because its deadline expired."""
+        with self._lock:
+            priority = int(priority)
+            self._deadline_drops[priority] = (
+                self._deadline_drops.get(priority, 0) + 1
+            )
+
+    def record_storm_state(self, code: int) -> None:
+        """A storm-FSM transition to severity ``code`` (0/1/2)."""
+        with self._lock:
+            self._storm_transitions += 1
+            if int(code) > self._storm_peak:
+                self._storm_peak = int(code)
+
     # ------------------------------------------------------------------ #
     # Cross-instance merging (multi-replica serving)
     # ------------------------------------------------------------------ #
@@ -105,6 +133,10 @@ class Telemetry:
                 "last_finish": self._last_finish if include_results else None,
                 "rejected": self._rejected,
                 "shed": self._shed,
+                "storm_shed": dict(self._storm_shed),
+                "deadline_drops": dict(self._deadline_drops),
+                "storm_peak": self._storm_peak,
+                "storm_transitions": self._storm_transitions,
             }
 
     def merge_state(self, state: Dict[str, object]) -> None:
@@ -135,6 +167,20 @@ class Telemetry:
                 self._last_finish = last
             self._rejected += int(state.get("rejected", 0))
             self._shed += int(state.get("shed", 0))
+            for priority, count in dict(state.get("storm_shed", {})).items():
+                priority = int(priority)
+                self._storm_shed[priority] = (
+                    self._storm_shed.get(priority, 0) + int(count)
+                )
+            for priority, count in dict(state.get("deadline_drops", {})).items():
+                priority = int(priority)
+                self._deadline_drops[priority] = (
+                    self._deadline_drops.get(priority, 0) + int(count)
+                )
+            self._storm_peak = max(
+                self._storm_peak, int(state.get("storm_peak", 0))
+            )
+            self._storm_transitions += int(state.get("storm_transitions", 0))
 
     def merge_from(self, other: "Telemetry") -> None:
         """Merge another :class:`Telemetry` instance (see :meth:`merge_state`)."""
@@ -157,6 +203,26 @@ class Telemetry:
     def shed(self) -> int:
         with self._lock:
             return self._shed
+
+    @property
+    def storm_shed_by_class(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(self._storm_shed)
+
+    @property
+    def deadline_drops_by_class(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(self._deadline_drops)
+
+    @property
+    def storm_peak(self) -> int:
+        with self._lock:
+            return self._storm_peak
+
+    @property
+    def storm_transitions(self) -> int:
+        with self._lock:
+            return self._storm_transitions
 
     def results(self) -> List[RequestResult]:
         with self._lock:
@@ -214,11 +280,23 @@ class Telemetry:
             occupancies = list(self._occupancies)
             rejected = self._rejected
             shed = self._shed
+            storm_shed = dict(self._storm_shed)
+            deadline_drops = dict(self._deadline_drops)
+            storm_peak = self._storm_peak
+            storm_transitions = self._storm_transitions
         stats: Dict[str, float] = {
             "completed": float(len(results)),
             "rejected": float(rejected),
             "shed": float(shed),
         }
+        if storm_shed or deadline_drops or storm_transitions:
+            names = {0: "high", 1: "normal", 2: "low"}
+            for priority, count in sorted(storm_shed.items()):
+                name = names.get(priority, str(priority))
+                stats[f"storm_shed_{name}"] = float(count)
+            stats["deadline_dropped"] = float(sum(deadline_drops.values()))
+            stats["storm_state_peak"] = float(storm_peak)
+            stats["storm_transitions"] = float(storm_transitions)
         if results:
             latencies = np.array([r.latency for r in results])
             delays = np.array([r.queue_delay for r in results])
@@ -275,6 +353,10 @@ class Telemetry:
             occupancies = list(self._occupancies)
             rejected = self._rejected
             shed = self._shed
+            storm_shed = dict(self._storm_shed)
+            deadline_drops = dict(self._deadline_drops)
+            storm_peak = self._storm_peak
+            storm_transitions = self._storm_transitions
         registry.counter(
             "repro_requests_completed_total", "Requests completed"
         ).inc(len(results))
@@ -284,6 +366,30 @@ class Telemetry:
         registry.counter(
             "repro_requests_shed_total", "Admitted requests failed by shutdown/crash"
         ).inc(shed)
+        # The registry has no label support, so per-class storm counters use
+        # one distinct metric name per priority class.
+        names = {0: "high", 1: "normal", 2: "low"}
+        for priority, count in sorted(storm_shed.items()):
+            name = names.get(priority, str(priority))
+            registry.counter(
+                f"repro_storm_shed_{name}_total",
+                f"Submissions shed by the storm guard ({name} priority)",
+            ).inc(count)
+        for priority, count in sorted(deadline_drops.items()):
+            name = names.get(priority, str(priority))
+            registry.counter(
+                f"repro_deadline_dropped_{name}_total",
+                f"Requests dropped at dispatch past their deadline ({name} priority)",
+            ).inc(count)
+        if storm_transitions:
+            registry.counter(
+                "repro_storm_transitions_total", "Storm-FSM state transitions"
+            ).inc(storm_transitions)
+            registry.gauge(
+                "repro_storm_state_peak",
+                "Peak storm-FSM severity (0=normal, 1=warn, 2=storm)",
+                mode="max",
+            ).set(storm_peak)
         latency = registry.histogram(
             "repro_request_latency_seconds", "End-to-end request latency"
         )

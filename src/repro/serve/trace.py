@@ -97,6 +97,13 @@ class TraceRecord:
     service_time: float = 0.0
     energy: Optional[float] = None
     sla_class: Optional[str] = None
+    # Threshold-epoch stamp (PR 7): the monotone epoch number the request ran
+    # under, the effective horizon, whether it was brown-out service, and its
+    # admission priority class.  Older traces load these as None/defaults.
+    epoch: Optional[int] = None
+    horizon: Optional[int] = None
+    brownout: bool = False
+    priority: Optional[int] = None
 
 
 @dataclass
@@ -130,6 +137,20 @@ class Trace:
         if values:
             return float(next(iter(values)))
         return self.threshold
+
+    def epoch_stamped(self) -> bool:
+        """True when every record carries a threshold-epoch stamp.
+
+        An epoch-stamped trace supports bitwise replay *even when the
+        threshold moved mid-trace*: each record's threshold is provably the
+        one its engine slot evaluated (the engine pins stamped knobs
+        per-slot), so the replayer can pin each request to its recorded
+        threshold/horizon instead of refusing.
+        """
+        return bool(self.records) and all(
+            record.epoch is not None and record.threshold is not None
+            for record in self.records
+        )
 
 
 def _encode_line(payload: Dict[str, Any]) -> str:
@@ -251,21 +272,35 @@ class TraceRecorder:
                 "service": round(float(result.service_time), 9),
                 "energy": result.energy,
                 "sla": sla_class,
+                "epoch": getattr(result, "epoch", None),
+                "horizon": getattr(result, "horizon", None),
+                "brownout": bool(getattr(result, "brownout", False)),
+                "priority": int(getattr(request, "priority", 1)),
             })
             self.records_written += 1
 
-    def record_rejection(self, request: Request, timestamp: float) -> None:
-        """Record one shed/rejected submission (queue-full backpressure)."""
+    def record_rejection(self, request: Request, timestamp: float,
+                         reason: Optional[str] = None) -> None:
+        """Record one shed/rejected submission.
+
+        ``reason`` distinguishes the shed paths: ``None``/"queue" for
+        queue-full backpressure, "storm" for storm-guard class sheds,
+        "deadline" for deadline-expired dispatch drops.
+        """
         digest = clip_digest(request.inputs)
         with self._lock:
             if self._closed:
                 return
-            self._write_line({
+            line = {
                 "kind": "reject",
                 "id": int(request.request_id),
                 "digest": digest.hex(),
                 "arrival": round(self._offset(timestamp), 9),
-            })
+            }
+            if reason is not None:
+                line["reason"] = str(reason)
+                line["priority"] = int(getattr(request, "priority", 1))
+            self._write_line(line)
             self.rejections_written += 1
 
     # ------------------------------------------------------------------ #
@@ -395,6 +430,10 @@ def load_trace(path: str, load_clips: bool = True) -> Trace:
                     service_time=float(payload.get("service", 0.0)),
                     energy=payload.get("energy"),
                     sla_class=payload.get("sla"),
+                    epoch=payload.get("epoch"),
+                    horizon=payload.get("horizon"),
+                    brownout=bool(payload.get("brownout", False)),
+                    priority=payload.get("priority"),
                 ))
             elif kind == "reject":
                 rejections.append(payload)
