@@ -1,0 +1,161 @@
+"""Offline SLA backtesting: what-if threshold sweeps over a recorded trace.
+
+The backtester (docs/OBSERVABILITY.md §5) answers the operator question the
+live SLA controller cannot: *what would last hour's traffic have cost under a
+different threshold schedule?*  This benchmark records a trace from a live
+serving run, sweeps a threshold grid over it with :class:`BacktestSweep`, and
+reports the resulting accuracy/EDP/exit trade-off table plus the Pareto
+frontier — the offline version of the paper's Fig. 5 curve, computed from
+replayed traffic instead of a test loader.
+
+Asserted (timing-free):
+
+* the recorded-knobs baseline reproduces the trace's own decisions and
+  decision-derived telemetry exactly (the sweep's honesty check);
+* the determinism contract — re-running the identical sweep on a 2-worker
+  composition leaves every candidate's per-request decisions and the Pareto
+  frontier bitwise identical (threshold-epoch pinning at work);
+* every Pareto point is an input candidate and none is dominated.
+
+Timed: the full sweep (oracle pass + every candidate replay) on the 2-worker
+composition, i.e. the wall-clock cost of answering one what-if grid.
+"""
+
+import os
+import tempfile
+
+from _bench_utils import SMOKE, emit, emit_bench_json, print_section
+from repro.core import EntropyExitPolicy
+from repro.imc import format_table
+from repro.serve import (
+    BacktestSweep,
+    LoadGenerator,
+    Server,
+    ThresholdSchedule,
+    TraceRecorder,
+    load_trace,
+    request_stream,
+)
+
+NUM_REQUESTS = 32 if SMOKE else 96
+BATCH_WIDTH = 8
+STREAM_SEED = 17
+THRESHOLDS = (0.05, 0.2, 0.5) if SMOKE else (0.02, 0.05, 0.1, 0.2, 0.35, 0.5)
+
+
+def _server(experiment, threshold, num_workers=1, trace=None, cost_model=None):
+    return Server(
+        experiment.model,
+        EntropyExitPolicy(threshold),
+        max_timesteps=experiment.timesteps,
+        batch_width=BATCH_WIDTH,
+        num_workers=num_workers,
+        trace=trace,
+        cost_model=cost_model,
+    ).start()
+
+
+def _record_trace(experiment, threshold, path):
+    recorder = TraceRecorder(path, meta={
+        "max_timesteps": experiment.timesteps,
+        "threshold": float(threshold),
+    })
+    server = _server(experiment, threshold, trace=recorder)
+    stream = request_stream(experiment.test_dataset, NUM_REQUESTS,
+                            seed=STREAM_SEED)
+    report = LoadGenerator(server).run(stream)
+    server.shutdown(drain=True)
+    recorder.close()
+    assert report.completed == NUM_REQUESTS
+    return load_trace(path)
+
+
+def test_serve_backtest_sweep(benchmark, suite):
+    experiment = suite.get("vgg", "cifar10")
+    point = experiment.calibrated_point()
+    chip = experiment.chip()
+    candidates = {
+        f"theta={t:g}": ThresholdSchedule.constant(t) for t in THRESHOLDS
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = _record_trace(experiment, point.threshold,
+                              os.path.join(tmp, "trace.jsonl"))
+
+        def run():
+            sweep = BacktestSweep(trace, candidates, cost_model=chip)
+            server = _server(experiment, point.threshold, num_workers=2)
+            try:
+                return sweep.run(server)
+            finally:
+                server.shutdown(drain=True)
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+        # Determinism contract: identical sweep, single-worker composition.
+        reference_sweep = BacktestSweep(trace, candidates, cost_model=chip)
+        server = _server(experiment, point.threshold, num_workers=1)
+        try:
+            reference = reference_sweep.run(server)
+        finally:
+            server.shutdown(drain=True)
+
+    # ---- invariants (timing-free) --------------------------------------- #
+    assert result.baseline_exact, result.baseline_mismatches
+    result.assert_decisions_equal(reference)
+    names = {c.name for c in result.candidates}
+    assert set(result.pareto) <= names
+    by_name = {c.name: c for c in result.candidates}
+    for name in result.pareto:
+        mine = by_name[name]
+        for other in result.candidates:
+            dominates = (
+                other.agreement >= mine.agreement
+                and other.edp_mean <= mine.edp_mean
+                and other.model_latency_p99 <= mine.model_latency_p99
+                and (other.agreement > mine.agreement
+                     or other.edp_mean < mine.edp_mean
+                     or other.model_latency_p99 < mine.model_latency_p99)
+            )
+            assert not dominates, f"{other.name} dominates Pareto point {name}"
+
+    # ---- report ---------------------------------------------------------- #
+    print_section("Offline SLA backtest: threshold what-if over a recorded trace")
+    emit(f"{NUM_REQUESTS} recorded requests, calibrated θ={point.threshold:.4f}, "
+         f"{len(candidates)} candidate(s) + recorded baseline; "
+         f"decisions bitwise-identical across 1- and 2-worker compositions")
+    rows = []
+    for candidate in result.candidates:
+        rows.append([
+            candidate.name + (" *" if candidate.name in result.pareto else ""),
+            candidate.agreement,
+            -1.0 if candidate.accuracy is None else candidate.accuracy,
+            candidate.mean_exit,
+            candidate.model_latency_p99,
+            -1.0 if candidate.edp_mean is None else candidate.edp_mean,
+        ])
+    emit(format_table(
+        ["candidate (*=Pareto)", "agreement", "accuracy", "avg exit T",
+         "model p99 (ns)", "EDP mean"],
+        rows, float_format="{:.4f}"))
+    emit(f"\nPareto frontier: {', '.join(result.pareto)}")
+
+    emit_bench_json("serve_backtest", {
+        "num_requests": NUM_REQUESTS,
+        "calibrated_threshold": float(point.threshold),
+        "thresholds": list(THRESHOLDS),
+        "baseline_exact": result.baseline_exact,
+        "cross_composition_identical": True,
+        "pareto": list(result.pareto),
+        "candidates": {
+            c.name: {
+                "agreement": c.agreement,
+                "accuracy": c.accuracy,
+                "mean_exit": c.mean_exit,
+                "edp_mean": c.edp_mean,
+                "model_latency_p99": c.model_latency_p99,
+                "decision_digest": c.digest,
+            }
+            for c in result.candidates
+        },
+    })

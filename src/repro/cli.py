@@ -21,6 +21,10 @@ without writing Python:
                    --record-trace`` against any server composition and verify
                    every decision bitwise (the cross-composition regression
                    gate; see docs/OBSERVABILITY.md).
+* ``backtest``   — offline SLA what-if: sweep candidate threshold/horizon
+                   schedules over a recorded trace, score each against the
+                   full-horizon oracle, and emit the Pareto frontier as a
+                   schema-v1 JSON artifact (docs/OBSERVABILITY.md §5).
 
 Example
 -------
@@ -61,6 +65,7 @@ from .serve import (
     PRIORITY_LOW,
     PRIORITY_NORMAL,
     AdaptiveThresholdController,
+    BacktestSweep,
     LoadGenerator,
     MetricsRegistry,
     Server,
@@ -68,6 +73,7 @@ from .serve import (
     StormConfig,
     StormPhase,
     StormState,
+    ThresholdSchedule,
     TraceRecorder,
     TraceReplayer,
     calibrated_threshold_bounds,
@@ -238,6 +244,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the checkpoint recorded in the trace header")
     replay.add_argument("--reference-path", action="store_true",
                         help="replay on the define-by-run Tensor oracle")
+
+    backtest = subparsers.add_parser(
+        "backtest", help="offline SLA what-if: sweep candidate threshold "
+                         "schedules over a recorded trace and emit the "
+                         "Pareto frontier as a JSON artifact"
+    )
+    backtest.add_argument("--trace", required=True,
+                          help="trace recorded with `serve --record-trace`")
+    backtest.add_argument("--thresholds", type=float, nargs="+",
+                          default=[0.05, 0.2, 0.5],
+                          help="candidate entropy thresholds (each becomes a "
+                               "constant schedule)")
+    backtest.add_argument("--horizons", type=int, nargs="+", default=None,
+                          help="optional candidate horizon caps crossed with "
+                               "--thresholds (default: the trace horizon)")
+    backtest.add_argument("--workers", type=int, default=1,
+                          help="worker threads for the backtest composition")
+    backtest.add_argument("--replicas", type=int, default=0,
+                          help="worker processes for the backtest composition")
+    backtest.add_argument("--batch-width", type=int, default=None,
+                          help="override the recorded batch width")
+    backtest.add_argument("--queue-capacity", type=int, default=None,
+                          help="override the recorded queue capacity")
+    backtest.add_argument("--with-energy", action="store_true",
+                          help="price candidates on the Table-I IMC chip "
+                               "(enables the energy/EDP Pareto axes)")
+    backtest.add_argument("--out", default="BACKTEST_sweep.json",
+                          help="path for the schema-v1 sweep artifact")
+    backtest.add_argument("--no-decisions", action="store_true",
+                          help="omit per-request decisions from the artifact "
+                               "(keeps only the digests)")
+    backtest.add_argument("--no-baseline", action="store_true",
+                          help="skip the recorded-knobs baseline candidate "
+                               "and its exactness gate")
+    backtest.add_argument("--cross-check", action="store_true",
+                          help="re-run the sweep on a 1-worker composition "
+                               "and fail unless every decision and the "
+                               "Pareto frontier are bitwise identical")
+    backtest.add_argument("--checkpoint", default=None,
+                          help="override the checkpoint recorded in the trace header")
+    backtest.add_argument("--reference-path", action="store_true",
+                          help="backtest on the define-by-run Tensor oracle")
     return parser
 
 
@@ -861,18 +909,14 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_replay(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
-    if trace.truncated:
-        print("note: trace had a truncated tail; replaying the recovered prefix")
+def _namespace_from_trace(trace, args: argparse.Namespace,
+                          with_energy: bool = False) -> argparse.Namespace:
+    """Rebuild the identical serving context from a trace header: same seeded
+    dataset + in-process training (or checkpoint), threshold pinned to the
+    recorded one so calibration cannot drift the decisions.  Shared by
+    ``replay`` and ``backtest`` — both must serve the exact recorded model."""
     header = trace.header
-    if not header:
-        print("REPLAY FAIL: trace has no header (not a serve --record-trace file?)")
-        return 1
-    # Rebuild the identical serving context from the header: same seeded
-    # dataset + in-process training (or checkpoint), threshold pinned to the
-    # recorded one so calibration cannot drift the decisions.
-    ns = argparse.Namespace(
+    return argparse.Namespace(
         dataset=header.get("dataset", "cifar10"),
         arch=header.get("arch", "vgg"),
         preset=header.get("preset", "tiny"),
@@ -886,7 +930,7 @@ def _command_replay(args: argparse.Namespace) -> int:
         threshold=trace.fixed_threshold(),
         tolerance=float(header.get("tolerance", 0.005)),
         target_p95_ms=None,
-        with_energy=False,
+        with_energy=with_energy,
         batch_width=(args.batch_width if args.batch_width is not None
                      else int(header.get("batch_width", 8))),
         queue_capacity=(args.queue_capacity if args.queue_capacity is not None
@@ -895,6 +939,17 @@ def _command_replay(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         reference_path=args.reference_path,
     )
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    if trace.truncated:
+        print("note: trace had a truncated tail; replaying the recovered prefix")
+    if not trace.header:
+        print("REPLAY FAIL: trace has no header (not a serve --record-trace file?)")
+        return 1
+    header = trace.header
+    ns = _namespace_from_trace(trace, args)
     verify = not args.no_verify
     if ns.threshold is None:
         if trace.epoch_stamped():
@@ -948,6 +1003,96 @@ def _command_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_backtest(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    if trace.truncated:
+        print("note: trace had a truncated tail; backtesting the recovered prefix")
+    if not trace.header:
+        print("BACKTEST FAIL: trace has no header (not a serve --record-trace file?)")
+        return 1
+    ns = _namespace_from_trace(trace, args, with_energy=args.with_energy)
+    if ns.threshold is None:
+        # A moving-threshold (controller) trace: the backtester pins every
+        # request's knobs explicitly, so the live policy threshold only seeds
+        # the server — any valid value works.
+        ns.threshold = float(trace.header.get("threshold",
+                                              trace.records[0].threshold or 0.5))
+
+    horizons = args.horizons if args.horizons else [None]
+    candidates = {}
+    for threshold in args.thresholds:
+        for horizon in horizons:
+            name = f"theta={threshold:g}"
+            if horizon is not None:
+                name += f",T<={int(horizon)}"
+            candidates[name] = ThresholdSchedule.constant(threshold, horizon)
+
+    model, test, collected, policy, controller, cost_model = _prepare_serving(ns)
+
+    def run_sweep(workers: int, replicas: int):
+        composition = argparse.Namespace(**{**vars(ns), "workers": workers,
+                                            "replicas": replicas})
+        sweep = BacktestSweep(trace, candidates,
+                              include_baseline=not args.no_baseline,
+                              cost_model=cost_model)
+        server = _build_server(composition, model, policy, controller,
+                               cost_model).start()
+        try:
+            return sweep.run(server)
+        finally:
+            server.shutdown(drain=True)
+
+    result = run_sweep(args.workers, args.replicas)
+
+    composition = (f"{args.replicas} process replica(s)" if args.replicas
+                   else f"{args.workers} worker thread(s)")
+    rows = []
+    for candidate in result.candidates:
+        scores = candidate.score_row()
+        rows.append([
+            candidate.name + (" *" if candidate.name in result.pareto else ""),
+            scores["agreement"],
+            -1.0 if scores["accuracy"] is None else scores["accuracy"],
+            scores["mean_exit"],
+            scores["model_latency_p99"],
+            -1.0 if scores["edp_mean"] is None else scores["edp_mean"],
+        ])
+    print(format_table(
+        ["candidate (*=Pareto)", "agreement", "accuracy", "avg exit T",
+         "model p99", "EDP mean"],
+        rows, title=f"Backtest sweep against {composition}",
+        float_format="{:.4f}"))
+    print(f"Pareto frontier: {', '.join(result.pareto)}")
+
+    failed = False
+    if not args.no_baseline:
+        if result.baseline_exact:
+            print(f"BACKTEST PASS: recorded baseline reproduced the trace's "
+                  f"{len(trace.records)} decisions and telemetry exactly")
+        else:
+            for mismatch in result.baseline_mismatches[:10]:
+                print(f"BACKTEST FAIL: {mismatch}")
+            failed = True
+
+    if args.cross_check:
+        reference = run_sweep(1, 0)
+        try:
+            result.assert_decisions_equal(reference)
+        except AssertionError as error:
+            print(f"BACKTEST FAIL: {error}")
+            failed = True
+        else:
+            print(f"BACKTEST PASS: all {len(result.candidates)} candidates "
+                  f"decision-identical between {composition} and 1 worker "
+                  "thread(s); Pareto frontier unchanged")
+
+    result.to_json(args.out, include_decisions=not args.no_decisions)
+    print(f"sweep artifact written to {args.out} "
+          f"(schema v{result.to_document()['schema_version']}, "
+          f"render with tools/backtest_report.py)")
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "train": _command_train,
     "evaluate": _command_evaluate,
@@ -956,6 +1101,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "loadgen": _command_loadgen,
     "replay": _command_replay,
+    "backtest": _command_backtest,
 }
 
 

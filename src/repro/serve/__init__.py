@@ -43,6 +43,12 @@ this package turns that saving into *throughput*.  The pieces, front to back:
 * :class:`SpanTracker` / :class:`MetricsRegistry` — per-request lifecycle
   spans (queued → dispatched → admitted → exited → completed) and a
   Prometheus/JSON-exportable metrics registry fed by :class:`Telemetry`.
+* :class:`Backtester` / :class:`BacktestSweep` — offline SLA backtesting:
+  replays a recorded trace under *candidate* :class:`ThresholdSchedule`
+  knobs instead of the recorded ones, scores each candidate against the
+  full-horizon oracle, and emits a Pareto frontier (agreement vs. EDP vs.
+  modeled p99) whose decisions are bitwise-identical across server
+  compositions (docs/OBSERVABILITY.md §5).
 
 Quickstart::
 
@@ -55,6 +61,18 @@ Quickstart::
     print(report.throughput_rps, server.stats()["latency_p95"])
 """
 
+from .backtest import (
+    BACKTEST_SCHEMA_VERSION,
+    Backtester,
+    BacktestSweep,
+    CandidateResult,
+    RecordedSchedule,
+    ScheduleSegment,
+    SweepResult,
+    ThresholdSchedule,
+    decision_digest,
+    pareto_frontier,
+)
 from .batcher import ContinuousBatcher
 from .controller import AdaptiveThresholdController, calibrated_threshold_bounds
 from .engine import AdmissionRejectedError, CompletedSample, InferenceEngine
@@ -143,6 +161,16 @@ __all__ = [
     "TraceReplayer",
     "ReplayReport",
     "ReplayMismatch",
+    "BACKTEST_SCHEMA_VERSION",
+    "Backtester",
+    "BacktestSweep",
+    "CandidateResult",
+    "RecordedSchedule",
+    "ScheduleSegment",
+    "SweepResult",
+    "ThresholdSchedule",
+    "decision_digest",
+    "pareto_frontier",
     "SpanTracker",
     "RequestSpan",
     "SPAN_STAGES",

@@ -68,13 +68,26 @@ class ReplayMismatch:
 
 @dataclass
 class ReplayReport:
-    """Outcome of one replay run."""
+    """Outcome of one replay run.
+
+    ``exit_histogram``, ``mean_exit`` and the energy/EDP aggregates are
+    computed from *this replay's own results* — not the server's cumulative
+    telemetry — and are filled on every run, including ``verify=False``
+    load-source replays (the backtester scores candidates from exactly these
+    aggregates).  Energy fields stay ``None`` when the serving results carry
+    no energy (no cost model attached).
+    """
 
     offered: int
     completed: int
     duration: float
     mismatches: List[ReplayMismatch] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    exit_histogram: List[int] = field(default_factory=list)
+    mean_exit: float = 0.0
+    energy_mean: Optional[float] = None
+    energy_total: Optional[float] = None
+    edp_mean: Optional[float] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -231,12 +244,26 @@ class TraceReplayer:
                         recorded_threshold=record.threshold,
                         replayed_threshold=result.threshold,
                     ))
+        exits = np.array([result.exit_timestep for _, result in results],
+                         dtype=np.int64)
+        histogram = (np.bincount(exits, minlength=server.max_timesteps + 1)[1:]
+                     if exits.size else np.zeros(server.max_timesteps,
+                                                 dtype=np.int64))
+        energies = np.array([result.energy for _, result in results
+                             if result.energy is not None])
+        edps = np.array([result.edp for _, result in results
+                         if result.edp is not None])
         return ReplayReport(
             offered=len(records),
             completed=len(results),
             duration=duration,
             mismatches=mismatches,
             stats=server.stats(),
+            exit_histogram=[int(c) for c in histogram],
+            mean_exit=float(exits.mean()) if exits.size else 0.0,
+            energy_mean=float(energies.mean()) if energies.size else None,
+            energy_total=float(energies.sum()) if energies.size else None,
+            edp_mean=float(edps.mean()) if edps.size else None,
         )
 
     def assert_exact(self, report: ReplayReport) -> None:

@@ -1,0 +1,186 @@
+"""Hypothesis property tests for the backtest Pareto frontier and the
+threshold-schedule algebra.
+
+Pareto laws (over randomly generated score points):
+
+* **soundness** — no kept point is dominated by any input point;
+* **identity** — every kept point comes from the input set, and every
+  non-dominated input point is kept;
+* **order invariance** — permuting the input changes neither membership nor
+  the (canonical) output order.
+
+Schedule laws (over randomly generated piecewise schedules and offsets):
+
+* **totality** — every offset maps to exactly one segment (negative recorded
+  offsets — arrivals before the first *completed* request — land in the
+  opening segment), so a schedule is total over any trace span;
+* **boundary assignment** — a segment-start offset belongs to the segment
+  that starts there and its immediate predecessor offset to the previous
+  one (half-open interval semantics);
+* **reconstruction** — ``from_trace`` evaluates back to each record's own
+  recorded knobs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import ScheduleSegment, ThresholdSchedule, pareto_frontier
+from repro.serve.trace import Trace, TraceRecord
+
+AXES_MAX = ("agreement",)
+AXES_MIN = ("edp_mean", "model_latency_p99")
+
+
+def points(min_size=0, max_size=12):
+    scalar = st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)
+    point = st.fixed_dictionaries({
+        "agreement": scalar,
+        "edp_mean": st.one_of(st.none(), scalar),
+        "model_latency_p99": scalar,
+    })
+    return st.lists(point, min_size=min_size, max_size=max_size)
+
+
+def _dominates(a, b):
+    def value(p, axis, sign):
+        v = p.get(axis)
+        return float("inf") if v is None else sign * v
+
+    axes = [(n, -1.0) for n in AXES_MAX] + [(n, 1.0) for n in AXES_MIN]
+    mine = [value(a, n, s) for n, s in axes]
+    theirs = [value(b, n, s) for n, s in axes]
+    return (all(m <= t for m, t in zip(mine, theirs))
+            and any(m < t for m, t in zip(mine, theirs)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(points())
+def test_no_kept_point_is_dominated(pts):
+    frontier = pareto_frontier(pts)
+    for kept in frontier:
+        assert not any(_dominates(other, kept) for other in pts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points())
+def test_every_kept_point_is_from_the_input(pts):
+    frontier = pareto_frontier(pts)
+    for kept in frontier:
+        assert any(kept is p for p in pts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points(min_size=1))
+def test_every_nondominated_input_point_is_kept(pts):
+    frontier = pareto_frontier(pts)
+    kept_ids = {id(p) for p in frontier}
+    for p in pts:
+        if not any(_dominates(other, p) for other in pts):
+            assert id(p) in kept_ids
+
+
+@settings(max_examples=60, deadline=None)
+@given(points(), st.randoms(use_true_random=False))
+def test_frontier_is_order_invariant_under_permutation(pts, rng):
+    shuffled = list(pts)
+    rng.shuffle(shuffled)
+    original = pareto_frontier(pts)
+    permuted = pareto_frontier(shuffled)
+    key = lambda p: (p["agreement"], p["edp_mean"], p["model_latency_p99"])
+    assert [key(p) for p in original] == [key(p) for p in permuted]
+
+
+def test_empty_and_axisless_inputs():
+    assert pareto_frontier([]) == []
+    # No live axes at all: nothing is comparable, everything is kept.
+    opaque = [{"foo": 1}, {"foo": 2}]
+    assert pareto_frontier(opaque) == opaque
+
+
+# --------------------------------------------------------------------------- #
+# Schedule algebra
+# --------------------------------------------------------------------------- #
+def schedules():
+    def build(raw):
+        starts = [0.0]
+        for gap in raw["gaps"]:
+            starts.append(starts[-1] + gap)
+        return ThresholdSchedule([
+            ScheduleSegment(start, threshold, horizon)
+            for start, threshold, horizon in zip(
+                starts, raw["thresholds"], raw["horizons"])
+        ])
+
+    n = st.integers(min_value=1, max_value=6)
+    return n.flatmap(lambda size: st.fixed_dictionaries({
+        "gaps": st.lists(
+            st.floats(0.001, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=size - 1, max_size=size - 1),
+        "thresholds": st.lists(
+            st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+            min_size=size, max_size=size),
+        "horizons": st.lists(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+            min_size=size, max_size=size),
+    }).map(build))
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedules(),
+       st.floats(-1.0, 1000.0, allow_nan=False, allow_infinity=False))
+def test_every_offset_lands_in_exactly_one_segment(schedule, offset):
+    index = schedule.segment_index(offset)
+    assert 0 <= index < len(schedule.segments)
+    segment = schedule.segments[index]
+    if offset < 0.0:
+        # WAL offsets are relative to the first *completed* request, so
+        # earlier arrivals are slightly negative: opening segment by fiat.
+        assert index == 0
+    else:
+        assert segment.start <= offset
+        if index + 1 < len(schedule.segments):
+            assert offset < schedule.segments[index + 1].start
+    # knobs_at is total and consistent with the located segment.
+    assert schedule.knobs_at(offset) == (segment.threshold, segment.horizon)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedules())
+def test_boundary_offsets_belong_to_the_starting_segment(schedule):
+    for i, segment in enumerate(schedule.segments):
+        assert schedule.segment_index(segment.start) == i
+        if i > 0:
+            # Just below the boundary: still the previous segment.
+            before = segment.start - min(1e-9, segment.start / 2.0)
+            if before < segment.start:  # guard float underflow at tiny starts
+                assert schedule.segment_index(before) == i - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedules())
+def test_segments_partition_by_construction(schedule):
+    starts = [segment.start for segment in schedule.segments]
+    assert starts[0] == 0.0
+    assert starts == sorted(starts)
+    assert len(set(starts)) == len(starts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+              st.sampled_from([0.1, 0.3, 0.6, 0.9])),
+    min_size=1, max_size=10, unique_by=lambda pair: pair[0]))
+def test_from_trace_evaluates_back_to_recorded_knobs(arrivals):
+    """Knob changes *between* arrivals reconstruct losslessly (same-offset
+    knob changes are the documented exception — use RecordedSchedule)."""
+    records = [
+        TraceRecord(request_id=i, digest="00", arrival_offset=offset,
+                    exit_timestep=1, prediction=0, score=0.5,
+                    threshold=threshold, horizon=4)
+        for i, (offset, threshold) in enumerate(sorted(arrivals))
+    ]
+    trace = Trace(header={}, records=records, rejections=[], clips={})
+    schedule = ThresholdSchedule.from_trace(trace)
+    for record in records:
+        assert schedule.knobs_for(record) == (record.threshold, record.horizon)

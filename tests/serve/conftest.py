@@ -1,0 +1,116 @@
+"""Session-scoped serving fixtures shared across ``tests/serve/``.
+
+The serving tests all want the same three things: a small deterministic
+model whose entropy actually moves (so early exits happen at interesting
+timesteps), a batch of seeded clips, and a recorded trace to replay.  Before
+this conftest each module kept its own copy of that record-a-trace dance;
+now one canonical trace is recorded once per session and handed to the
+replay, storm and backtest suites alike.
+
+Everything is exposed as fixtures (not importable helpers) because the test
+directories carry no ``__init__.py`` — ``conftest.py`` is the only module
+pytest guarantees to be on the path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import EntropyExitPolicy
+from repro.serve import Server, TraceRecorder, load_trace
+from repro.snn import spiking_vgg
+from repro.utils import seed_everything
+
+SERVE_TIMESTEPS = 4
+SERVE_NUM_CLASSES = 6
+SERVE_IMAGE_SIZE = 10
+SERVE_THRESHOLD = 0.5
+
+
+@pytest.fixture(scope="session")
+def serve_constants():
+    """The canonical serving-test geometry, for tests that build their own
+    servers around the shared model."""
+    return {
+        "timesteps": SERVE_TIMESTEPS,
+        "num_classes": SERVE_NUM_CLASSES,
+        "image_size": SERVE_IMAGE_SIZE,
+        "threshold": SERVE_THRESHOLD,
+    }
+
+
+@pytest.fixture(scope="session")
+def served_model():
+    """The canonical tiny serving model (seeded, classifier boosted so the
+    output distribution sharpens enough for entropy exits to spread across
+    timesteps).  Session-scoped: servers only read the weights, and seeded
+    construction makes it bitwise-identical to a per-test rebuild."""
+    seed_everything(47)
+    model = spiking_vgg(
+        "tiny", num_classes=SERVE_NUM_CLASSES, input_size=SERVE_IMAGE_SIZE,
+        default_timesteps=SERVE_TIMESTEPS,
+    ).eval()
+    for parameter in model.classifier.parameters():
+        parameter.data = parameter.data * np.float32(25.0)
+    return model
+
+
+@pytest.fixture(scope="session")
+def make_clips():
+    """Seeded clip batches: ``make_clips(batch, seed=3)``."""
+
+    def _make(batch: int, seed: int = 3) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.random(
+            (batch, 3, SERVE_IMAGE_SIZE, SERVE_IMAGE_SIZE)
+        ).astype(np.float32)
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def record_trace():
+    """The record-a-trace dance as a callable:
+    ``record_trace(model, xs, path, labels=None, meta=None)`` runs one live
+    1-worker serve over ``xs`` with a :class:`TraceRecorder` attached and
+    returns the loaded :class:`Trace`."""
+
+    def _record(model, xs, path, labels=None, meta=None):
+        base_meta = {"threshold": SERVE_THRESHOLD,
+                     "max_timesteps": SERVE_TIMESTEPS}
+        base_meta.update(meta or {})
+        recorder = TraceRecorder(str(path), meta=base_meta)
+        server = Server(
+            model, EntropyExitPolicy(SERVE_THRESHOLD),
+            max_timesteps=SERVE_TIMESTEPS, batch_width=3, queue_capacity=64,
+            use_runtime=True, trace=recorder,
+        ).start()
+        try:
+            futures = [
+                server.submit(x, label=None if labels is None else labels[i])
+                for i, x in enumerate(xs)
+            ]
+            for future in futures:
+                future.result(timeout=60.0)
+        finally:
+            server.shutdown(drain=True)
+            recorder.close()
+        return load_trace(str(path))
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def canonical_trace(served_model, make_clips, record_trace, tmp_path_factory):
+    """One canonical recorded trace per session: 12 labelled clips served by
+    the canonical model at the canonical threshold.  Returns
+    ``(model, trace)``.  Consumers replay it (cross-composition gate), feed
+    it through a storm-guarded server, and backtest candidate schedules over
+    it — all against the same recording."""
+    xs = make_clips(12, seed=11)
+    labels = [i % SERVE_NUM_CLASSES for i in range(len(xs))]
+    path = tmp_path_factory.mktemp("canonical-trace") / "canonical.jsonl"
+    trace = record_trace(served_model, xs, path, labels=labels)
+    assert len(trace.records) == len(xs)
+    return served_model, trace

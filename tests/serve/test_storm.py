@@ -822,3 +822,32 @@ class TestStormFaultInjection:
             if server.storm.observe() == StormState.NORMAL:
                 break
         assert server.storm.state == StormState.NORMAL
+
+
+# --------------------------------------------------------------------------- #
+class TestStormGuardCanonicalReplay:
+    """The session's canonical trace through a storm-*guarded* server: a calm
+    guard (NORMAL throughout) must be decision-invisible — every replayed
+    prediction and exit timestep bitwise equals the unguarded recording, and
+    nothing is shed or browned out.  This is the admission-path analogue of
+    the cross-composition gate: adding the guard to the stack cannot move a
+    decision the guard never acted on."""
+
+    def test_calm_guard_is_decision_invisible(self, canonical_trace):
+        model, trace = canonical_trace
+        config = StormConfig(queue_warn=0.9, queue_storm=0.95)
+        server = Server(
+            model, EntropyExitPolicy(THRESHOLD), max_timesteps=TIMESTEPS,
+            batch_width=3, queue_capacity=64, use_runtime=True, storm=config,
+        ).start()
+        try:
+            report = TraceReplayer(trace).replay(server, result_timeout=60.0)
+        finally:
+            server.shutdown(drain=True)
+        assert report.exact, [str(m) for m in report.mismatches]
+        assert server.storm.state == StormState.NORMAL
+        assert server.telemetry.snapshot().get("shed", 0.0) == 0.0
+        # The replay aggregates match the recording, guard or no guard.
+        recorded = [r.exit_timestep for r in trace.records]
+        assert report.mean_exit == pytest.approx(float(np.mean(recorded)))
+        assert sum(report.exit_histogram) == len(trace.records)

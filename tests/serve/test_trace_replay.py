@@ -13,6 +13,10 @@ Three contracts pinned here:
    workers and process replicas alike.  Per-sample batch invariance is what
    makes this well-defined; the replayer's refusal cases (missing clips,
    moving threshold, mismatched server knobs) keep it honest.
+
+The model, clip batches and the canonical recorded trace come from the
+session-scoped fixtures in ``tests/serve/conftest.py`` (shared with the
+storm and backtest suites).
 """
 
 from __future__ import annotations
@@ -31,29 +35,11 @@ from repro.serve import (
     clip_digest,
     load_trace,
 )
-from repro.snn import spiking_vgg
-from repro.utils import seed_everything
 
 TIMESTEPS = 4
 NUM_CLASSES = 6
 IMAGE_SIZE = 10
 THRESHOLD = 0.5
-
-
-def _model(seed=47):
-    seed_everything(seed)
-    model = spiking_vgg(
-        "tiny", num_classes=NUM_CLASSES, input_size=IMAGE_SIZE,
-        default_timesteps=TIMESTEPS,
-    ).eval()
-    for parameter in model.classifier.parameters():
-        parameter.data = parameter.data * np.float32(25.0)
-    return model
-
-
-def _inputs(batch, seed=3):
-    rng = np.random.default_rng(seed)
-    return rng.random((batch, 3, IMAGE_SIZE, IMAGE_SIZE)).astype(np.float32)
 
 
 def _server(model, *, num_workers=1, num_replicas=0, trace=None, capacity=64):
@@ -65,32 +51,14 @@ def _server(model, *, num_workers=1, num_replicas=0, trace=None, capacity=64):
     )
 
 
-def _record(model, xs, path, labels=None, meta=None):
-    """One live 1-worker serve run recorded to ``path``; returns the Trace."""
-    base_meta = {"threshold": THRESHOLD, "max_timesteps": TIMESTEPS}
-    base_meta.update(meta or {})
-    recorder = TraceRecorder(str(path), meta=base_meta)
-    server = _server(model, trace=recorder).start()
-    try:
-        futures = [
-            server.submit(x, label=None if labels is None else labels[i])
-            for i, x in enumerate(xs)
-        ]
-        for future in futures:
-            future.result(timeout=60.0)
-    finally:
-        server.shutdown(drain=True)
-        recorder.close()
-    return load_trace(str(path))
-
-
 # --------------------------------------------------------------------------- #
 class TestWalRoundTrip:
-    def test_recorded_run_loads_back_intact(self, tmp_path):
-        model = _model()
-        xs = _inputs(10)
+    def test_recorded_run_loads_back_intact(self, tmp_path, served_model,
+                                            make_clips, record_trace):
+        xs = make_clips(10)
         labels = list(range(10))
-        trace = _record(model, xs, tmp_path / "t.jsonl", labels=labels)
+        trace = record_trace(served_model, xs, tmp_path / "t.jsonl",
+                             labels=labels)
 
         assert not trace.truncated
         assert trace.header["version"] == 1
@@ -116,18 +84,19 @@ class TestWalRoundTrip:
             assert record.arrival_offset >= 0.0
             assert record.service_time >= 0.0
 
-    def test_clip_store_dedupes_by_content(self, tmp_path):
-        model = _model()
-        clip = _inputs(1)[0]
+    def test_clip_store_dedupes_by_content(self, tmp_path, served_model,
+                                           make_clips, record_trace):
+        clip = make_clips(1)[0]
         xs = [clip.copy() for _ in range(6)]  # same bytes, 6 requests
-        trace = _record(model, xs, tmp_path / "t.jsonl")
+        trace = record_trace(served_model, xs, tmp_path / "t.jsonl")
         assert len(trace.records) == 6
         assert len(trace.clips) == 1  # content-addressed: one stored frame
 
-    def test_rejection_round_trip_and_close_idempotent(self, tmp_path):
+    def test_rejection_round_trip_and_close_idempotent(self, tmp_path,
+                                                       make_clips):
         path = tmp_path / "t.jsonl"
         recorder = TraceRecorder(str(path), meta={"threshold": 0.7})
-        clip = _inputs(1)[0]
+        clip = make_clips(1)[0]
         recorder.record_rejection(Request(request_id=5, inputs=clip), 12.5)
         recorder.record_rejection(Request(request_id=6, inputs=clip), 13.0)
         assert recorder.rejections_written == 2
@@ -144,11 +113,11 @@ class TestWalRoundTrip:
         assert trace.rejections[0]["arrival"] == 0.0
         assert trace.rejections[1]["arrival"] == pytest.approx(0.5)
 
-    def test_store_clips_false_records_events_only(self, tmp_path):
+    def test_store_clips_false_records_events_only(self, tmp_path, make_clips):
         path = tmp_path / "t.jsonl"
         with TraceRecorder(str(path), store_clips=False) as recorder:
             recorder.record_rejection(
-                Request(request_id=0, inputs=_inputs(1)[0]), 0.0
+                Request(request_id=0, inputs=make_clips(1)[0]), 0.0
             )
         trace = load_trace(str(path))
         assert trace.header["store_clips"] is False
@@ -158,12 +127,14 @@ class TestWalRoundTrip:
 
 # --------------------------------------------------------------------------- #
 class TestWalRecovery:
-    def _recorded(self, tmp_path):
-        model = _model()
-        return _record(model, _inputs(8), tmp_path / "t.jsonl"), tmp_path / "t.jsonl"
+    def _recorded(self, tmp_path, served_model, make_clips, record_trace):
+        path = tmp_path / "t.jsonl"
+        return record_trace(served_model, make_clips(8), path), path
 
-    def test_torn_tail_line_drops_only_the_tail(self, tmp_path):
-        trace, path = self._recorded(tmp_path)
+    def test_torn_tail_line_drops_only_the_tail(self, tmp_path, served_model,
+                                                make_clips, record_trace):
+        trace, path = self._recorded(tmp_path, served_model, make_clips,
+                                     record_trace)
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"kind":"request","id":99')  # crash mid-append
         recovered = load_trace(str(path))
@@ -173,8 +144,12 @@ class TestWalRecovery:
             r.request_id for r in trace.records
         ]
 
-    def test_corrupt_crc_ends_the_scan_at_the_bad_line(self, tmp_path):
-        _, path = self._recorded(tmp_path)
+    def test_corrupt_crc_ends_the_scan_at_the_bad_line(self, tmp_path,
+                                                       served_model,
+                                                       make_clips,
+                                                       record_trace):
+        _, path = self._recorded(tmp_path, served_model, make_clips,
+                                 record_trace)
         lines = open(path, encoding="utf-8").read().splitlines(keepends=True)
         # Flip payload bytes in the 4th line (header + 3 records survive).
         lines[4] = lines[4].replace('"kind":"request"', '"kind":"requesX"')
@@ -184,8 +159,11 @@ class TestWalRecovery:
         assert recovered.truncated
         assert len(recovered.records) == 3  # longest valid prefix
 
-    def test_truncated_clip_store_keeps_whole_frames(self, tmp_path):
-        trace, path = self._recorded(tmp_path)
+    def test_truncated_clip_store_keeps_whole_frames(self, tmp_path,
+                                                     served_model, make_clips,
+                                                     record_trace):
+        trace, path = self._recorded(tmp_path, served_model, make_clips,
+                                     record_trace)
         clips_path = str(path) + ".clips"
         size = len(open(clips_path, "rb").read())
         with open(clips_path, "rb+") as handle:
@@ -225,8 +203,8 @@ class TestReplayerRefusals:
         with pytest.raises(ValueError, match="missing from the clip store"):
             TraceReplayer(trace)
 
-    def test_moving_threshold_refused_unless_unverified(self):
-        clip = _inputs(1)[0]
+    def test_moving_threshold_refused_unless_unverified(self, make_clips):
+        clip = make_clips(1)[0]
         digest = clip_digest(clip).hex()
         records = [
             _fake_record(0, digest=digest, threshold=0.4),
@@ -240,9 +218,8 @@ class TestReplayerRefusals:
         replayer = TraceReplayer(trace, verify=False)
         assert replayer.verify is False
 
-    def test_check_server_rejects_mismatched_knobs(self, tmp_path):
-        model = _model()
-        trace = _record(model, _inputs(4), tmp_path / "t.jsonl")
+    def test_check_server_rejects_mismatched_knobs(self, canonical_trace):
+        model, trace = canonical_trace
         replayer = TraceReplayer(trace)
 
         wrong_threshold = Server(
@@ -264,20 +241,14 @@ class TestReplayerRefusals:
 class TestCrossCompositionReplay:
     """The canonical gate: one recorded trace, bitwise-exact everywhere."""
 
-    @pytest.fixture(scope="class")
-    def recorded(self, tmp_path_factory):
-        model = _model()
-        xs = _inputs(12, seed=11)
-        path = tmp_path_factory.mktemp("trace") / "canonical.jsonl"
-        return model, _record(model, xs, path)
-
     @pytest.mark.parametrize(
         "num_workers,num_replicas",
         [(1, 0), (2, 0), (1, 1), (1, 2)],
         ids=["1-worker", "2-workers", "1-replica", "2-replicas"],
     )
-    def test_replay_is_bitwise_exact(self, recorded, num_workers, num_replicas):
-        model, trace = recorded
+    def test_replay_is_bitwise_exact(self, canonical_trace, num_workers,
+                                     num_replicas):
+        model, trace = canonical_trace
         server = _server(
             model, num_workers=num_workers, num_replicas=num_replicas
         ).start()
@@ -290,8 +261,56 @@ class TestCrossCompositionReplay:
         assert report.completed == report.offered == len(trace.records)
         replayer.assert_exact(report)
 
-    def test_assert_exact_diff_is_readable(self, recorded):
-        _, trace = recorded
+    def test_report_carries_decision_aggregates(self, canonical_trace):
+        """Satellite: exit-histogram and energy/EDP aggregates are computed
+        from the replay's own results, on the verifying AND the
+        ``verify=False`` path (the backtester scores from these)."""
+        model, trace = canonical_trace
+        for verify in (True, False):
+            server = _server(model).start()
+            try:
+                report = TraceReplayer(trace, verify=verify).replay(
+                    server, result_timeout=60.0)
+            finally:
+                server.shutdown(drain=True)
+            assert len(report.exit_histogram) == TIMESTEPS
+            assert sum(report.exit_histogram) == len(trace.records)
+            recorded_exits = [r.exit_timestep for r in trace.records]
+            expected = np.bincount(recorded_exits,
+                                   minlength=TIMESTEPS + 1)[1:]
+            assert report.exit_histogram == [int(c) for c in expected]
+            assert report.mean_exit == pytest.approx(
+                float(np.mean(recorded_exits)))
+            # No cost model on this server: energy stays None, not 0.0.
+            assert report.energy_mean is None
+            assert report.energy_total is None
+            assert report.edp_mean is None
+
+    def test_report_energy_aggregates_with_cost_model(self, canonical_trace):
+        from repro.imc import IMCChip
+
+        model, trace = canonical_trace
+        sample = np.stack([trace.clips[r.digest] for r in trace.records[:4]])
+        chip = IMCChip.from_network(model, sample, num_classes=NUM_CLASSES)
+        server = Server(
+            model, EntropyExitPolicy(THRESHOLD), max_timesteps=TIMESTEPS,
+            batch_width=3, use_runtime=True, cost_model=chip,
+        ).start()
+        try:
+            report = TraceReplayer(trace, verify=False).replay(
+                server, result_timeout=60.0)
+        finally:
+            server.shutdown(drain=True)
+        # Energy is priced per request from the recorded exits; the replay
+        # aggregates must match pricing the trace's own exit timesteps.
+        expected = [chip.energy(r.exit_timestep) for r in trace.records]
+        assert report.energy_total == pytest.approx(sum(expected))
+        assert report.energy_mean == pytest.approx(
+            sum(expected) / len(expected))
+        assert report.edp_mean is not None and report.edp_mean > 0.0
+
+    def test_assert_exact_diff_is_readable(self, canonical_trace):
+        _, trace = canonical_trace
         replayer = TraceReplayer(trace)
         from repro.serve import ReplayMismatch, ReplayReport
 
@@ -303,8 +322,9 @@ class TestCrossCompositionReplay:
         with pytest.raises(AssertionError, match="request 7"):
             replayer.assert_exact(report)
 
-    def test_honored_arrivals_pace_through_injectable_clock(self, recorded):
-        model, trace = recorded
+    def test_honored_arrivals_pace_through_injectable_clock(self,
+                                                            canonical_trace):
+        model, trace = canonical_trace
         sleeps = []
 
         class FakeClock:
