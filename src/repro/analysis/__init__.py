@@ -1,0 +1,70 @@
+"""Static verification for the serving/runtime stack (docs/ANALYSIS.md).
+
+Three analyzers, one package:
+
+* :mod:`repro.analysis.planverify` — abstract interpretation over the
+  compiled plan IR (:func:`verify_plan`, run on every
+  ``compile_network``).
+* :mod:`repro.analysis.dtypelint` / :mod:`repro.analysis.locklint` — AST
+  linters enforcing the float32 dtype policy and the
+  no-blocking-calls-under-lock rule (``tools/lint.py`` CLI).
+* :mod:`repro.analysis.lockorder` — :func:`named_lock` and the
+  ``REPRO_LOCK_CHECK=1`` acquisition-graph tracker.
+
+Submodules load lazily: ``lockorder`` is imported by every lock-holding
+module at startup and must stay stdlib-only, while ``planverify`` pulls in
+``repro.runtime.plan`` — eager imports here would create a cycle with the
+modules the analyzers analyze.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "verify_plan",
+    "PlanVerificationError",
+    "named_lock",
+    "lock_check_enabled",
+    "LockOrderError",
+    "acquisition_graph",
+    "assert_acyclic",
+]
+
+_LAZY = {
+    "verify_plan": ("planverify", "verify_plan"),
+    "PlanVerificationError": ("planverify", "PlanVerificationError"),
+    "named_lock": ("lockorder", "named_lock"),
+    "lock_check_enabled": ("lockorder", "lock_check_enabled"),
+    "LockOrderError": ("lockorder", "LockOrderError"),
+    "acquisition_graph": ("lockorder", "acquisition_graph"),
+    "assert_acyclic": ("lockorder", "assert_acyclic"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from .lockorder import (  # noqa: F401
+        LockOrderError,
+        acquisition_graph,
+        assert_acyclic,
+        lock_check_enabled,
+        named_lock,
+    )
+    from .planverify import PlanVerificationError, verify_plan  # noqa: F401
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module_name}", __name__), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,118 @@
+"""Shared plumbing for the AST linters: findings, pragmas, reports.
+
+Both linters (:mod:`repro.analysis.dtypelint`,
+:mod:`repro.analysis.locklint`) use the same suppression mechanism — an
+in-source pragma comment on the flagged line::
+
+    exits = np.array(values, dtype=np.float64)  # dtype-ok: decision-side scores
+
+The pragma *must* carry a non-empty reason after the colon; a bare pragma
+is itself an error, and a pragma on a line with no finding is a *stale
+pragma* error — so the suppression list can never silently rot in either
+direction (every exception is justified, every justification still
+justifies something).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Finding", "FileLint", "scan_pragmas", "apply_pragmas"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter hit, anchored to a file and line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    suppressed_by: Optional[str] = None  # the pragma reason, when suppressed
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileLint:
+    """The outcome of linting one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)  # active (fail CI)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[Finding] = field(default_factory=list)  # pragma misuse
+
+
+def scan_pragmas(source: str, tag: str) -> Tuple[Dict[int, str], List[Tuple[int, str]]]:
+    """Per-line pragma reasons for ``# <tag>: <reason>`` comments.
+
+    Returns ``(reasons, bad)``: a ``{line: reason}`` map for well-formed
+    pragmas and a list of ``(line, problem)`` for malformed ones (missing
+    colon or empty reason).
+    """
+    well_formed = re.compile(r"#\s*" + re.escape(tag) + r"\s*:\s*(\S.*)$")
+    bare = re.compile(r"#\s*" + re.escape(tag) + r"\b")
+    reasons: Dict[int, str] = {}
+    bad: List[Tuple[int, str]] = []
+    # Tokenize so only real COMMENT tokens count — a docstring *describing*
+    # the pragma syntax must not register as a pragma.
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        comments = []  # the AST pass reports the parse error
+    for number, text in comments:
+        match = well_formed.search(text)
+        if match:
+            reasons[number] = match.group(1).strip()
+        elif bare.search(text):
+            bad.append(
+                (number, f"bare '# {tag}' pragma — write '# {tag}: <reason>'")
+            )
+    return reasons, bad
+
+
+def apply_pragmas(
+    path: str, source: str, tag: str, raw_findings: List[Finding]
+) -> FileLint:
+    """Split raw findings into active/suppressed and police pragma hygiene."""
+    reasons, bad = scan_pragmas(source, tag)
+    result = FileLint(path=path)
+    for line, problem in bad:
+        result.errors.append(
+            Finding(path=path, line=line, rule=f"{tag}-pragma", message=problem)
+        )
+    used: Dict[int, bool] = {line: False for line in reasons}
+    for finding in raw_findings:
+        reason = reasons.get(finding.line)
+        if reason is None:
+            result.findings.append(finding)
+        else:
+            used[finding.line] = True
+            result.suppressed.append(
+                Finding(
+                    path=finding.path, line=finding.line, rule=finding.rule,
+                    message=finding.message, suppressed_by=reason,
+                )
+            )
+    for line, was_used in sorted(used.items()):
+        if not was_used:
+            result.errors.append(
+                Finding(
+                    path=path, line=line, rule=f"{tag}-pragma",
+                    message=(
+                        f"stale '# {tag}' pragma: no finding on this line — "
+                        "delete it or move it to the flagged line"
+                    ),
+                )
+            )
+    return result

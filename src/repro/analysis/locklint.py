@@ -1,0 +1,128 @@
+"""AST lint: blocking calls inside ``with <lock>:`` blocks.
+
+The runtime half of the lock-order story (:mod:`repro.analysis.lockorder`)
+catches *ordering* cycles; this static half catches the other serving
+deadlock pattern PR 5 hit — holding a lock across a call that can block
+indefinitely (a pipe ``send`` to a dead replica, an ``fsync`` against a
+stalled disk, a ``future.result`` on work that needs the very lock).
+
+``blocking-call-under-lock``
+    Inside a ``with`` statement whose context expression names a lock (the
+    terminal identifier contains ``lock``, or is one of the
+    ``AdmissionQueue`` condition handles ``_not_full``/``_not_empty``), any
+    call whose method name is in :data:`BLOCKING_METHODS` is flagged.
+    ``Condition.wait`` is deliberately *not* in the list — it releases the
+    lock while blocking, which is the one sanctioned way to block "under"
+    one.  Calls inside nested function/lambda definitions are skipped (they
+    run later, not necessarily under the lock).
+
+Deliberate exceptions carry a ``# lock-ok: <reason>`` pragma (same
+hygiene rules as the dtype linter: a reason is mandatory, stale pragmas
+are errors).  Explicit ``.acquire()``/``.release()`` pairs are outside
+this lint's scope — the runtime tracker covers them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .lintbase import FileLint, Finding, apply_pragmas
+
+__all__ = ["PRAGMA_TAG", "BLOCKING_METHODS", "lint_source"]
+
+PRAGMA_TAG = "lock-ok"
+
+#: Method names that can block indefinitely and must not run under a lock.
+BLOCKING_METHODS = frozenset({"send", "recv", "fsync", "sleep", "result"})
+
+#: Condition-variable handles that wrap the queue lock.
+_CONDITION_NAMES = frozenset({"_not_full", "_not_empty"})
+
+
+def _terminal_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_lock_expr(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return "lock" in name.lower() or name in _CONDITION_NAMES
+
+
+class _LockVisitor(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        self._lock_depth = 0
+
+    # -- scope handling ------------------------------------------------ #
+    def _visit_deferred(self, node: ast.AST) -> None:
+        """A nested def/lambda body runs later, not under the current lock."""
+        depth, self._lock_depth = self._lock_depth, 0
+        self.generic_visit(node)
+        self._lock_depth = depth
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_deferred(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_deferred(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_deferred(node)
+
+    # -- with-lock tracking -------------------------------------------- #
+    def visit_With(self, node: ast.With) -> None:
+        holds_lock = any(
+            _is_lock_expr(item.context_expr) for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+        if holds_lock:
+            self._lock_depth += 1
+        for child in node.body:
+            self.visit(child)
+        if holds_lock:
+            self._lock_depth -= 1
+
+    # -- the actual rule ----------------------------------------------- #
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._lock_depth > 0 and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method in BLOCKING_METHODS:
+                self.findings.append(
+                    Finding(
+                        path=self.path, line=node.lineno,
+                        rule="blocking-call-under-lock",
+                        message=(
+                            f".{method}() call while a 'with <lock>:' block "
+                            "is open — a blocked call pins the lock for "
+                            "every other thread; move it outside the "
+                            "critical section or justify with "
+                            "'# lock-ok: <reason>'"
+                        ),
+                    )
+                )
+        self.generic_visit(node)
+
+
+def lint_source(path: str, relpath: str, source: str) -> FileLint:
+    """Lint one file's source; ``relpath`` is the path under ``src/repro``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        result = FileLint(path=path)
+        result.errors.append(
+            Finding(
+                path=path, line=error.lineno or 1, rule="parse-error",
+                message=f"cannot parse: {error.msg}",
+            )
+        )
+        return result
+    visitor = _LockVisitor(path)
+    visitor.visit(tree)
+    return apply_pragmas(path, source, PRAGMA_TAG, visitor.findings)

@@ -1,0 +1,615 @@
+"""Abstract interpretation over a :class:`CompiledPlan` — the plan-IR verifier.
+
+The flat register IR behind every fast-path inference is produced by
+``repro.runtime.plan.compile_network`` and consumed by ``PlanExecutor`` —
+and, per the ROADMAP, eventually by a native executor where a malformed
+plan becomes a segfault instead of a Python exception.  :func:`verify_plan`
+proves the contracts the executor silently depends on *at compile time*:
+
+**Register discipline (SSA).**  Register 0 is the input frame and is never
+written; every other register is written exactly once, before any read; the
+output register is written; every index is in ``[0, num_registers)``.
+
+**Shape propagation.**  Symbolic ``(C, H, W)`` shapes (batch elided, unknown
+dims ``None``) flow through ``ConvOp → NormOp/FoldedConvNormOp → LIFOp →
+pool → LinearOp → AddOp`` and are checked against each op's stored
+constants: conv weight geometry vs the module's kernel/stride/padding, norm
+feature counts vs incoming channels, linear fan-in vs the flattened width,
+residual-add operand compatibility.  Passing ``input_shape`` makes the
+spatial dims concrete; without it, channel/feature bookkeeping is still
+exact (convs pin the channel count) and spatial checks degrade gracefully.
+
+**Dtype propagation.**  Under the default weak-scalar float32 policy
+(docs/NUMERICS.md) the verifier proves the whole plan is float32-closed:
+every stored constant and every register dtype must be float32.  Under the
+``REPRO_FLOAT64=1`` escape hatch scalars deliberately promote, so constants
+may be float32 or float64 and register dtypes are not pinned.
+
+**Stem/liveness metadata.**  ``stem_len``, ``stem_registers`` and
+``output_needs_copy`` are recomputed from the op list and compared — these
+drive the executor's stem-skip restore and output aliasing, so a doctored
+value silently corrupts results.  The liveness half: any register read
+*after* the stem must be written after the stem, be a stem register, or be
+the input — otherwise a cached-stem replay would read a register nobody
+restored.
+
+**Mode invariants.**  Folded conv+norm ops are forbidden under training
+mode, under ``REPRO_FLOAT64`` (``float64_mode`` plans and inactive folds),
+and on instrumented modules (instance-level ``forward`` overrides) — the
+same gates the Tensor path applies in
+:func:`repro.snn.architectures._conv_norm_forward`.
+
+Violations raise :class:`PlanVerificationError` carrying the op index, the
+register, and the expected-vs-found shape/dtype.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd.dtypes import float64_enabled
+from ..autograd.ops import conv_output_size
+from ..runtime.plan import (
+    AddOp,
+    AdaptiveAvgPoolOp,
+    AvgPoolOp,
+    CompiledPlan,
+    ConvOp,
+    FlattenOp,
+    FoldedConvNormOp,
+    LIFOp,
+    LinearOp,
+    MaxPoolOp,
+    NormOp,
+    PlanOp,
+    ReLUOp,
+)
+
+__all__ = ["PlanVerificationError", "verify_plan"]
+
+_FLOAT32 = np.dtype(np.float32)
+_FLOAT64 = np.dtype(np.float64)  # dtype-ok: dtype constant used for verification comparisons only, never constructs data
+
+# A register's abstract shape: ("chw", C, H, W) for feature maps or
+# ("flat", F) for flattened rows; dims are ints or None (unknown).  The
+# batch axis is elided — it is symbolic through the whole plan.
+Shape = Tuple
+
+
+class PlanVerificationError(RuntimeError):
+    """A :class:`CompiledPlan` violates an IR contract.
+
+    Carries the location and the expected-vs-found evidence so callers (and
+    CI logs) can point at the exact op without re-deriving the walk.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op_index: Optional[int] = None,
+        register: Optional[int] = None,
+        expected: Optional[object] = None,
+        found: Optional[object] = None,
+    ):
+        self.op_index = op_index
+        self.register = register
+        self.expected = expected
+        self.found = found
+        parts = []
+        if op_index is not None:
+            parts.append(f"op[{op_index}]")
+        if register is not None:
+            parts.append(f"r{register}")
+        prefix = " ".join(parts)
+        detail = message if not prefix else f"{prefix}: {message}"
+        if expected is not None or found is not None:
+            detail += f" (expected {expected!r}, found {found!r})"
+        super().__init__(f"plan verification failed: {detail}")
+
+
+def _fmt_shape(shape: Optional[Shape]) -> str:
+    if shape is None:
+        return "<unknown>"
+    if shape[0] == "flat":
+        return f"(N, {shape[1] if shape[1] is not None else '?'})"
+    dims = ", ".join("?" if d is None else str(d) for d in shape[1:])
+    return f"(N, {dims})"
+
+
+def _merge_dims(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    return a if b is None else b
+
+
+def _check_constant_dtype(
+    array: np.ndarray, what: str, index: int, float64_mode: bool
+) -> None:
+    dtype = np.asarray(array).dtype
+    if float64_mode:
+        if dtype not in (_FLOAT32, _FLOAT64):
+            raise PlanVerificationError(
+                f"{what} must be float32/float64 under REPRO_FLOAT64",
+                op_index=index, expected="float32|float64", found=str(dtype),
+            )
+    elif dtype != _FLOAT32:
+        raise PlanVerificationError(
+            f"{what} violates the weak-scalar float32 policy",
+            op_index=index, expected="float32", found=str(dtype),
+        )
+
+
+class _Interp:
+    """One pass of abstract interpretation; raises on the first violation."""
+
+    def __init__(self, plan: CompiledPlan, input_shape: Optional[Sequence[int]]):
+        self.plan = plan
+        self.float64_mode = bool(plan.float64_mode)
+        # One env read per pass: ``FoldedConvNorm.active`` re-reads the
+        # environment on every call, which dominates the verifier's cost.
+        self.env_float64 = float64_enabled()
+        if input_shape is None:
+            frame: Shape = ("chw", None, None, None)
+        else:
+            if len(input_shape) != 3:
+                raise ValueError(
+                    "input_shape must be (channels, height, width) without "
+                    f"the batch axis, got {tuple(input_shape)!r}"
+                )
+            frame = ("chw",) + tuple(int(d) for d in input_shape)
+        # Register 0 is the input frame, encoded float32 by every encoder.
+        self.shapes = {0: frame}
+        self.dtypes = {0: _FLOAT32}
+        self.written_at = {0: -1}
+
+    # ------------------------------------------------------------------ #
+    # SSA discipline
+    # ------------------------------------------------------------------ #
+    def check_registers(self, index: int, op: PlanOp) -> None:
+        plan = self.plan
+        reads = op.reads
+        for register in (*reads, op.dst):
+            if not isinstance(register, int) or not (
+                0 <= register < plan.num_registers
+            ):
+                raise PlanVerificationError(
+                    "register index out of range",
+                    op_index=index, register=register,
+                    expected=f"0..{plan.num_registers - 1}", found=register,
+                )
+        if op.dst == 0:
+            raise PlanVerificationError(
+                "register 0 is the input frame and must never be written",
+                op_index=index, register=0,
+            )
+        for register in reads:
+            if register not in self.written_at:
+                raise PlanVerificationError(
+                    "read of a register no prior op has written "
+                    "(read-before-write breaks single assignment)",
+                    op_index=index, register=register,
+                )
+        if op.dst in self.written_at:
+            raise PlanVerificationError(
+                "register written twice (single-assignment violation; "
+                f"first write at op[{self.written_at[op.dst]}])",
+                op_index=index, register=op.dst,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Per-op transfer functions: constants, shape, dtype
+    # ------------------------------------------------------------------ #
+    def _require_chw(self, index: int, op: PlanOp) -> Shape:
+        shape = self.shapes[op.src]
+        if shape[0] != "chw":
+            raise PlanVerificationError(
+                f"{type(op).__name__} needs a 4-D feature map input",
+                op_index=index, register=op.src,
+                expected="(N, C, H, W)", found=_fmt_shape(shape),
+            )
+        return shape
+
+    def _conv_like(
+        self, index: int, op: PlanOp, weight: np.ndarray,
+        bias: Optional[np.ndarray], conv_module,
+    ) -> Shape:
+        shape = self._require_chw(index, op)
+        if weight.ndim != 4:
+            raise PlanVerificationError(
+                "conv weight must be 4-D (out, in, kh, kw)",
+                op_index=index, expected=4, found=weight.ndim,
+            )
+        out_channels, in_channels, kh, kw = weight.shape
+        kernel = conv_module.kernel_size
+        if kh != kernel or kw != kernel:
+            raise PlanVerificationError(
+                "conv weight window disagrees with the module's kernel_size",
+                op_index=index, expected=(kernel, kernel), found=(kh, kw),
+            )
+        if shape[1] is not None and shape[1] != in_channels:
+            raise PlanVerificationError(
+                "conv input channels disagree with the weight fan-in",
+                op_index=index, register=op.src,
+                expected=in_channels, found=shape[1],
+            )
+        if bias is not None and bias.shape != (out_channels,):
+            raise PlanVerificationError(
+                "conv bias shape disagrees with the weight fan-out",
+                op_index=index, expected=(out_channels,), found=bias.shape,
+            )
+        _check_constant_dtype(weight, "conv weight", index, self.float64_mode)
+        if bias is not None:
+            _check_constant_dtype(bias, "conv bias", index, self.float64_mode)
+        stride, padding = conv_module.stride, conv_module.padding
+
+        def spatial(size: Optional[int]) -> Optional[int]:
+            if size is None:
+                return None
+            try:
+                return conv_output_size(size, kernel, stride, padding)
+            except ValueError as error:
+                raise PlanVerificationError(
+                    str(error), op_index=index, register=op.src,
+                ) from None
+
+        return ("chw", out_channels, spatial(shape[2]), spatial(shape[3]))
+
+    def _pool(self, index: int, op: PlanOp, kernel: int, stride: int) -> Shape:
+        shape = self._require_chw(index, op)
+
+        def spatial(size: Optional[int]) -> Optional[int]:
+            if size is None:
+                return None
+            try:
+                return conv_output_size(size, kernel, stride, 0)
+            except ValueError as error:
+                raise PlanVerificationError(
+                    str(error), op_index=index, register=op.src,
+                ) from None
+
+        return ("chw", shape[1], spatial(shape[2]), spatial(shape[3]))
+
+    def transfer(self, index: int, op: PlanOp) -> Tuple[Shape, np.dtype]:
+        """Output (shape, dtype) of ``op``; raises on any contract breach."""
+        handler = _TRANSFER.get(type(op))
+        if handler is None:
+            # Subclasses of known op types resolve once and are memoized.
+            for op_type, candidate in list(_TRANSFER.items()):
+                if isinstance(op, op_type):
+                    handler = _TRANSFER[type(op)] = candidate
+                    break
+            else:
+                raise PlanVerificationError(
+                    f"unknown op type {type(op).__name__}", op_index=index
+                )
+        return handler(self, index, op)
+
+    def _t_conv(self, index: int, op: ConvOp) -> Tuple[Shape, np.dtype]:
+        module = op.module
+        bias = None if module.bias is None else np.asarray(module.bias.data)
+        shape = self._conv_like(
+            index, op, np.asarray(module.weight.data), bias, module
+        )
+        return shape, self.dtypes[op.src]
+
+    def _t_fold(self, index: int, op: FoldedConvNormOp) -> Tuple[Shape, np.dtype]:
+        self._check_fold_mode(index, op)
+        weight, bias = op.folded.arrays()
+        shape = self._conv_like(
+            index, op, np.asarray(weight), np.asarray(bias), op.conv
+        )
+        return shape, self.dtypes[op.src]
+
+    def _t_lif(self, index: int, op: LIFOp) -> Tuple[Shape, np.dtype]:
+        module = op.module
+        for attr in ("tau", "v_threshold", "reset"):
+            if not hasattr(module, attr):
+                raise PlanVerificationError(
+                    f"LIF module is missing {attr!r}", op_index=index
+                )
+        # Elementwise: shape passes through.  Under the legacy mode the
+        # float64 tau/threshold scalars promote the membrane (and hence
+        # the spikes); under the default policy they stay weak.
+        out = self.dtypes[op.src] if not self.float64_mode else _FLOAT64
+        return self.shapes[op.src], out
+
+    def _t_pool(self, index: int, op: PlanOp) -> Tuple[Shape, np.dtype]:
+        shape = self._pool(index, op, op.kernel, op.stride)
+        return shape, self.dtypes[op.src]
+
+    def _t_adaptive(
+        self, index: int, op: AdaptiveAvgPoolOp
+    ) -> Tuple[Shape, np.dtype]:
+        shape = self._require_chw(index, op)
+        target = int(op.output_size)
+        for size in (shape[2], shape[3]):
+            if size is not None and (size < target or size % target):
+                raise PlanVerificationError(
+                    "adaptive pool needs spatial dims divisible by its "
+                    "output size",
+                    op_index=index, register=op.src,
+                    expected=f"multiple of {target}", found=size,
+                )
+        return ("chw", shape[1], target, target), self.dtypes[op.src]
+
+    def _t_flatten(self, index: int, op: FlattenOp) -> Tuple[Shape, np.dtype]:
+        shape = self.shapes[op.src]
+        if shape[0] == "flat":
+            return shape, self.dtypes[op.src]
+        dims = shape[1:]
+        width = None
+        if all(d is not None for d in dims):
+            width = int(np.prod([int(d) for d in dims]))
+        return ("flat", width), self.dtypes[op.src]
+
+    def _t_relu(self, index: int, op: ReLUOp) -> Tuple[Shape, np.dtype]:
+        return self.shapes[op.src], self.dtypes[op.src]
+
+    def _norm(self, index: int, op: NormOp) -> Tuple[Shape, np.dtype]:
+        shape = self._require_chw(index, op)
+        module = op.module
+        features = int(module.num_features)
+        if shape[1] is not None and shape[1] != features:
+            raise PlanVerificationError(
+                "norm num_features disagrees with incoming channels",
+                op_index=index, register=op.src,
+                expected=features, found=shape[1],
+            )
+        for name in ("running_mean", "running_var"):
+            stat = np.asarray(getattr(module, name))
+            if stat.shape != (features,):
+                raise PlanVerificationError(
+                    f"norm {name} shape disagrees with num_features",
+                    op_index=index, expected=(features,), found=stat.shape,
+                )
+            _check_constant_dtype(stat, f"norm {name}", index, self.float64_mode)
+        for name in ("weight", "bias"):
+            param = np.asarray(getattr(module, name).data)
+            if param.shape != (features,):
+                raise PlanVerificationError(
+                    f"norm {name} shape disagrees with num_features",
+                    op_index=index, expected=(features,), found=param.shape,
+                )
+            _check_constant_dtype(param, f"norm {name}", index, self.float64_mode)
+        if op.scale is not None:
+            scale_dtype = np.asarray(op.scale).dtype
+            expected = _FLOAT64 if self.float64_mode else _FLOAT32
+            if scale_dtype != expected:
+                raise PlanVerificationError(
+                    "norm scale scalar materialized at the wrong dtype",
+                    op_index=index, expected=str(expected), found=str(scale_dtype),
+                )
+        # The eps scalar (and under tdBN the alpha*v_th scale) promotes the
+        # register to float64 under the legacy mode; stays weak by default.
+        out = self.dtypes[op.src] if not self.float64_mode else _FLOAT64
+        return ("chw", features, shape[2], shape[3]), out
+
+    def _linear(self, index: int, op: LinearOp) -> Tuple[Shape, np.dtype]:
+        shape = self.shapes[op.src]
+        if shape[0] != "flat":
+            raise PlanVerificationError(
+                "LinearOp needs a flattened (N, F) input — insert FlattenOp",
+                op_index=index, register=op.src,
+                expected="(N, F)", found=_fmt_shape(shape),
+            )
+        module = op.module
+        weight = np.asarray(module.weight.data)
+        if weight.ndim != 2:
+            raise PlanVerificationError(
+                "linear weight must be 2-D (out, in)",
+                op_index=index, expected=2, found=weight.ndim,
+            )
+        out_features, in_features = weight.shape
+        if shape[1] is not None and shape[1] != in_features:
+            raise PlanVerificationError(
+                "linear fan-in disagrees with the flattened width",
+                op_index=index, register=op.src,
+                expected=in_features, found=shape[1],
+            )
+        _check_constant_dtype(weight, "linear weight", index, self.float64_mode)
+        if module.bias is not None:
+            bias = np.asarray(module.bias.data)
+            if bias.shape != (out_features,):
+                raise PlanVerificationError(
+                    "linear bias shape disagrees with the fan-out",
+                    op_index=index, expected=(out_features,), found=bias.shape,
+                )
+            _check_constant_dtype(bias, "linear bias", index, self.float64_mode)
+        return ("flat", out_features), self.dtypes[op.src]
+
+    def _add(self, index: int, op: AddOp) -> Tuple[Shape, np.dtype]:
+        left, right = self.shapes[op.src], self.shapes[op.src2]
+        if left[0] != right[0]:
+            raise PlanVerificationError(
+                "residual add of a feature map and a flattened row",
+                op_index=index, register=op.src2,
+                expected=_fmt_shape(left), found=_fmt_shape(right),
+            )
+        merged: List[Optional[int]] = [None] * (len(left) - 1)
+        for axis, (a, b) in enumerate(zip(left[1:], right[1:])):
+            if a is not None and b is not None and a != b:
+                raise PlanVerificationError(
+                    "residual-add operand shapes are incompatible",
+                    op_index=index, register=op.src2,
+                    expected=_fmt_shape(left), found=_fmt_shape(right),
+                )
+            merged[axis] = _merge_dims(a, b)
+        dtype = np.result_type(self.dtypes[op.src], self.dtypes[op.src2])
+        return (left[0], *merged), np.dtype(dtype)
+
+    # ------------------------------------------------------------------ #
+    # Mode invariants for folded ops
+    # ------------------------------------------------------------------ #
+    def _check_fold_mode(self, index: int, op: FoldedConvNormOp) -> None:
+        if self.float64_mode:
+            raise PlanVerificationError(
+                "folded conv+norm op in a REPRO_FLOAT64 plan — legacy mode "
+                "must run the unfused op sequence",
+                op_index=index,
+            )
+        if self.env_float64:  # == ``not op.folded.active``, without the env read
+            raise PlanVerificationError(
+                "folded conv+norm op whose fold cache is inactive (dtype "
+                "mode changed after lowering?)",
+                op_index=index,
+            )
+        model = self.plan.model
+        if model is not None and getattr(model, "training", False):
+            raise PlanVerificationError(
+                "folded conv+norm op while the source model is in training "
+                "mode — folding is frozen-inference only",
+                op_index=index,
+            )
+        conv, norm = op.conv, op.folded.norm
+        if "forward" in conv.__dict__ or "forward" in norm.__dict__:
+            raise PlanVerificationError(
+                "folded conv+norm op over instrumented modules (instance "
+                "forward override) — instrumentation must see unfused ops",
+                op_index=index,
+            )
+
+    # ------------------------------------------------------------------ #
+    def record(self, op: PlanOp, index: int, shape: Shape, dtype: np.dtype) -> None:
+        dtype = np.dtype(dtype)
+        if not self.float64_mode and dtype != _FLOAT32:
+            raise PlanVerificationError(
+                "register dtype violates the weak-scalar float32 policy",
+                op_index=index, register=op.dst,
+                expected="float32", found=str(dtype),
+            )
+        self.shapes[op.dst] = shape
+        self.dtypes[op.dst] = dtype
+        self.written_at[op.dst] = index
+
+
+# Exact-type transfer dispatch: the op set is closed and the verifier runs on
+# every compile, so a dict lookup beats a ten-way isinstance chain.
+_TRANSFER = {
+    ConvOp: _Interp._t_conv,
+    FoldedConvNormOp: _Interp._t_fold,
+    NormOp: _Interp._norm,
+    LIFOp: _Interp._t_lif,
+    AvgPoolOp: _Interp._t_pool,
+    MaxPoolOp: _Interp._t_pool,
+    AdaptiveAvgPoolOp: _Interp._t_adaptive,
+    FlattenOp: _Interp._t_flatten,
+    LinearOp: _Interp._linear,
+    ReLUOp: _Interp._t_relu,
+    AddOp: _Interp._add,
+}
+
+
+def _check_stem_metadata(plan: CompiledPlan) -> None:
+    ops = plan.ops
+    # Liveness across the stem boundary, against the *stored* metadata (the
+    # values the executor actually uses): a cached-stem replay restores only
+    # plan.stem_registers (plus the input frame), so any other cross-boundary
+    # read would hit a register nobody restored.
+    stored_len = plan.stem_len
+    restorable = set(plan.stem_registers)
+    written_after = set()
+    for offset, op in enumerate(ops[stored_len:]):
+        for register in op.reads:
+            if register == 0 or register in restorable or register in written_after:
+                continue
+            raise PlanVerificationError(
+                "post-stem read of a register the stem replay does not "
+                "restore (scratch-liveness violation)",
+                op_index=stored_len + offset, register=register,
+            )
+        written_after.add(op.dst)
+    # Canonical-lowering agreement: recompute the stem metadata from the op
+    # list and require an exact match.
+    stem_len = next((i for i, op in enumerate(ops) if op.is_stateful), 0)
+    if plan.stem_len != stem_len:
+        raise PlanVerificationError(
+            "stem_len disagrees with the first stateful op",
+            expected=stem_len, found=plan.stem_len,
+        )
+    written = {op.dst for op in ops[:stem_len]}
+    read_later = {r for op in ops[stem_len:] for r in op.reads}
+    stem_registers = tuple(sorted(written & read_later))
+    if tuple(plan.stem_registers) != stem_registers:
+        raise PlanVerificationError(
+            "stem_registers disagree with the stem's live-out set",
+            expected=stem_registers, found=tuple(plan.stem_registers),
+        )
+    producer = next(
+        (op for op in reversed(ops) if op.dst == plan.output_register), None
+    )
+    needs_copy = not isinstance(producer, LinearOp)
+    if bool(plan.output_needs_copy) != needs_copy:
+        raise PlanVerificationError(
+            "output_needs_copy disagrees with the output producer "
+            f"({type(producer).__name__ if producer else 'input frame'})",
+            register=plan.output_register,
+            expected=needs_copy, found=bool(plan.output_needs_copy),
+        )
+
+
+def _check_lif_bookkeeping(plan: CompiledPlan) -> None:
+    lif_ops = [
+        (index, op) for index, op in enumerate(plan.ops) if isinstance(op, LIFOp)
+    ]
+    if plan.num_lif != len(lif_ops):
+        raise PlanVerificationError(
+            "num_lif disagrees with the number of LIF ops",
+            expected=len(lif_ops), found=plan.num_lif,
+        )
+    seen = {}
+    for index, op in lif_ops:
+        state_index = op.state_index
+        if not (0 <= state_index < plan.num_lif):
+            raise PlanVerificationError(
+                "LIF state_index out of range",
+                op_index=index, expected=f"0..{plan.num_lif - 1}",
+                found=state_index,
+            )
+        if state_index in seen:
+            raise PlanVerificationError(
+                "two LIF ops share one membrane state slot "
+                f"(also used by op[{seen[state_index]}])",
+                op_index=index, found=state_index,
+            )
+        seen[state_index] = index
+
+
+def verify_plan(
+    plan: CompiledPlan, input_shape: Optional[Sequence[int]] = None
+) -> CompiledPlan:
+    """Verify every IR contract of ``plan``; returns the plan for chaining.
+
+    ``input_shape`` is the optional concrete ``(channels, height, width)``
+    of the encoded input frame (no batch axis).  With it, spatial shape
+    propagation is exact end to end; without it, channel/feature/dtype/SSA
+    checking still runs in full (the compile-time invocation inside
+    ``compile_network`` has no sample in hand and passes ``None``).
+
+    Raises :class:`PlanVerificationError` on the first violation.  Cost is
+    O(#ops) with no array math — per-compile, never per-step.
+    """
+    if plan.num_registers < 1:
+        raise PlanVerificationError(
+            "plan needs at least the input register",
+            expected=">= 1", found=plan.num_registers,
+        )
+    if not (0 <= plan.output_register < plan.num_registers):
+        raise PlanVerificationError(
+            "output register out of range",
+            register=plan.output_register,
+            expected=f"0..{plan.num_registers - 1}", found=plan.output_register,
+        )
+    interp = _Interp(plan, input_shape)
+    for index, op in enumerate(plan.ops):
+        interp.check_registers(index, op)
+        shape, dtype = interp.transfer(index, op)
+        interp.record(op, index, shape, dtype)
+    if plan.output_register not in interp.written_at:
+        raise PlanVerificationError(
+            "output register is never written",
+            register=plan.output_register,
+        )
+    _check_lif_bookkeeping(plan)
+    _check_stem_metadata(plan)
+    return plan

@@ -50,14 +50,24 @@ __all__ = [
 DEFAULT_DTYPE = np.dtype(np.float32)
 
 
+_FLOAT64_PARSE = {None: False}
+
+
 def float64_enabled() -> bool:
-    """True when ``REPRO_FLOAT64`` requests the legacy float64-promotion mode."""
-    return os.environ.get("REPRO_FLOAT64", "").strip().lower() in (
-        "1",
-        "true",
-        "on",
-        "yes",
-    )
+    """True when ``REPRO_FLOAT64`` requests the legacy float64-promotion mode.
+
+    Re-reads the environment on every call (tests flip the flag at runtime);
+    only the string→bool parse is memoized — this sits on per-compile and
+    fold-revalidation paths, so the repeated strip/lower/membership walk
+    showed up in profiles.
+    """
+    raw = os.environ.get("REPRO_FLOAT64")
+    try:
+        return _FLOAT64_PARSE[raw]
+    except KeyError:
+        value = raw.strip().lower() in ("1", "true", "on", "yes")
+        _FLOAT64_PARSE[raw] = value
+        return value
 
 
 def scalar_dtype(like_dtype) -> np.dtype:

@@ -37,7 +37,7 @@ __all__ = [
 
 
 def _check_inputs(probabilities: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    probabilities = np.asarray(probabilities, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)  # dtype-ok: decision-side calibration math is sanctioned float64 (docs/NUMERICS.md)
     labels = np.asarray(labels, dtype=np.int64)
     if probabilities.ndim != 2:
         raise ValueError("probabilities must have shape (N, K)")
@@ -55,7 +55,7 @@ def reliability_curve(
         raise ValueError("num_bins must be >= 1")
     confidence = probabilities.max(axis=-1)
     predictions = probabilities.argmax(axis=-1)
-    correct = (predictions == labels).astype(np.float64)
+    correct = (predictions == labels).astype(np.float64)  # dtype-ok: decision-side calibration math is sanctioned float64 (docs/NUMERICS.md)
 
     edges = np.linspace(0.0, 1.0, num_bins + 1)
     bin_confidence = np.zeros(num_bins)
@@ -82,7 +82,7 @@ def expected_calibration_error(
 ) -> float:
     """ECE: count-weighted mean |confidence - accuracy| over confidence bins."""
     curve = reliability_curve(probabilities, labels, num_bins)
-    counts = curve["count"].astype(np.float64)
+    counts = curve["count"].astype(np.float64)  # dtype-ok: decision-side calibration math is sanctioned float64 (docs/NUMERICS.md)
     total = counts.sum()
     if total == 0:
         raise ValueError("no samples provided")
@@ -100,7 +100,7 @@ class TemperatureScaler:
         """Scale logits by 1/temperature (applied before softmax)."""
         if self.temperature <= 0:
             raise ValueError("temperature must be positive")
-        return np.asarray(logits, dtype=np.float64) / self.temperature
+        return np.asarray(logits, dtype=np.float64) / self.temperature  # dtype-ok: decision-side calibration math is sanctioned float64 (docs/NUMERICS.md)
 
     def probabilities(self, logits: np.ndarray) -> np.ndarray:
         return softmax_probabilities(self.transform(logits))
@@ -121,7 +121,7 @@ class TemperatureScaler:
         iterations: int = 60,
     ) -> "TemperatureScaler":
         """Fit the temperature by golden-section search on the held-out NLL."""
-        logits = np.asarray(logits, dtype=np.float64)
+        logits = np.asarray(logits, dtype=np.float64)  # dtype-ok: decision-side calibration math is sanctioned float64 (docs/NUMERICS.md)
         labels = np.asarray(labels, dtype=np.int64)
         if logits.ndim != 2 or logits.shape[0] != labels.shape[0]:
             raise ValueError("logits must be (N, K) with one label per row")
@@ -152,7 +152,7 @@ class TemperatureScaler:
 
     def calibrate_cumulative_logits(self, cumulative_logits: np.ndarray) -> np.ndarray:
         """Apply the fitted temperature to a ``(T, N, K)`` cumulative-logits array."""
-        cumulative_logits = np.asarray(cumulative_logits, dtype=np.float64)
+        cumulative_logits = np.asarray(cumulative_logits, dtype=np.float64)  # dtype-ok: decision-side calibration math is sanctioned float64 (docs/NUMERICS.md)
         if cumulative_logits.ndim != 3:
             raise ValueError("cumulative_logits must have shape (T, N, K)")
         return cumulative_logits / self.temperature

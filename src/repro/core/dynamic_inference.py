@@ -73,7 +73,7 @@ class DynamicInferenceResult:
         return np.bincount(self.exit_timesteps, minlength=self.max_timesteps + 1)[1:]
 
     def timestep_fractions(self) -> np.ndarray:
-        histogram = self.timestep_histogram().astype(np.float64)
+        histogram = self.timestep_histogram().astype(np.float64)  # dtype-ok: analysis-side exit statistics, off the tensor path
         return histogram / max(histogram.sum(), 1.0)
 
     def summary(self) -> Dict[str, float]:
@@ -204,7 +204,7 @@ class DynamicTimestepInference:
 
         exit_timesteps = np.full(num_samples, self.max_timesteps, dtype=np.int64)
         predictions = np.zeros(num_samples, dtype=np.int64)
-        scores = np.zeros(num_samples, dtype=np.float64)
+        scores = np.zeros(num_samples, dtype=np.float64)  # dtype-ok: decision-side score bookkeeping is sanctioned float64 (docs/NUMERICS.md)
         # Indices (into the original batch) of samples still running.
         active = np.arange(num_samples, dtype=np.int64)
         compact = getattr(model.encoder, "deterministic", True)

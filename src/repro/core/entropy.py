@@ -23,7 +23,7 @@ __all__ = ["softmax_probabilities", "normalized_entropy", "prediction_confidence
 
 def softmax_probabilities(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax (Eq. 6)."""
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = np.asarray(logits, dtype=np.float64)  # dtype-ok: decision-side entropy scores are sanctioned float64 (docs/NUMERICS.md)
     shifted = logits - logits.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
     return exps / exps.sum(axis=axis, keepdims=True)
@@ -36,7 +36,7 @@ def normalized_entropy(probabilities: np.ndarray, axis: int = -1, eps: float = 1
     :func:`softmax_probabilities`).  A uniform distribution maps to 1.0 and a
     one-hot distribution maps to 0.0.
     """
-    probabilities = np.asarray(probabilities, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)  # dtype-ok: decision-side entropy scores are sanctioned float64 (docs/NUMERICS.md)
     num_classes = probabilities.shape[axis]
     if num_classes < 2:
         raise ValueError("entropy requires at least two classes")

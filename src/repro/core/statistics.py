@@ -51,7 +51,7 @@ def difficulty_by_exit_time(
     For DT-SNN to behave as the paper describes, this should increase with the
     exit timestep: easy inputs exit at T=1, hard ones run the full horizon.
     """
-    difficulty = np.asarray(difficulty, dtype=np.float64)
+    difficulty = np.asarray(difficulty, dtype=np.float64)  # dtype-ok: analysis-side statistics, off the tensor path
     if difficulty.shape[0] != result.num_samples:
         raise ValueError("difficulty must have one entry per sample")
     means: Dict[int, float] = {}
@@ -108,7 +108,7 @@ def ascii_thumbnail(image: np.ndarray, width: int = 16) -> str:
     Used by the Fig. 8 bench to show what an "easy" (exit at T=1) versus
     "hard" (exit at T=max) input looks like without graphical output.
     """
-    image = np.asarray(image, dtype=np.float64)
+    image = np.asarray(image, dtype=np.float64)  # dtype-ok: analysis-side statistics, off the tensor path
     if image.ndim == 3:
         luminance = image.mean(axis=0)
     elif image.ndim == 2:

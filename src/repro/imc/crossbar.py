@@ -56,7 +56,7 @@ class CrossbarArray:
         rng: Optional[np.random.Generator] = None,
     ):
         config = (config or HardwareConfig.paper_default()).validate()
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)  # dtype-ok: IMC chip-physics model runs float64 by convention, off the inference path
         if weights.ndim != 2:
             raise ValueError("crossbar weights must be a 2-D matrix")
         rows, cols = weights.shape
@@ -115,10 +115,10 @@ class CrossbarArray:
         accepted for testing but the activity accounting treats any non-zero
         entry as an activated row.
         """
-        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))  # dtype-ok: IMC chip-physics model runs float64 by convention, off the inference path
         if inputs.shape[1] != self.rows:
             raise ValueError(f"expected {self.rows} input rows, got {inputs.shape[1]}")
-        partial = inputs @ self.effective_weights.astype(np.float64)
+        partial = inputs @ self.effective_weights.astype(np.float64)  # dtype-ok: IMC chip-physics model runs float64 by convention, off the inference path
         if quantize_adc:
             partial = self._quantize_adc(partial)
 

@@ -38,7 +38,7 @@ class RRAMDeviceModel:
         over the symmetric range ``[-max_abs, +max_abs]``; this returns the
         dequantized value actually representable on the devices.
         """
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)  # dtype-ok: IMC chip-physics model runs float64 by convention, off the inference path
         if max_abs is None:
             max_abs = float(np.max(np.abs(weights))) or 1.0
         levels = 2 ** (self.config.weight_bits - 1) - 1
@@ -60,7 +60,7 @@ class RRAMDeviceModel:
         differential conductance back to weight units:
         ``weight = (g_plus - g_minus) * scale``.
         """
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)  # dtype-ok: IMC chip-physics model runs float64 by convention, off the inference path
         if max_abs is None:
             max_abs = float(np.max(np.abs(weights))) or 1.0
         g_on, g_off = self.config.g_on, self.config.g_off
@@ -98,7 +98,7 @@ class RRAMDeviceModel:
         if sigma < 0:
             raise ValueError("variation sigma must be non-negative")
         if sigma == 0:
-            return np.asarray(conductances, dtype=np.float64)
+            return np.asarray(conductances, dtype=np.float64)  # dtype-ok: IMC chip-physics model runs float64 by convention, off the inference path
         rng = rng or spawn_rng()
         noise = rng.normal(1.0, sigma, size=np.shape(conductances))
         # A device cannot have negative conductance; clip at a tenth of g_off.
@@ -116,7 +116,7 @@ class RRAMDeviceModel:
         This is the "adding noise to the weights post-training" procedure the
         paper uses to simulate 20% conductance variation.
         """
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)  # dtype-ok: IMC chip-physics model runs float64 by convention, off the inference path
         max_abs = float(np.max(np.abs(weights))) or 1.0
         source = self.quantize_weights(weights, max_abs) if quantize else weights
         g_plus, g_minus, scale = self.weights_to_conductances(source, max_abs)

@@ -93,7 +93,7 @@ class SigmaEModuleModel:
         then accumulates the products.  The result tracks the floating-point
         entropy closely except exactly at quantization boundaries.
         """
-        logits = np.atleast_2d(np.asarray(logits, dtype=np.float64))
+        logits = np.atleast_2d(np.asarray(logits, dtype=np.float64))  # dtype-ok: IMC chip-physics model runs float64 by convention, off the inference path
         span = np.max(np.abs(logits), axis=-1, keepdims=True)
         span = np.where(span == 0, 1.0, span)
         input_levels = 2 ** (self.lut_input_bits - 1) - 1

@@ -75,7 +75,7 @@ class DigitalProcessorModel:
         set at batch size 1.
         """
         latencies = np.array(
-            [self.latency(int(t), dynamic=True) for t in result.exit_timesteps], dtype=np.float64
+            [self.latency(int(t), dynamic=True) for t in result.exit_timesteps], dtype=np.float64  # dtype-ok: energy/latency accounting is analysis-side float64
         )
         return 1000.0 / float(latencies.mean())
 
@@ -92,8 +92,8 @@ def fit_processor_model(
     paper's published GPU numbers or to wall-clock measurements of this
     repository's own inference engine.
     """
-    timesteps = np.asarray(timesteps, dtype=np.float64)
-    throughputs = np.asarray(throughputs_img_per_s, dtype=np.float64)
+    timesteps = np.asarray(timesteps, dtype=np.float64)  # dtype-ok: energy/latency accounting is analysis-side float64
+    throughputs = np.asarray(throughputs_img_per_s, dtype=np.float64)  # dtype-ok: energy/latency accounting is analysis-side float64
     if timesteps.shape != throughputs.shape or timesteps.size < 2:
         raise ValueError("need matching arrays with at least two measurement points")
     if np.any(throughputs <= 0):

@@ -48,7 +48,6 @@ import io
 import os
 import pickle
 import secrets
-import threading
 import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -56,6 +55,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 from multiprocessing import shared_memory
 
+from ..analysis.lockorder import named_lock
 from ..nn.module import Module
 from ..snn.folding import FoldedConvNorm
 from ..snn.network import SpikingNetwork
@@ -209,7 +209,7 @@ class PlanArena:
     """
 
     _sequence = 0
-    _sequence_lock = threading.Lock()
+    _sequence_lock = named_lock("runtime.arena.sequence")
 
     def __init__(self, shm: shared_memory.SharedMemory, spec: ArenaSpec,
                  model: SpikingNetwork, slots, sources: List[np.ndarray]):
@@ -223,7 +223,7 @@ class PlanArena:
         self._model_ref = weakref.ref(model)
         self._slots = slots
         self._sources = sources
-        self._lock = threading.Lock()
+        self._lock = named_lock("runtime.arena")
         self._refs = 0
         self._destroy_pending = False
         self._unlinked = False

@@ -223,7 +223,7 @@ def lif_step(
         # membrane * (ones_like(spikes) - spikes): stays in the spike dtype,
         # then promotes against u.
         tmp = ensure_buffer(scratch, "tmp", u.shape, spikes.dtype)
-        np.subtract(1.0, spikes, out=tmp)
+        np.subtract(1.0, spikes, out=tmp)  # dtype-ok: NEP-50 weak scalar: 1.0 adopts the spikes dtype, same as the Tensor path's ones_like
     else:
         # membrane - spikes * V_th: the scalar adopts the spike dtype (or
         # promotes to float64 under the legacy escape hatch).

@@ -46,13 +46,13 @@ so exotic models silently keep working at define-by-run speed.
 from __future__ import annotations
 
 import os
-import threading
 import weakref
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.lockorder import named_lock
 from ..autograd.dtypes import float64_enabled, scalar_operand
 from ..nn.layers import (
     AdaptiveAvgPool2d,
@@ -480,7 +480,7 @@ class StemCache:
         self.capacity = int(capacity)
         self.hits = 0
         self.misses = 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("runtime.stem_cache")
         self._signature: Optional[Tuple] = None
         self._entries: "OrderedDict[bytes, Tuple[np.ndarray, ...]]" = OrderedDict()
 
@@ -679,7 +679,10 @@ def compile_network(model: SpikingNetwork) -> CompiledPlan:
     Raises :exc:`UnsupportedModuleError` when the model contains a module the
     fast path cannot express; callers should fall back to the Tensor oracle
     (``use_runtime=False`` / ``REPRO_RUNTIME=0``), which remains available
-    everywhere and produces bitwise-identical results.
+    everywhere and produces bitwise-identical results.  Raises
+    :exc:`repro.analysis.planverify.PlanVerificationError` when lowering
+    produced an IR that breaks an executor contract — that is a compiler
+    bug, so it deliberately does *not* trigger the oracle fallback.
 
     Dtype guarantees: under the default weak-scalar float32 policy
     (docs/NUMERICS.md) every register, scratch buffer and membrane the plan
@@ -705,13 +708,21 @@ def compile_network(model: SpikingNetwork) -> CompiledPlan:
             op.folded.arrays()
         elif isinstance(op, NormOp):
             op._denominator()
-    return CompiledPlan(
+    plan = CompiledPlan(
         model=model,
         ops=lowering.ops,
         num_registers=lowering.next_register,
         output_register=output_register,
         num_lif=lowering.num_lif,
     )
+    # Every compile goes through the plan-IR verifier (docs/ANALYSIS.md):
+    # register SSA, shape/dtype propagation against the stored constants,
+    # stem/liveness metadata, and the fold-mode invariants.  O(#ops), no
+    # array math — per-compile cost, never per-step.  The import is deferred
+    # because repro.analysis.planverify imports this module.
+    from ..analysis.planverify import verify_plan
+
+    return verify_plan(plan)
 
 
 # --------------------------------------------------------------------------- #
@@ -739,7 +750,7 @@ class PlanRegistry:
     _UNSUPPORTED = object()
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = named_lock("runtime.plan_registry")
         self._plans: "weakref.WeakKeyDictionary[SpikingNetwork, object]" = (
             weakref.WeakKeyDictionary()
         )

@@ -429,7 +429,7 @@ def _score_decisions(
             float(cost_model.latency(exit_t)) if cost_model is not None
             else float(exit_t)
         )
-    latency_array = np.asarray(latencies, dtype=np.float64)
+    latency_array = np.asarray(latencies, dtype=np.float64)  # dtype-ok: latency bookkeeping is decision-side float64 (docs/NUMERICS.md)
     return CandidateResult(
         name=name,
         schedule_spec=dict(schedule_spec),
@@ -562,7 +562,7 @@ class Backtester:
                          int(result.exit_timestep)))
             wall_latencies.append(result.latency)
         duration = self.clock() - start
-        wall = np.asarray(wall_latencies, dtype=np.float64)
+        wall = np.asarray(wall_latencies, dtype=np.float64)  # dtype-ok: latency bookkeeping is decision-side float64 (docs/NUMERICS.md)
         measured = {
             "duration_s": float(duration),
             "throughput_rps": (len(rows) / duration if duration > 0 else 0.0),

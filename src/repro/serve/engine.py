@@ -478,7 +478,7 @@ class InferenceEngine:
         if exit_now.any():
             exit_rows = np.where(exit_now)[0]
             predictions = np.argmax(cumulative[exit_rows], axis=-1)
-            scores = np.asarray(self.policy.score(cumulative[exit_rows]), dtype=np.float64)
+            scores = np.asarray(self.policy.score(cumulative[exit_rows]), dtype=np.float64)  # dtype-ok: decision-side score bookkeeping is sanctioned float64 (Server contract)
             for row, prediction, score in zip(exit_rows, predictions, scores):
                 slot = self._slots[row]
                 epoch = slot.request.epoch

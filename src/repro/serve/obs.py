@@ -25,12 +25,13 @@ the max, span maps union disjoint request ids.
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..analysis.lockorder import named_lock
 
 __all__ = [
     "SPAN_STAGES",
@@ -95,7 +96,7 @@ class SpanTracker:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.obs.spans")
         self._spans: Dict[int, RequestSpan] = {}
 
     def record(self, request_id: int, stage: str, timestamp: float) -> None:
@@ -186,7 +187,7 @@ class SpanTracker:
         """Per-stage duration summaries (mean + requested percentiles)."""
         summary: Dict[str, Dict[str, float]] = {}
         for name, values in self.stage_durations().items():
-            array = np.asarray(values, dtype=np.float64)
+            array = np.asarray(values, dtype=np.float64)  # dtype-ok: metrics percentile math is analysis-side float64
             entry = {"count": float(array.size), "mean": float(array.mean())}
             for p in percentiles:
                 entry[f"p{p:g}"] = float(np.percentile(array, p))
@@ -349,7 +350,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.obs.metrics")
         self._metrics: Dict[str, Any] = {}
 
     def _get_or_create(self, name: str, factory, kind) -> Any:

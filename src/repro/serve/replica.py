@@ -60,6 +60,7 @@ import multiprocessing
 from collections import deque
 from multiprocessing import connection
 
+from ..analysis.lockorder import named_lock
 from ..core.accounting import InferenceCostModel
 from ..core.policies import ExitPolicy
 from ..runtime import plan_for, runtime_enabled
@@ -350,7 +351,7 @@ class ReplicaPool:
         self._collector: Optional[threading.Thread] = None
         self._monitor: Optional[threading.Thread] = None
 
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.replica.pool")
         self._inflight: List[Dict[int, Tuple[Request, Response]]] = [
             {} for _ in range(self.num_replicas)
         ]
@@ -378,7 +379,7 @@ class ReplicaPool:
     # ------------------------------------------------------------------ #
     #: Serializes the os.environ pin/spawn/restore window below: two pools
     #: starting concurrently must not interleave their snapshots.
-    _spawn_env_lock = threading.Lock()
+    _spawn_env_lock = named_lock("serve.replica.spawn_env")
 
     def start(self) -> "ReplicaPool":
         if self._started:

@@ -20,6 +20,8 @@ from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.lockorder import named_lock
+
 __all__ = [
     "Request",
     "RequestResult",
@@ -83,7 +85,7 @@ class EpochLedger:
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.epochs")
         self._current: Optional[ThresholdEpoch] = None
 
     def stamp(
@@ -220,10 +222,22 @@ class AdmissionQueue:
         self.capacity = int(capacity)
         self.clock = clock
         self._items: Deque[Tuple[Request, Response]] = deque()
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.queue")
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
+        # Dual-condition hygiene (docs/ANALYSIS.md): both conditions MUST
+        # wrap the one queue lock — put() notifies _not_empty while holding
+        # _not_full and vice versa, which is only sound because they are the
+        # same mutex.  A condition constructed with its own implicit lock
+        # here would turn every notify into a silent lost-wakeup bug.
+        if not (
+            self._not_full._lock is self._lock
+            and self._not_empty._lock is self._lock
+        ):
+            raise AssertionError(
+                "AdmissionQueue conditions must share the queue lock"
+            )
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

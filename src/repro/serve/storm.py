@@ -43,11 +43,11 @@ See docs/RESILIENCE.md for the full state machine and its proof obligations.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..analysis.lockorder import named_lock
 from .request import QueueFullError
 
 __all__ = [
@@ -188,7 +188,7 @@ class StormGuard:
         self.clock = clock
         self.controller = controller
         self.policy = policy
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.storm")
         self._state = StormState.NORMAL
         self._calm = 0
         self._last_eval: Optional[float] = None

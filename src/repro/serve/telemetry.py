@@ -16,12 +16,12 @@ submitter threads read snapshots.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.lockorder import named_lock
 from .request import RequestResult
 
 __all__ = ["Telemetry"]
@@ -35,7 +35,7 @@ class Telemetry:
             raise ValueError("window must be >= 1")
         if gauge_window < 1:
             raise ValueError("gauge_window must be >= 1")
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.telemetry")
         self._results: List[RequestResult] = []
         self._recent_latencies: Deque[float] = deque(maxlen=window)
         # Gauges are sampled on every batcher step; bound them so a
@@ -300,7 +300,7 @@ class Telemetry:
         if results:
             latencies = np.array([r.latency for r in results])
             delays = np.array([r.queue_delay for r in results])
-            exits = np.array([r.exit_timestep for r in results], dtype=np.float64)
+            exits = np.array([r.exit_timestep for r in results], dtype=np.float64)  # dtype-ok: telemetry aggregation is analysis-side float64
             stats.update(
                 {
                     "latency_p50": float(np.percentile(latencies, 50)),

@@ -41,13 +41,13 @@ import io
 import json
 import os
 import struct
-import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.lockorder import named_lock
 from .request import Request, RequestResult
 
 __all__ = [
@@ -201,7 +201,7 @@ class TraceRecorder:
                  store_clips: bool = True):
         self.path = str(path)
         self.clips_path = self.path + ".clips"
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.trace.wal")
         self._store_clips = bool(store_clips)
         self._seen_digests: set = set()
         self._base: Optional[float] = None
@@ -323,7 +323,7 @@ class TraceRecorder:
                 if handle is None:
                     continue
                 handle.flush()
-                os.fsync(handle.fileno())
+                os.fsync(handle.fileno())  # lock-ok: close() teardown only; the lock orders the final fsync after every in-flight append
                 handle.close()
 
     def __enter__(self) -> "TraceRecorder":

@@ -1,0 +1,190 @@
+"""Unit tests for the dtype-policy linter and the shared pragma machinery."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import dtypelint
+from repro.analysis.lintbase import scan_pragmas
+
+
+def _lint(source: str, modpath: str = "core/example.py"):
+    return dtypelint.lint_source(
+        f"src/repro/{modpath}", modpath, textwrap.dedent(source)
+    )
+
+
+class TestFloat64Construction:
+    def test_bare_np_float64_is_flagged(self):
+        result = _lint(
+            """
+            import numpy as np
+            x = np.zeros(4, dtype=np.float64)
+            """
+        )
+        assert [f.rule for f in result.findings] == ["float64-construction"]
+        assert result.findings[0].line == 3
+
+    def test_dtype_float_builtin_is_flagged(self):
+        result = _lint(
+            """
+            import numpy as np
+            x = np.zeros(4, dtype=float)
+            """
+        )
+        assert [f.rule for f in result.findings] == ["float64-construction"]
+
+    def test_dtype_string_spellings_are_flagged(self):
+        for spelling in ("float64", "double", "f8"):
+            result = _lint(
+                f"""
+                import numpy as np
+                x = np.zeros(4, dtype="{spelling}")
+                """
+            )
+            assert result.findings, spelling
+
+    def test_float32_is_clean(self):
+        result = _lint(
+            """
+            import numpy as np
+            x = np.zeros(4, dtype=np.float32)
+            y = np.asarray([1.0], dtype="float32")
+            """
+        )
+        assert not result.findings and not result.errors
+
+    def test_policy_module_is_exempt(self):
+        result = _lint(
+            """
+            import numpy as np
+            DOUBLE = np.float64
+            """,
+            modpath="autograd/dtypes.py",
+        )
+        assert not result.findings and not result.errors
+
+
+class TestNakedCoercion:
+    def test_naked_asarray_in_kernel_module_is_flagged(self):
+        result = _lint(
+            """
+            import numpy as np
+            def f(x):
+                return np.asarray(x)
+            """,
+            modpath="runtime/kernels.py",
+        )
+        assert [f.rule for f in result.findings] == ["naked-coercion"]
+
+    def test_asarray_with_dtype_is_clean(self):
+        result = _lint(
+            """
+            import numpy as np
+            from repro.autograd.dtypes import DEFAULT_DTYPE
+            def f(x):
+                return np.asarray(x, dtype=DEFAULT_DTYPE)
+            """,
+            modpath="runtime/kernels.py",
+        )
+        assert not result.findings
+
+    def test_naked_asarray_outside_kernel_modules_is_clean(self):
+        result = _lint(
+            """
+            import numpy as np
+            def f(x):
+                return np.asarray(x)
+            """,
+            modpath="core/example.py",
+        )
+        assert not result.findings
+
+
+class TestFloatLiteralOperand:
+    def test_float_literal_operand_in_hot_module_is_flagged(self):
+        result = _lint(
+            """
+            import numpy as np
+            def f(x, out):
+                np.subtract(1.0, x, out=out)
+            """,
+            modpath="runtime/kernels.py",
+        )
+        assert [f.rule for f in result.findings] == ["float-literal-operand"]
+
+    def test_int_literal_operand_is_clean(self):
+        result = _lint(
+            """
+            import numpy as np
+            def f(x, out):
+                np.maximum(0, x, out=out)
+            """,
+            modpath="runtime/kernels.py",
+        )
+        assert not result.findings
+
+    def test_float_literal_outside_hot_modules_is_clean(self):
+        result = _lint(
+            """
+            import numpy as np
+            def f(x):
+                return np.maximum(0.0, x)
+            """,
+            modpath="runtime/executor.py",
+        )
+        assert not result.findings
+
+
+class TestPragmas:
+    def test_pragma_suppresses_and_keeps_the_reason(self):
+        result = _lint(
+            """
+            import numpy as np
+            x = np.zeros(4, dtype=np.float64)  # dtype-ok: decision-side scores
+            """
+        )
+        assert not result.findings and not result.errors
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].suppressed_by == "decision-side scores"
+
+    def test_bare_pragma_is_an_error(self):
+        result = _lint(
+            """
+            import numpy as np
+            x = np.zeros(4, dtype=np.float64)  # dtype-ok
+            """
+        )
+        assert result.findings  # the finding stays active
+        assert any("bare" in e.message for e in result.errors)
+
+    def test_stale_pragma_is_an_error(self):
+        result = _lint(
+            """
+            import numpy as np
+            x = np.zeros(4, dtype=np.float32)  # dtype-ok: nothing to excuse
+            """
+        )
+        assert not result.findings
+        assert any("stale" in e.message for e in result.errors)
+
+    def test_pragma_text_inside_a_docstring_is_ignored(self):
+        source = '''
+        """Docs showing the pragma syntax: # dtype-ok: <reason>."""
+        import numpy as np
+        x = np.zeros(4, dtype=np.float32)
+        '''
+        result = _lint(source)
+        assert not result.findings and not result.errors
+
+    def test_scan_pragmas_only_sees_comment_tokens(self):
+        reasons, bad = scan_pragmas(
+            'msg = "use # dtype-ok: reason here"\ny = 1  # dtype-ok: real\n',
+            "dtype-ok",
+        )
+        assert reasons == {2: "real"}
+        assert bad == []
+
+    def test_syntax_error_is_reported_not_crashed(self):
+        result = _lint("def broken(:\n")
+        assert any(f.rule == "parse-error" for f in result.findings + result.errors)

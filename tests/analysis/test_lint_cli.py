@@ -1,0 +1,74 @@
+"""End-to-end tests for the tools/lint.py CLI gate."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+LINT = os.path.join(REPO_ROOT, "tools", "lint.py")
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, LINT, *argv],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_repo_is_lint_clean():
+    """The tree must stay at zero findings and zero pragma errors — the
+    same invocation the CI static-analysis job runs."""
+    result = _run()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "— clean" in result.stdout
+    assert "0 finding(s), 0 pragma error(s)" in result.stdout
+
+
+def test_violation_fails_with_a_located_finding(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+            x = np.zeros(3, dtype=np.float64)
+            """
+        )
+    )
+    result = _run(str(bad))
+    assert result.returncode == 1
+    assert "float64-construction" in result.stdout
+    assert "bad.py:3" in result.stdout
+
+
+def test_bare_pragma_fails_even_with_the_finding_suppressible(tmp_path):
+    bad = tmp_path / "bare.py"
+    bad.write_text("import numpy as np\nx = np.float64(1)  # dtype-ok\n")
+    result = _run(str(bad))
+    assert result.returncode == 1
+    assert "bare" in result.stdout
+
+
+def test_json_report_structure(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nx = np.float64(1)\n")
+    out = tmp_path / "report.json"
+    result = _run(str(bad), "--json", str(out))
+    assert result.returncode == 1
+    report = json.loads(out.read_text())
+    assert {"findings", "pragma_errors", "suppressed"} <= set(report)
+    (finding,) = report["findings"]
+    assert finding["rule"] == "float64-construction"
+    assert finding["line"] == 2
+
+
+def test_verbose_lists_justified_suppressions():
+    result = _run("--verbose")
+    assert result.returncode == 0
+    assert "[suppressed:" in result.stdout

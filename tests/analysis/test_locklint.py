@@ -1,0 +1,130 @@
+"""Unit tests for the blocking-call-under-lock AST lint."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import locklint
+
+
+def _lint(source: str):
+    return locklint.lint_source(
+        "src/repro/serve/example.py", "serve/example.py", textwrap.dedent(source)
+    )
+
+
+class TestBlockingCallUnderLock:
+    def test_send_under_lock_is_flagged(self):
+        result = _lint(
+            """
+            def push(self, payload):
+                with self._lock:
+                    self.pipe.send(payload)
+            """
+        )
+        assert [f.rule for f in result.findings] == ["blocking-call-under-lock"]
+        assert result.findings[0].line == 4
+
+    def test_fsync_under_condition_handle_is_flagged(self):
+        result = _lint(
+            """
+            import os
+            def flush(self):
+                with self._not_empty:
+                    os.fsync(self.fd)
+            """
+        )
+        assert [f.rule for f in result.findings] == ["blocking-call-under-lock"]
+
+    def test_call_after_the_with_block_is_clean(self):
+        result = _lint(
+            """
+            def push(self, payload):
+                with self._lock:
+                    self.items.append(payload)
+                self.pipe.send(payload)
+            """
+        )
+        assert not result.findings
+
+    def test_non_lock_context_manager_is_clean(self):
+        result = _lint(
+            """
+            def write(self, path, payload):
+                with open(path, "wb") as handle:
+                    self.pipe.send(payload)
+            """
+        )
+        assert not result.findings
+
+    def test_wait_is_sanctioned(self):
+        # Condition.wait releases the lock while blocking — the one legal
+        # way to block "under" one.
+        result = _lint(
+            """
+            def get(self):
+                with self._not_empty:
+                    while not self.items:
+                        self._not_empty.wait()
+            """
+        )
+        assert not result.findings
+
+    def test_nested_function_body_is_deferred(self):
+        result = _lint(
+            """
+            def schedule(self):
+                with self._lock:
+                    def later():
+                        self.pipe.send(b"x")
+                    self.callbacks.append(later)
+            """
+        )
+        assert not result.findings
+
+    def test_nested_lambda_is_deferred(self):
+        result = _lint(
+            """
+            def schedule(self):
+                with self._lock:
+                    self.callbacks.append(lambda: self.pipe.recv())
+            """
+        )
+        assert not result.findings
+
+    def test_nested_with_keeps_the_outer_lock_context(self):
+        result = _lint(
+            """
+            def flush(self, path):
+                with self._lock:
+                    with open(path, "wb") as handle:
+                        handle.write(b"x")
+                        import os
+                        os.fsync(handle.fileno())
+            """
+        )
+        assert [f.rule for f in result.findings] == ["blocking-call-under-lock"]
+
+    def test_pragma_suppression_and_hygiene(self):
+        result = _lint(
+            """
+            import os
+            def flush(self):
+                with self._wal_lock:
+                    os.fsync(self.fd)  # lock-ok: close-time durability barrier
+            """
+        )
+        assert not result.findings and not result.errors
+        assert len(result.suppressed) == 1
+
+    def test_bare_lock_ok_pragma_is_an_error(self):
+        result = _lint(
+            """
+            import os
+            def flush(self):
+                with self._wal_lock:
+                    os.fsync(self.fd)  # lock-ok
+            """
+        )
+        assert result.findings
+        assert any("bare" in e.message for e in result.errors)

@@ -1,0 +1,217 @@
+"""Tests for the runtime lock-order tracker (REPRO_LOCK_CHECK=1 mode).
+
+Every test builds a *private* :class:`LockGraph` and hands it to
+:class:`NamedLock` explicitly, so nothing here pollutes the process-global
+graph the CI shard exports.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis import lockorder
+from repro.analysis.lockorder import (
+    LockGraph,
+    LockOrderError,
+    NamedLock,
+    lock_check_enabled,
+    named_lock,
+)
+
+
+def _pair(graph):
+    return NamedLock("outer", graph), NamedLock("inner", graph)
+
+
+class TestAcquisitionTracking:
+    def test_nesting_records_an_edge_with_a_call_site(self):
+        graph = LockGraph()
+        outer, inner = _pair(graph)
+        with outer:
+            with inner:
+                pass
+        snapshot = graph.snapshot()
+        assert {"outer", "inner"} <= set(snapshot["locks"])
+        (edge,) = snapshot["edges"]
+        assert (edge["from"], edge["to"]) == ("outer", "inner")
+        assert "test_lockorder.py" in edge["site"]
+
+    def test_sequential_acquisition_records_no_edge(self):
+        graph = LockGraph()
+        outer, inner = _pair(graph)
+        with outer:
+            pass
+        with inner:
+            pass
+        assert graph.snapshot()["edges"] == []
+
+    def test_release_unwinds_the_held_stack(self):
+        graph = LockGraph()
+        lock = NamedLock("solo", graph)
+        with lock:
+            assert graph.held_by_current_thread("solo")
+        assert not graph.held_by_current_thread("solo")
+        assert not lock.locked()
+
+
+class TestViolations:
+    def test_inverted_order_raises_and_keeps_the_graph_acyclic(self):
+        graph = LockGraph()
+        a, b = NamedLock("a", graph), NamedLock("b", graph)
+        with a:
+            with b:
+                pass
+        with pytest.raises(LockOrderError, match="cycle") as info:
+            with b:
+                with a:
+                    pass
+        # The report names both the offending edge and the recorded path.
+        assert "'a'" in str(info.value) and "'b'" in str(info.value)
+        # The bad edge was rejected *before* insertion: the graph stays
+        # acyclic and both locks are free again.
+        graph.assert_acyclic()
+        assert not a.locked() and not b.locked()
+
+    def test_transitive_cycle_is_detected(self):
+        graph = LockGraph()
+        a, b, c = (NamedLock(n, graph) for n in "abc")
+        with a, b:
+            pass
+        with b, c:
+            pass
+        with pytest.raises(LockOrderError, match="cycle"):
+            with c, a:
+                pass
+        graph.assert_acyclic()
+
+    def test_same_thread_reacquire_raises_instead_of_deadlocking(self):
+        graph = LockGraph()
+        lock = NamedLock("self", graph)
+        with lock:
+            with pytest.raises(LockOrderError, match="self-deadlock"):
+                lock.acquire()
+            # The failed re-acquire must not have corrupted the held state.
+            assert graph.held_by_current_thread("self")
+        assert not lock.locked()
+
+    def test_nonblocking_probe_returns_false_while_held(self):
+        # Condition._is_owned probes acquire(False) on the wrapped lock and
+        # relies on a plain False, not an exception.
+        graph = LockGraph()
+        lock = NamedLock("probe", graph)
+        with lock:
+            assert lock.acquire(blocking=False) is False
+
+
+class TestConditionIntegration:
+    def test_condition_wait_notify_roundtrip(self):
+        graph = LockGraph()
+        lock = NamedLock("serve.queue.test", graph)
+        ready = threading.Condition(lock)
+        items = []
+        got = []
+
+        def consumer():
+            with ready:
+                while not items:
+                    ready.wait(timeout=5)
+                got.append(items.pop())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        with ready:
+            items.append("payload")
+            ready.notify()
+        thread.join(timeout=5)
+        assert got == ["payload"]
+        assert not lock.locked()
+        assert not graph.held_by_current_thread("serve.queue.test")
+
+    def test_wait_timeout_leaves_a_consistent_stack(self):
+        graph = LockGraph()
+        lock = NamedLock("timed", graph)
+        condition = threading.Condition(lock)
+        with condition:
+            assert condition.wait(timeout=0.01) is False
+            assert graph.held_by_current_thread("timed")
+        assert not lock.locked()
+
+
+class TestFactoryAndExports:
+    def test_factory_returns_plain_lock_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_CHECK", raising=False)
+        assert not lock_check_enabled()
+        lock = named_lock("plain")
+        assert not isinstance(lock, NamedLock)
+        with lock:
+            pass
+
+    def test_factory_returns_named_lock_when_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_CHECK", "1")
+        monkeypatch.setattr(lockorder, "_GRAPH", LockGraph())
+        assert lock_check_enabled()
+        lock = named_lock("tracked")
+        assert isinstance(lock, NamedLock)
+        assert lock.name == "tracked"
+
+    def test_dump_graph_writes_the_ci_artifact(self, monkeypatch, tmp_path):
+        graph = LockGraph()
+        monkeypatch.setattr(lockorder, "_GRAPH", graph)
+        outer, inner = _pair(graph)
+        with outer, inner:
+            pass
+        artifact = tmp_path / "lock-graph.json"
+        lockorder.dump_graph(str(artifact))
+        payload = json.loads(artifact.read_text())
+        assert {"outer", "inner"} <= set(payload["locks"])
+        assert [(e["from"], e["to"]) for e in payload["edges"]] == [
+            ("outer", "inner")
+        ]
+
+    def test_reset_tracking_clears_edges(self, monkeypatch):
+        graph = LockGraph()
+        monkeypatch.setattr(lockorder, "_GRAPH", graph)
+        outer, inner = _pair(graph)
+        with outer, inner:
+            pass
+        assert lockorder.acquisition_graph()["edges"]
+        lockorder.reset_tracking()
+        assert lockorder.acquisition_graph() == {"locks": [], "edges": []}
+
+
+class TestCrossThread:
+    def test_blocking_handoff_between_threads(self):
+        graph = LockGraph()
+        lock = NamedLock("handoff", graph)
+        order = []
+        lock.acquire()
+
+        def taker():
+            lock.acquire()
+            order.append("taken")
+            lock.release()
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        order.append("releasing")
+        lock.release()
+        thread.join(timeout=5)
+        assert order == ["releasing", "taken"]
+        assert not lock.locked()
+
+    def test_per_thread_held_stacks_are_independent(self):
+        graph = LockGraph()
+        lock = NamedLock("shared", graph)
+        seen = {}
+
+        def worker():
+            seen["held_in_thread"] = graph.held_by_current_thread("shared")
+
+        with lock:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(timeout=5)
+        assert seen["held_in_thread"] is False

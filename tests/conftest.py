@@ -7,6 +7,8 @@ once per session and reused by the DT-SNN, IMC and integration tests.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -64,3 +66,22 @@ def untrained_tiny_model():
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Export the lock-acquisition graph when the tracked shard asks for it.
+
+    The CI static-analysis job runs a suite shard under REPRO_LOCK_CHECK=1
+    with REPRO_LOCK_GRAPH_OUT pointing at an artifact path; cycles raise
+    LockOrderError at the offending acquire, and the dumped JSON is the
+    evidence reviewers read (docs/ANALYSIS.md).
+    """
+    out = os.environ.get("REPRO_LOCK_GRAPH_OUT")
+    if not out:
+        return
+    from repro.analysis.lockorder import assert_acyclic, dump_graph
+
+    dump_graph(out)
+    # Belt and braces: a cycle normally raises at acquire time, but the
+    # exported graph must also be globally consistent.
+    assert_acyclic()

@@ -84,6 +84,31 @@ class TestAdmissionQueue:
         with pytest.raises(ValueError):
             AdmissionQueue(capacity=0)
 
+    def test_dual_conditions_share_the_queue_lock(self):
+        """Regression (docs/ANALYSIS.md): put() notifies _not_empty while
+        holding _not_full's mutex and vice versa — sound only because both
+        conditions wrap the one queue lock.  A condition with its own
+        implicit lock would turn every notify into a silent lost wakeup."""
+        queue = AdmissionQueue(capacity=2)
+        assert queue._not_full._lock is queue._lock
+        assert queue._not_empty._lock is queue._lock
+
+    def test_cross_condition_wakeup_actually_wakes(self):
+        # End-to-end proof of the invariant above: a consumer blocked on
+        # _not_empty must be woken by a put() that entered via _not_full.
+        queue = AdmissionQueue(capacity=1)
+        got = []
+
+        def consumer():
+            got.append(queue.get(timeout=5))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.put(*make_item(7))
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got and got[0][0].request_id == 7
+
 
 class TestResponse:
     def test_result_blocks_until_resolved(self):

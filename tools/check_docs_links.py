@@ -23,7 +23,20 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 # first closing paren (no nested parens in this repo's docs).
 LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchor slugs for every heading in a Markdown file."""
+    anchors: set[str] = set()
+    for match in HEADING_PATTERN.finditer(path.read_text(encoding="utf-8")):
+        title = re.sub(r"[`*_]", "", match.group(1)).strip()
+        slug = re.sub(r"[^\w\s-]", "", title.lower())
+        slug = re.sub(r"\s+", "-", slug.strip())
+        anchors.add(slug)
+    return anchors
 
 
 def iter_doc_files() -> list[Path]:
@@ -41,16 +54,23 @@ def check_file(path: Path) -> list[str]:
         target = match.group(1)
         if target.startswith(SKIP_PREFIXES):
             continue
-        # Strip an anchor suffix; what must exist is the file itself.
-        target_path = target.split("#", 1)[0]
-        if not target_path:
-            continue
-        resolved = (path.parent / target_path).resolve()
+        line = text.count("\n", 0, match.start()) + 1
+        target_path, _, anchor = target.partition("#")
+        # The file half: must exist relative to the linking document.
+        resolved = path if not target_path else (path.parent / target_path).resolve()
         if not resolved.exists():
-            line = text.count("\n", 0, match.start()) + 1
             errors.append(
                 f"{path.relative_to(REPO_ROOT)}:{line}: broken link -> {target}"
             )
+            continue
+        # The anchor half: a #fragment into a Markdown file must name one of
+        # its headings (GitHub slug rules).
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_anchors(resolved):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line}: "
+                    f"broken anchor -> {target}"
+                )
     return errors
 
 

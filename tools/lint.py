@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Static-analysis gate: dtype-policy + lock-discipline linters over src/repro.
+
+Runs :mod:`repro.analysis.dtypelint` (weak-scalar float32 policy,
+docs/NUMERICS.md) and :mod:`repro.analysis.locklint` (no blocking calls
+under a held lock) over every Python file in ``src/repro`` and exits
+non-zero on any active finding, malformed pragma, or stale pragma — the
+same contract docs/ANALYSIS.md documents and the CI ``static-analysis``
+job enforces.
+
+Usage::
+
+    python tools/lint.py                 # lint src/repro, human output
+    python tools/lint.py --verbose       # also list justified suppressions
+    python tools/lint.py --json out.json # machine-readable report
+    python tools/lint.py path/to/file.py # lint specific files/dirs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+DEFAULT_TARGET = os.path.join(SRC_ROOT, "repro")
+
+sys.path.insert(0, SRC_ROOT)
+
+from repro.analysis import dtypelint, locklint  # noqa: E402
+
+
+def iter_python_files(targets: List[str]) -> List[str]:
+    files: List[str] = []
+    for target in targets:
+        if os.path.isfile(target):
+            files.append(target)
+            continue
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            files.extend(
+                os.path.join(dirpath, name)
+                for name in sorted(filenames)
+                if name.endswith(".py")
+            )
+    return files
+
+
+def relative_to_src(path: str) -> str:
+    absolute = os.path.abspath(path)
+    root = os.path.join(SRC_ROOT, "")
+    if absolute.startswith(root):
+        return absolute[len(root):].replace(os.sep, "/")
+    return os.path.relpath(absolute, REPO_ROOT).replace(os.sep, "/")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "targets", nargs="*", default=[DEFAULT_TARGET],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="list suppressed findings with their pragma justifications",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full report as JSON (use '-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    active: List = []
+    errors: List = []
+    suppressed: List = []
+    for path in iter_python_files(args.targets):
+        relpath = relative_to_src(path)
+        # repro/ prefix is implicit in the module tables.
+        modpath = relpath[len("repro/"):] if relpath.startswith("repro/") else relpath
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        display = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        for linter in (dtypelint, locklint):
+            result = linter.lint_source(display, modpath, source)
+            active.extend(result.findings)
+            errors.extend(result.errors)
+            suppressed.extend(result.suppressed)
+
+    for finding in active + errors:
+        print(finding.render())
+    if args.verbose:
+        for finding in suppressed:
+            print(f"{finding.render()}  [suppressed: {finding.suppressed_by}]")
+
+    report: Dict[str, object] = {
+        "findings": [vars(f) for f in active],
+        "pragma_errors": [vars(f) for f in errors],
+        "suppressed": [vars(f) for f in suppressed],
+    }
+    if args.json == "-":
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+
+    failed = bool(active or errors)
+    print(
+        f"lint: {len(active)} finding(s), {len(errors)} pragma error(s), "
+        f"{len(suppressed)} justified suppression(s)"
+        + ("" if failed else " — clean")
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
