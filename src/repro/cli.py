@@ -37,7 +37,11 @@ Example
 from __future__ import annotations
 
 import argparse
+import glob
+import os
+import signal
 import sys
+import time
 from typing import Dict, Optional
 
 import numpy as np
@@ -68,6 +72,7 @@ from .serve import (
     BacktestSweep,
     LoadGenerator,
     MetricsRegistry,
+    ReplicaCrashError,
     Server,
     SpanTracker,
     StormConfig,
@@ -200,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "outcomes, shed-by-class monotonicity, bounded "
                             "high-priority p99, brown-out engagement, NORMAL "
                             "recovery, epoch-exact per-request thresholds)")
+    serve.add_argument("--kill-replica", action="store_true",
+                       help="with --self-test and --replicas >= 2: SIGKILL one "
+                            "replica process mid-traffic over the ring "
+                            "transport and verify the fault invariants (every "
+                            "client answered, blast radius bounded by the "
+                            "in-flight window, survivors bitwise-exact, no "
+                            "/dev/shm leak)")
     serve.add_argument("--record-trace", default=None, metavar="PATH",
                        help="record served traffic to a replayable WAL trace at "
                             "PATH (clips land at PATH.clips)")
@@ -803,12 +815,114 @@ def _serve_storm_self_test(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_kill_self_test(args: argparse.Namespace) -> int:
+    """`serve --self-test --kill-replica`: fault-injection smoke test.
+
+    Serves the deterministic stream on process replicas over the ring
+    transport, SIGKILLs one replica once traffic is demonstrably flowing,
+    and verifies the crash contract end to end: every client gets an answer
+    (a result or the typed :class:`ReplicaCrashError`), the blast radius is
+    bounded by the victim's in-flight window, every surviving completion is
+    bitwise-identical to the Tensor-oracle reference, and the drained fleet
+    leaves no ``/dev/shm`` arena or ring segment behind.
+    """
+    if args.replicas < 2:
+        print("--kill-replica needs --replicas >= 2 (a survivor must keep "
+              "serving the backlog)")
+        return 2
+    args.checkpoint = None
+    args.samples = min(args.samples, 160)
+    args.num_requests = min(args.num_requests, 96)
+    args.train_epochs = min(args.train_epochs, 4)
+    if args.target_p95_ms is not None:
+        print("kill self-test: ignoring --target-p95-ms (needs a fixed "
+              "threshold)")
+        args.target_p95_ms = None
+    model, test, collected, policy, controller, cost_model = _prepare_serving(args)
+    before = set(glob.glob("/dev/shm/repro-arena-*")
+                 + glob.glob("/dev/shm/repro-rings-*"))
+    server = _build_server(args, model, policy, controller, cost_model).start()
+    window = server.replicas.window
+    victim = server.replicas.processes[0]
+    stream = list(request_stream(test, args.num_requests, seed=args.stream_seed))
+    # The load generator tolerates only deadline errors; the crash test
+    # expects typed failures, so it owns its futures directly.
+    futures = [server.submit(inputs, label=label) for inputs, label in stream]
+    deadline = time.monotonic() + 60.0
+    while server.telemetry.completed < 2:
+        if time.monotonic() > deadline:
+            server.shutdown(drain=True)
+            print("FAULT SELF-TEST FAIL: no completions before fault injection")
+            return 1
+        time.sleep(0.005)
+    os.kill(victim.pid, signal.SIGKILL)
+    completed: Dict[int, object] = {}
+    crashed = []
+    for index, future in enumerate(futures):
+        try:
+            completed[index] = future.result(timeout=120.0)
+        except ReplicaCrashError:
+            crashed.append(index)
+    server.shutdown(drain=True)
+
+    failures = []
+    if len(completed) + len(crashed) != len(stream):
+        failures.append(
+            f"stranded clients: {len(completed)} completed + {len(crashed)} "
+            f"crashed != {len(stream)} submitted"
+        )
+    if len(crashed) > window:
+        failures.append(
+            f"blast radius {len(crashed)} exceeds the in-flight window {window}"
+        )
+    if len(completed) < len(stream) - window:
+        failures.append(
+            f"survivor served only {len(completed)} of the "
+            f"{len(stream) - window} guaranteed completions"
+        )
+    # Bitwise exactness of every survivor against the Tensor oracle.
+    inputs = np.stack([inputs for inputs, _ in stream])
+    reference_logits = []
+    for start in range(0, inputs.shape[0], 64):
+        output = model.forward(inputs[start:start + 64], args.timesteps)
+        reference_logits.append(output.cumulative_numpy())
+    reference = DynamicTimestepInference(
+        policy=EntropyExitPolicy(policy.threshold), max_timesteps=args.timesteps
+    ).infer_from_logits(np.concatenate(reference_logits, axis=1))
+    for index, result in completed.items():
+        if (result.prediction != reference.predictions[index]
+                or result.exit_timestep != reference.exit_timesteps[index]):
+            failures.append(
+                f"request {index} diverged from the oracle: "
+                f"({result.prediction}, {result.exit_timestep}) vs "
+                f"({reference.predictions[index]}, "
+                f"{reference.exit_timesteps[index]})"
+            )
+            break
+    leaked = set(glob.glob("/dev/shm/repro-arena-*")
+                 + glob.glob("/dev/shm/repro-rings-*")) - before
+    if leaked:
+        failures.append(f"shared-memory segments leaked past drain: {leaked}")
+    if failures:
+        for failure in failures:
+            print(f"FAULT SELF-TEST FAIL: {failure}")
+        return 1
+    print(f"FAULT SELF-TEST PASS: {len(completed)} completed bitwise-exact, "
+          f"{len(crashed)} crashed (window {window}), no shared-memory leak")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.storm:
         if not args.self_test:
             print("--storm is a self-test profile; pass --self-test too")
             return 2
         return _serve_storm_self_test(args)
+    if args.kill_replica:
+        if not args.self_test:
+            print("--kill-replica is a self-test profile; pass --self-test too")
+            return 2
+        return _serve_kill_self_test(args)
     if args.self_test:
         args.checkpoint = None
         args.samples = min(args.samples, 160)

@@ -49,6 +49,13 @@ from ..snn.encoding import DirectEncoder
 from ..snn.network import SpikingNetwork
 from .arena import ArenaAttachment, ArenaSpec, PlanArena, attach_arena
 from .executor import PlanExecutor
+from .rings import (
+    PoolRings,
+    ReplicaRings,
+    RingIntegrityError,
+    RingSpec,
+    attach_rings,
+)
 from .plan import (
     CompiledPlan,
     PlanRegistry,
@@ -65,9 +72,14 @@ __all__ = [
     "PlanArena",
     "PlanExecutor",
     "PlanRegistry",
+    "PoolRings",
+    "ReplicaRings",
+    "RingIntegrityError",
+    "RingSpec",
     "StemCache",
     "UnsupportedModuleError",
     "attach_arena",
+    "attach_rings",
     "compile_network",
     "runtime_enabled",
     "plan_for",

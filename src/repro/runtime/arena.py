@@ -27,12 +27,15 @@ The pieces:
   convention is that arrays are *replaced, never mutated* (folded caches,
   ``NormOp``, :meth:`CompiledPlan.stem_signature` all key on array object
   identity), and a shared segment cannot replace objects across a process
-  boundary.  ``refresh`` therefore copies the new values into the segment
-  and bumps a version counter in the header; a replica that observes the
-  bump rebinds **fresh view objects** over the same offsets, which flips
+  boundary.  The segment holds TWO full constant generations: ``refresh``
+  copies the new values into the *inactive* generation, flips the
+  active-generation header word, and bumps the version counter — a
+  transactional reload.  A replica that observes the bump rebinds **fresh
+  view objects** over the newly-flipped (complete) generation, which flips
   every identity in one stroke — the folded caches recompute their sources,
   ``stem_signature`` changes, and the shared stem memo flushes itself
-  through the executor's existing signature gate.
+  through the executor's existing signature gate — and can never bind
+  memory a copy is still streaming into.
 
 Lifecycle: the parent owns the segment and holds one reference per attached
 replica (:meth:`acquire` at spawn, :meth:`release` when the replica exits).
@@ -63,7 +66,10 @@ from ..snn.network import SpikingNetwork
 __all__ = ["ArenaSpec", "PlanArena", "ArenaAttachment", "attach_arena"]
 
 # One cache line of header: entry 0 is the weight-generation version bumped
-# by PlanArena.refresh(); the rest is reserved.
+# by PlanArena.refresh(); entry 1 is the index (0/1) of the ACTIVE constant
+# generation — the segment holds two full copies of the constants and
+# refresh() writes the inactive one, then flips this word.  The rest is
+# reserved.
 _HEADER_BYTES = 64
 _ALIGNMENT = 64
 # Block attributes holding FoldedConvNorm caches (see runtime.plan._Lowering).
@@ -94,10 +100,16 @@ class ArenaSpec:
     name: str
     size: int
     #: one (byte offset, shape, dtype string) triple per constant slot, in
-    #: the canonical _constant_slots order of the exported model.
+    #: the canonical _constant_slots order of the exported model.  Offsets
+    #: address generation 0; generation 1 lives ``generation_stride`` bytes
+    #: further.
     entries: Tuple[Tuple[int, Tuple[int, ...], str], ...]
     #: pid of the exporting process — the only resource-tracker owner.
     owner_pid: int = 0
+    #: byte distance between the two constant generations (0 = legacy
+    #: single-generation layout: both generation indices alias the same
+    #: offsets).
+    generation_stride: int = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -222,7 +234,10 @@ class PlanArena:
         self.spec = spec
         self._model_ref = weakref.ref(model)
         self._slots = slots
-        self._sources = sources
+        # Per-generation source identities: _sources[g][i] is the model
+        # array whose values generation g currently holds for slot i.  Both
+        # generations start in sync at export.
+        self._sources = [list(sources), list(sources)]
         self._lock = named_lock("runtime.arena")
         self._refs = 0
         self._destroy_pending = False
@@ -230,9 +245,15 @@ class PlanArena:
         self._header: Optional[np.ndarray] = np.ndarray(
             (_HEADER_BYTES // 8,), dtype=np.uint64, buffer=shm.buf
         )
-        self._views: Optional[List[np.ndarray]] = [
-            np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
-            for offset, shape, dtype in spec.entries
+        self._views: Optional[List[List[np.ndarray]]] = [
+            [
+                np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=shm.buf,
+                    offset=offset + generation * spec.generation_stride,
+                )
+                for offset, shape, dtype in spec.entries
+            ]
+            for generation in (0, 1)
         ]
         self._skeleton: Optional[bytes] = None
 
@@ -272,14 +293,21 @@ class PlanArena:
             cls._sequence += 1
             sequence = cls._sequence
         name = f"repro-arena-{os.getpid()}-{sequence}-{secrets.token_hex(3)}"
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, _HEADER_BYTES + 1),
-                                         name=name)
+        # Two full constant generations: refresh() writes the inactive one
+        # and flips header[1], so replicas only ever bind a COMPLETE
+        # generation — never memory a copy is still streaming into.
+        stride = _align(offset - _HEADER_BYTES)
+        size = max(_HEADER_BYTES + 2 * stride, _HEADER_BYTES + 1)
+        shm = shared_memory.SharedMemory(create=True, size=size, name=name)
         spec = ArenaSpec(name=shm.name.lstrip("/"), size=shm.size,
-                         entries=tuple(entries), owner_pid=os.getpid())
+                         entries=tuple(entries), owner_pid=os.getpid(),
+                         generation_stride=stride)
         arena = cls(shm, spec, model, slots, arrays)
-        for view, array in zip(arena._views, arrays):
-            view[...] = array
+        for views in arena._views:
+            for view, array in zip(views, arrays):
+                view[...] = array
         arena._header[0] = 1
+        arena._header[1] = 0
         return arena
 
     # ------------------------------------------------------------------ #
@@ -306,7 +334,8 @@ class PlanArena:
             model = self.model
             if model is None:
                 raise RuntimeError("the exported model has been garbage-collected")
-            index_by_id = {id(array): i for i, array in enumerate(self._sources)}
+            sources = self._sources[self.active_generation]
+            index_by_id = {id(array): i for i, array in enumerate(sources)}
             drop_ids = {
                 id(parameter.grad)
                 for parameter in model.parameters()
@@ -317,17 +346,31 @@ class PlanArena:
             self._skeleton = buffer.getvalue()
         return self._skeleton
 
-    def refresh(self) -> int:
-        """Propagate replaced source arrays into the segment.
+    @property
+    def active_generation(self) -> int:
+        """Index (0/1) of the constant generation replicas currently bind."""
+        header = self._header
+        if header is None:
+            raise RuntimeError("arena has been destroyed")
+        return int(header[1])
 
-        Re-walks the model's constant slots; any slot whose array object
-        changed identity (``load_state_dict`` / ``update_buffer`` / a fresh
-        fold) has its new values copied over the old ones, and the header
-        version is bumped once so attached replicas rebind.  Returns the
-        number of slots that changed.  Values are copied in place, so a
-        refresh racing a replica's forward pass can yield one mixed-weights
-        step; replicas quiesce to the new weights at their next version
-        check (their admission-round boundary).
+    def refresh(self) -> int:
+        """Propagate replaced source arrays into the *inactive* generation.
+
+        Re-walks the model's constant slots; if any slot's array object
+        changed identity vs. the active generation (``load_state_dict`` /
+        ``update_buffer`` / a fresh fold), the inactive generation is synced
+        to the model's current values, the active-generation word flips, and
+        the header version bumps once so attached replicas rebind.  Returns
+        the number of slots that changed vs. what replicas were serving.
+
+        The flip makes the reload transactional: replicas keep reading the
+        old generation until they observe the version bump at a round
+        boundary, then rebind views over the NEW generation — a complete
+        copy by construction, never memory mid-write.  Callers that issue
+        back-to-back refreshes must wait for replicas to rebind before the
+        next call reuses the generation a straggler may still read
+        (:meth:`repro.serve.replica.ReplicaPool.refresh_weights` does).
         """
         model = self.model
         if model is None:
@@ -335,16 +378,25 @@ class PlanArena:
         with self._lock:
             if self._views is None:
                 raise RuntimeError("arena has been destroyed")
-            # Validate the whole walk BEFORE copying anything: a mid-walk
-            # mismatch must not leave the segment half-updated with no
-            # version bump — replicas would keep serving a silent mix of
-            # weight generations with no rebind signal.
+            active = int(self._header[1])
+            target = 1 - active
+            changed = sum(
+                1 for index, (kind, owner, key) in enumerate(self._slots)
+                if _slot_array(kind, owner, key) is not self._sources[active][index]
+            )
+            if changed == 0:
+                return 0
+            # The target generation may lag by MORE slots than just changed
+            # (it missed the previous flip), so sync every slot that differs
+            # from the target's own sources.  Validate the whole walk BEFORE
+            # copying anything: a mid-walk mismatch must not leave a
+            # half-updated generation that a later refresh could flip live.
             updates: List[Tuple[int, np.ndarray]] = []
             for index, (kind, owner, key) in enumerate(self._slots):
                 array = _slot_array(kind, owner, key)
-                if array is self._sources[index]:
+                if array is self._sources[target][index]:
                     continue
-                view = self._views[index]
+                view = self._views[target][index]
                 if array.shape != view.shape or array.dtype != view.dtype:
                     raise ValueError(
                         f"arena refresh: slot {index} ({kind} {key!r}) changed "
@@ -353,11 +405,11 @@ class PlanArena:
                     )
                 updates.append((index, array))
             for index, array in updates:
-                self._views[index][...] = array
-                self._sources[index] = array
-            if updates:
-                self._header[0] += 1
-            return len(updates)
+                self._views[target][index][...] = array
+                self._sources[target][index] = array
+            self._header[1] = target
+            self._header[0] += 1
+            return changed
 
     # ------------------------------------------------------------------ #
     # Refcounted lifecycle
@@ -438,10 +490,12 @@ class ArenaAttachment:
         self._version_seen = 0
 
     # ------------------------------------------------------------------ #
-    def _view(self, index: int) -> np.ndarray:
-        """A fresh read-only view over entry ``index`` (fresh object =
-        fresh identity, which is exactly what reattach relies on)."""
+    def _view(self, index: int, generation: int) -> np.ndarray:
+        """A fresh read-only view over entry ``index`` of ``generation``
+        (fresh object = fresh identity, which is exactly what reattach
+        relies on)."""
         offset, shape, dtype = self.spec.entries[index]
+        offset += generation * self.spec.generation_stride
         view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._shm.buf,
                           offset=offset)
         view.flags.writeable = False
@@ -455,12 +509,16 @@ class ArenaAttachment:
         cache's source tuple) resolves to *one* view object and every
         identity-keyed cache in the rebuilt model starts out coherent.
         """
+        # Version before generation: if a flip lands between the two reads
+        # we bind the NEW (complete) generation under the old version and
+        # the next stale() poll triggers a harmless extra rebind.
         self._version_seen = int(self._header[0])
+        generation = int(self._header[1])
         memo: Dict[int, np.ndarray] = {}
 
         def resolve(index: int) -> np.ndarray:
             if index not in memo:
-                memo[index] = self._view(index)
+                memo[index] = self._view(index, generation)
             return memo[index]
 
         model = _SkeletonUnpickler(io.BytesIO(self._skeleton), resolve).load()
@@ -479,6 +537,11 @@ class ArenaAttachment:
     def version(self) -> int:
         return int(self._header[0])
 
+    @property
+    def generation(self) -> int:
+        """The active-generation word (0/1) as the parent last flipped it."""
+        return int(self._header[1])
+
     def stale(self) -> bool:
         """True when the parent refreshed the arena since our last (re)bind."""
         return self.version != self._version_seen
@@ -486,21 +549,24 @@ class ArenaAttachment:
     def reattach(self) -> None:
         """Rebind fresh view objects after a parent-side :meth:`refresh`.
 
-        The values under our existing views already changed (same memory);
-        what this provides is the *identity* flip the staleness convention
-        needs: new ``.data`` / buffer objects invalidate ``NormOp``'s cached
-        denominator and make :meth:`CompiledPlan.stem_signature` differ, so
-        the shared stem memo and the executor's aligned stem rows computed
-        under the old weights can never be served again.
+        The refresh wrote the *other* generation and flipped the header, so
+        rebinding serves two purposes at once: the fresh views point at the
+        newly-flipped (complete) generation, and the new object identities
+        invalidate ``NormOp``'s cached denominator and change
+        :meth:`CompiledPlan.stem_signature`, so the shared stem memo and the
+        executor's aligned stem rows computed under the old weights can
+        never be served again.
         """
         if self.model is None:
             raise RuntimeError("load_model() before reattach()")
-        # Read the version before rebinding: a refresh landing mid-rebind
-        # leaves us stale and the next poll rebinds again.
+        # Read the version before the generation (mirroring load_model): a
+        # refresh landing mid-rebind leaves us stale and the next poll
+        # rebinds again.
         self._version_seen = self.version
+        generation = self.generation
         folded: List[FoldedConvNorm] = []
         for index, (kind, owner, key) in enumerate(self._slots):
-            _assign_slot(kind, owner, key, self._view(index))
+            _assign_slot(kind, owner, key, self._view(index, generation))
             if kind == "folded_weight":
                 folded.append(owner)
         # Seed the folded caches *after* all sources were rebound, so their

@@ -1,0 +1,529 @@
+"""Fixed-slot shared-memory rings for replica dispatch (zero-copy IPC).
+
+The replica pool's original transport pickled every input frame through a
+``multiprocessing`` queue and every completion back through a pipe.  Both
+copies are pure overhead: the frame is already a contiguous ``float32``
+array, and a completion is ten scalars.  This module replaces the payload
+path with preallocated shared memory, leaving the existing pipes/queues to
+carry only *cursors* and control messages:
+
+* **Request slab** (parent writer, replica reader) — ``slots`` fixed-width
+  slots per replica, each a 64-byte header (sequence, byte count, CRC32)
+  followed by ``slot_bytes`` of payload capacity.  The forwarder copies the
+  frame into a free slot exactly once at dispatch and ships a *ticket*
+  (slot index, sequence, CRC, shape, dtype) over the work queue; the
+  replica validates the header against the ticket and binds a read-only
+  ``np.ndarray`` view — zero copies on the consume side.
+* **Completion ring** (replica writer, parent reader) — fixed-width
+  96-byte records (:data:`COMPLETION_RECORD`), each sequence- and
+  CRC-guarded.  The replica appends finished rounds and sends only the
+  ``(start, count)`` cursor range over its result pipe; the pipe write is
+  the cross-process memory barrier, so the ring itself needs no shared
+  cursors or atomics.
+
+Safety model: slots are parent-owned.  A request slot is allocated before
+dispatch and freed only after its completion (or failure) resolves, and the
+window semaphore bounds in-flight work per replica — so ``slots >= window``
+guarantees the writer never reuses a slot a replica may still read, and
+``completion_slots > window`` guarantees the replica never overwrites an
+unread record.  Sequence numbers make reuse *detectable* anyway: a stale
+ticket (or a torn/corrupted record) fails validation loudly with
+:class:`RingIntegrityError` instead of serving wrong bytes.
+
+Everything is preallocated at pool construction (one segment for the whole
+fleet); steady-state dispatch performs no allocation in shared memory.
+Oversized payloads simply don't get a ticket — callers fall back to the
+legacy inline-pickle path, which also remains available wholesale as the
+``transport="pipe"`` knob (the benchmark baseline).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+import zlib
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.lockorder import named_lock
+
+__all__ = [
+    "COMPLETION_RECORD",
+    "CompletionReader",
+    "PoolRings",
+    "ReplicaRings",
+    "RequestRingWriter",
+    "RingIntegrityError",
+    "RingSpec",
+    "RingTicket",
+    "attach_rings",
+]
+
+_ALIGNMENT = 64
+DEFAULT_SLOT_BYTES = 1 << 18  # 256 KiB of payload capacity per request slot.
+
+# Request-slot header: exactly one cache line ahead of the payload.
+_SLOT_HEADER = np.dtype([
+    ("seq", "<u8"),
+    ("nbytes", "<u8"),
+    ("crc", "<u4"),
+    ("_pad", "V44"),
+])
+assert _SLOT_HEADER.itemsize == _ALIGNMENT
+
+# One completed request, fixed width.  Optional fields collapse onto
+# sentinels (``-1`` for absent epoch/horizon) plus presence bits in
+# ``flags`` so ``None`` survives the round trip exactly.  The CRC is the
+# last field and covers every byte before it.
+COMPLETION_RECORD = np.dtype([
+    ("seq", "<u8"),
+    ("request_id", "<i8"),
+    ("prediction", "<i8"),
+    ("exit_timestep", "<i8"),
+    ("epoch", "<i8"),
+    ("horizon", "<i8"),
+    ("score", "<f8"),
+    ("threshold", "<f8"),
+    ("start_time", "<f8"),
+    ("finish_time", "<f8"),
+    ("flags", "<u2"),
+    ("_pad", "V10"),
+    ("crc", "<u4"),
+])
+assert COMPLETION_RECORD.itemsize == 96
+
+_FLAG_BROWNOUT = 1 << 0
+_FLAG_HAS_THRESHOLD = 1 << 1
+_FLAG_HAS_EPOCH = 1 << 2
+_FLAG_HAS_HORIZON = 1 << 3
+
+# A ticket travels over the work queue in place of the payload:
+# (slot, seq, crc, nbytes, shape, dtype string).
+RingTicket = Tuple[int, int, int, int, Tuple[int, ...], str]
+
+
+class RingIntegrityError(RuntimeError):
+    """A ring record failed sequence or CRC validation.
+
+    Raised replica-side when a ticket no longer matches its slot header
+    (stale reuse) or the payload bytes fail CRC, and parent-side when a
+    completion record is torn or corrupted.  Both are protocol violations,
+    never expected in normal operation — the caller surfaces them as a
+    rejected request rather than serving wrong bytes.
+    """
+
+
+def _crc(view) -> int:
+    return zlib.crc32(view) & 0xFFFFFFFF
+
+
+# Payload CRCs cover a bounded span — the first and last ``_CRC_SPAN``
+# bytes — not the whole frame: crc32 runs at ~1 GB/s, so a full-payload
+# checksum on both ends would cost more than the pickle copies the ring
+# exists to remove.  The *sequence* number is the guard against the only
+# systematic hazard (stale slot reuse); the bounded CRC adds torn-write
+# detection at both ends of the payload at O(1) cost in the frame size.
+_CRC_SPAN = 4096
+
+
+def _payload_crc(payload, nbytes: int) -> int:
+    if nbytes <= 2 * _CRC_SPAN:
+        return zlib.crc32(payload[:nbytes]) & 0xFFFFFFFF
+    crc = zlib.crc32(payload[:_CRC_SPAN])
+    return zlib.crc32(payload[nbytes - _CRC_SPAN:nbytes], crc) & 0xFFFFFFFF
+
+
+def _align(value: int) -> int:
+    return (value + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """Picklable layout of one fleet's ring segment.
+
+    One shared-memory segment holds, for each replica, a request slab
+    (``slots`` x (header + ``slot_bytes``)) and a completion ring
+    (``completion_slots`` x :data:`COMPLETION_RECORD`).  Offsets are
+    precomputed parent-side so both ends bind views without negotiation.
+    """
+
+    name: str
+    size: int
+    num_replicas: int
+    slots: int
+    slot_bytes: int
+    completion_slots: int
+    request_offsets: Tuple[int, ...]
+    completion_offsets: Tuple[int, ...]
+    owner_pid: int = 0
+
+    @classmethod
+    def layout(
+        cls,
+        num_replicas: int,
+        *,
+        slots: int,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        completion_slots: Optional[int] = None,
+    ) -> "RingSpec":
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        slot_bytes = _align(int(slot_bytes))
+        if completion_slots is None:
+            # The window bound keeps written-unread <= slots; the margin is
+            # pure paranoia against off-by-one at the boundary.
+            completion_slots = slots + 2
+        slot_stride = _ALIGNMENT + slot_bytes
+        request_bytes = _align(slots * slot_stride)
+        completion_bytes = _align(completion_slots * COMPLETION_RECORD.itemsize)
+        request_offsets: List[int] = []
+        completion_offsets: List[int] = []
+        offset = 0
+        for _ in range(num_replicas):
+            request_offsets.append(offset)
+            offset += request_bytes
+            completion_offsets.append(offset)
+            offset += completion_bytes
+        name = f"repro-rings-{os.getpid()}-{secrets.token_hex(4)}"
+        return cls(
+            name=name,
+            size=offset,
+            num_replicas=num_replicas,
+            slots=slots,
+            slot_bytes=slot_bytes,
+            completion_slots=int(completion_slots),
+            request_offsets=tuple(request_offsets),
+            completion_offsets=tuple(completion_offsets),
+            owner_pid=os.getpid(),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+class RequestRingWriter:
+    """Parent-side writer over one replica's request slab.
+
+    Single logical producer (the replica's forwarder thread), but slot
+    *release* happens from collector and monitor threads, so the free list
+    is lock-protected.  ``try_write`` either copies the frame into a free
+    slot and returns a ticket, or returns ``None`` (no free slot, or the
+    payload exceeds slot capacity) — the caller then falls back to the
+    inline pipe payload.
+    """
+
+    def __init__(self, spec: RingSpec, buffer: memoryview, index: int):
+        self.spec = spec
+        base = spec.request_offsets[index]
+        stride = _ALIGNMENT + spec.slot_bytes
+        self._headers = [
+            np.ndarray((1,), dtype=_SLOT_HEADER, buffer=buffer,
+                       offset=base + slot * stride)
+            for slot in range(spec.slots)
+        ]
+        self._payloads = [
+            buffer[base + slot * stride + _ALIGNMENT:
+                   base + slot * stride + _ALIGNMENT + spec.slot_bytes]
+            for slot in range(spec.slots)
+        ]
+        self._lock = named_lock(f"runtime.rings.writer{index}")
+        self._free: List[int] = list(range(spec.slots))
+        self._seq = 0
+
+    def close(self) -> None:
+        """Drop the buffer views so the owner's mapping can close."""
+        self._headers = []
+        self._payloads = []
+
+    def try_write(self, array: np.ndarray) -> Optional[RingTicket]:
+        data = np.ascontiguousarray(array)
+        nbytes = data.nbytes
+        if nbytes > self.spec.slot_bytes:
+            return None
+        with self._lock:
+            if not self._free:
+                return None
+            slot = self._free.pop()
+            self._seq += 1
+            seq = self._seq
+        payload = self._payloads[slot]
+        dest = np.ndarray(data.shape, dtype=data.dtype, buffer=payload)
+        dest[...] = data
+        crc = _payload_crc(payload, nbytes)
+        self._headers[slot][0] = (seq, nbytes, crc, b"")
+        return (slot, seq, crc, nbytes, data.shape, data.dtype.str)
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list once its request resolved."""
+        with self._lock:
+            if slot in self._free:
+                raise RuntimeError(f"request slot {slot} double-released")
+            self._free.append(slot)
+
+    def free_slots(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+
+class CompletionReader:
+    """Parent-side reader over one replica's completion ring.
+
+    The replica sends ``(start, count)`` cursor ranges over its result pipe;
+    :meth:`read` validates each record's sequence continuity and CRC and
+    decodes it back into the 10-tuple wire form the resolver already speaks.
+    """
+
+    def __init__(self, spec: RingSpec, buffer: memoryview, index: int):
+        self.spec = spec
+        self._records = np.ndarray(
+            (spec.completion_slots,), dtype=COMPLETION_RECORD, buffer=buffer,
+            offset=spec.completion_offsets[index],
+        )
+
+    def close(self) -> None:
+        """Drop the buffer view so the owner's mapping can close."""
+        self._records = None
+
+    def read(self, start: int, count: int) -> List[tuple]:
+        completions = []
+        for position in range(start, start + count):
+            record = self._records[position % self.spec.completion_slots].copy()
+            expected = _crc(record.tobytes()[:-4])
+            # One .item() call decodes the whole record to Python scalars —
+            # an order of magnitude cheaper than 13 structured-field reads.
+            (seq, request_id, prediction, exit_timestep, epoch, horizon,
+             score, threshold, start_time, finish_time, flags, _pad,
+             crc) = record.item()
+            if seq != position or crc != expected:
+                raise RingIntegrityError(
+                    f"completion record at cursor {position} failed "
+                    f"validation (seq={seq}, crc mismatch={crc != expected})"
+                )
+            completions.append((
+                request_id,
+                prediction,
+                exit_timestep,
+                score,
+                threshold if flags & _FLAG_HAS_THRESHOLD else None,
+                start_time,
+                finish_time,
+                epoch if flags & _FLAG_HAS_EPOCH else None,
+                bool(flags & _FLAG_BROWNOUT),
+                horizon if flags & _FLAG_HAS_HORIZON else None,
+            ))
+        return completions
+
+
+class PoolRings:
+    """Owner of the fleet's ring segment (parent process only).
+
+    Created once at pool construction, destroyed at drain/abort.  Like the
+    plan arena, a ``weakref.finalize`` parachute unlinks the segment if the
+    pool is garbage-collected without a drain, and the multiprocessing
+    resource tracker covers a crashed parent.
+    """
+
+    def __init__(self, spec: RingSpec, segment: shared_memory.SharedMemory):
+        self.spec = spec
+        self._segment = segment
+        self._destroyed = False
+        self._writers: List[RequestRingWriter] = []
+        self._readers: List[CompletionReader] = []
+        self._finalizer = weakref.finalize(self, _release_segment, segment)
+
+    @classmethod
+    def create(
+        cls,
+        num_replicas: int,
+        *,
+        slots: int,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        completion_slots: Optional[int] = None,
+    ) -> "PoolRings":
+        spec = RingSpec.layout(
+            num_replicas, slots=slots, slot_bytes=slot_bytes,
+            completion_slots=completion_slots,
+        )
+        segment = shared_memory.SharedMemory(
+            name=spec.name, create=True, size=spec.size,
+        )
+        # Zero the headers so a never-written slot can never pass a seq
+        # check (ticket sequences start at 1).  /dev/shm pages are
+        # zero-filled on first touch anyway; this documents the reliance.
+        return cls(spec, segment)
+
+    def writer(self, index: int) -> RequestRingWriter:
+        writer = RequestRingWriter(self.spec, self._segment.buf, index)
+        self._writers.append(writer)
+        return writer
+
+    def reader(self, index: int) -> CompletionReader:
+        reader = CompletionReader(self.spec, self._segment.buf, index)
+        self._readers.append(reader)
+        return reader
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def destroy(self) -> None:
+        """Unlink the segment.  Idempotent; callers must have stopped every
+        writer/reader (the pool destroys rings only after replicas exit)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        # Drop every view handed out through writer()/reader() first, so
+        # the mapping's exported-pointer count reaches zero and close()
+        # actually releases the memory now instead of at interpreter GC.
+        for writer in self._writers:
+            writer.close()
+        for reader in self._readers:
+            reader.close()
+        self._writers = []
+        self._readers = []
+        self._finalizer.detach()
+        _release_segment(self._segment, unlink=True)
+
+
+def _release_segment(segment: shared_memory.SharedMemory, unlink: bool = True) -> None:
+    # Unlink FIRST: it only needs the name, and it is the part that keeps
+    # /dev/shm clean.  close() may legitimately fail with BufferError while
+    # writer/reader numpy views are still alive (their mapping dies with
+    # the objects; the name must not outlive the pool either way).
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+    try:
+        segment.close()
+    except (OSError, BufferError):
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Replica side
+# --------------------------------------------------------------------- #
+class ReplicaRings:
+    """One replica's view of the segment: request reader, completion writer.
+
+    The replica is the *single* writer of its completion ring, so the local
+    ``_cursor`` needs no synchronization — the cursor range shipped over the
+    result pipe tells the parent exactly which records to read, and the pipe
+    write orders the shared-memory stores before the parent's loads.
+    """
+
+    def __init__(self, spec: RingSpec, index: int):
+        self.spec = spec
+        self.index = index
+        self._segment = shared_memory.SharedMemory(name=spec.name)
+        buffer = self._segment.buf
+        base = spec.request_offsets[index]
+        stride = _ALIGNMENT + spec.slot_bytes
+        self._headers = [
+            np.ndarray((1,), dtype=_SLOT_HEADER, buffer=buffer,
+                       offset=base + slot * stride)
+            for slot in range(spec.slots)
+        ]
+        self._payloads = [
+            buffer[base + slot * stride + _ALIGNMENT:
+                   base + slot * stride + _ALIGNMENT + spec.slot_bytes]
+            for slot in range(spec.slots)
+        ]
+        self._records = np.ndarray(
+            (spec.completion_slots,), dtype=COMPLETION_RECORD, buffer=buffer,
+            offset=spec.completion_offsets[index],
+        )
+        self._cursor = 0
+        self._scratch = np.zeros((1,), dtype=COMPLETION_RECORD)
+
+    # -- request side -------------------------------------------------- #
+    def request_view(self, ticket: RingTicket) -> np.ndarray:
+        """Bind a zero-copy read-only view of a dispatched frame.
+
+        Validates the slot header against the ticket (a mismatched sequence
+        means the parent reused the slot — a protocol violation the window
+        invariant is supposed to prevent) and the payload CRC before
+        trusting a single byte.
+        """
+        slot, seq, crc, nbytes, shape, dtype_str = ticket
+        header_seq, header_nbytes, header_crc, _pad = self._headers[slot][0].item()
+        if header_seq != seq:
+            raise RingIntegrityError(
+                f"request slot {slot} sequence mismatch: ticket {seq}, "
+                f"header {header_seq} (stale slot reuse)"
+            )
+        if header_nbytes != nbytes or header_crc != crc:
+            raise RingIntegrityError(
+                f"request slot {slot} header does not match ticket"
+            )
+        payload = self._payloads[slot]
+        if _payload_crc(payload, nbytes) != crc:
+            raise RingIntegrityError(
+                f"request slot {slot} payload failed CRC validation"
+            )
+        view = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=payload)
+        view.flags.writeable = False
+        return view
+
+    # -- completion side ----------------------------------------------- #
+    def write_completions(
+        self, completions: Sequence[tuple],
+    ) -> Optional[Tuple[int, int]]:
+        """Append fixed-width records; return the ``(start, count)`` cursor
+        range to ship over the pipe, or ``None`` if the batch cannot fit in
+        one ring revolution (caller falls back to the inline pipe payload).
+        """
+        count = len(completions)
+        if count == 0 or count > self.spec.completion_slots:
+            return None
+        start = self._cursor
+        scratch = self._scratch
+        for offset, completion in enumerate(completions):
+            (request_id, prediction, exit_timestep, score, threshold,
+             start_time, finish_time, epoch, brownout, horizon) = completion
+            flags = 0
+            if brownout:
+                flags |= _FLAG_BROWNOUT
+            if threshold is not None:
+                flags |= _FLAG_HAS_THRESHOLD
+            if epoch is not None:
+                flags |= _FLAG_HAS_EPOCH
+            if horizon is not None:
+                flags |= _FLAG_HAS_HORIZON
+            # Single tuple assignment: one structured store instead of 12.
+            scratch[0] = (
+                start + offset, request_id, prediction, exit_timestep,
+                -1 if epoch is None else epoch,
+                -1 if horizon is None else horizon,
+                score, 0.0 if threshold is None else threshold,
+                start_time, finish_time, flags, b"", 0,
+            )
+            scratch["crc"] = _crc(scratch.tobytes()[:-4])
+            self._records[(start + offset) % self.spec.completion_slots] = scratch[0]
+        self._cursor = start + count
+        return (start, count)
+
+    def close(self) -> None:
+        # Drop our own views first so the mapping can actually close; any
+        # request_view() arrays still held by the engine keep it pinned.
+        self._headers = []
+        self._payloads = []
+        self._records = None
+        try:
+            self._segment.close()
+        except (OSError, BufferError):
+            # Engine views may still be alive; the OS reclaims the mapping
+            # at process exit.
+            pass
+
+
+def attach_rings(spec: RingSpec, index: int) -> ReplicaRings:
+    """Attach one replica's ring views inside a spawned worker process."""
+    return ReplicaRings(spec, index)

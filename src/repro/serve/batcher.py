@@ -139,22 +139,35 @@ class ContinuousBatcher:
                     f"request {request.request_id} missed its deadline "
                     f"before dispatch"
                 )
+                now = self.clock()
                 self.telemetry.record_deadline_drop(request.priority)
                 if self.trace is not None:
-                    self.trace.record_rejection(
-                        request, self.clock(), reason="deadline"
-                    )
+                    self.trace.record_rejection(request, now, reason="deadline")
+                if self.spans is not None:
+                    self.spans.record_failure(request.request_id, now, error)
                 response.set_exception(error)
                 continue
             admissions.append((request, response, self.clock()))
         try:
             self.engine.admit_batch(admissions)
-        except AdmissionRejectedError:
+        except AdmissionRejectedError as error:
             # The engine rejected the round before mutating any state and
             # already resolved every future in it with the error, so one
             # malformed request costs its own round — not the worker, the
             # in-flight neighbours, or the server's admission queue.
             self.rejected_rounds += 1
+            # Every rejection must still be ACCOUNTED: request conservation
+            # (submitted == completed + rejected + shed + deadline_drops)
+            # holds only if each failed future lands in exactly one counter,
+            # and the WAL/span record is what lets a trace consumer see the
+            # rejection at all.
+            now = self.clock()
+            for request, _, _ in admissions:
+                self.telemetry.record_rejection()
+                if self.trace is not None:
+                    self.trace.record_rejection(request, now)
+                if self.spans is not None:
+                    self.spans.record_failure(request.request_id, now, error)
             return 0
         return len(admissions)
 

@@ -35,7 +35,7 @@ from ..core.policies import ExitPolicy
 from ..runtime import executor_for
 from ..snn.encoding import DirectEncoder
 from ..snn.network import SpikingNetwork
-from .request import Request, Response
+from .request import Request, Response, clone_exception
 
 __all__ = ["AdmissionRejectedError", "CompletedSample", "InferenceEngine"]
 
@@ -261,7 +261,9 @@ class InferenceEngine:
             )
             rejection.__cause__ = error
             for _, response, _ in admissions:
-                response.set_exception(rejection)
+                # Per-future clone: concurrent result() callers re-raise the
+                # stored exception and would race on one shared traceback.
+                response.set_exception(clone_exception(rejection))
             raise rejection
         self._sample_shape = expected
         for (request, response, start_time), stem_key in zip(admissions, stem_keys):
@@ -323,7 +325,7 @@ class InferenceEngine:
         """
         failed = 0
         for slot in self._slots:
-            slot.response.set_exception(exception)
+            slot.response.set_exception(clone_exception(exception))
             failed += 1
         self._slots = []
         self._running_sum = None

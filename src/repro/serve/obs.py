@@ -137,11 +137,43 @@ class SpanTracker:
             if epoch is not None:
                 span.tags["epoch"] = int(epoch)
 
+    def record_failure(
+        self, request_id: int, failed_at: float, error: BaseException,
+    ) -> None:
+        """Stamp the terminal stage of a FAILED request.
+
+        Every failure path (deadline drop, admission rejection, replica
+        crash, shutdown shed) must land here: a request that already got a
+        ``queued``/``dispatched`` stamp would otherwise sit in the tracker
+        as a dangling open span until capacity eviction, and "no open spans
+        after drain" is the invariant the conservation suite leans on.  The
+        error type lands in the tags so traces can tell failure modes apart
+        from genuine completions.
+        """
+        with self._lock:
+            span = self._spans.get(request_id)
+            if span is None:
+                if len(self._spans) >= self.capacity:
+                    self._spans.pop(next(iter(self._spans)))
+                span = RequestSpan(request_id=int(request_id))
+                self._spans[int(request_id)] = span
+            span.events["completed"] = float(failed_at)
+            span.tags["error"] = type(error).__name__
+
     # ------------------------------------------------------------------ #
     def spans(self) -> List[RequestSpan]:
         with self._lock:
             return [RequestSpan(s.request_id, dict(s.events), dict(s.tags))
                     for s in self._spans.values()]
+
+    def open_spans(self) -> List[RequestSpan]:
+        """Spans with no terminal stage — empty after a clean drain."""
+        with self._lock:
+            return [
+                RequestSpan(s.request_id, dict(s.events), dict(s.tags))
+                for s in self._spans.values()
+                if "completed" not in s.events
+            ]
 
     def __len__(self) -> int:
         with self._lock:

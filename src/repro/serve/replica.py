@@ -12,22 +12,31 @@ Data flow, front to back:
 
 * **Dispatch** — requests enter the server's single
   :class:`~repro.serve.AdmissionQueue` exactly as in thread mode.  One
-  *forwarder* thread per replica competes for queued requests and ships them
-  over that replica's work queue, holding at most ``inflight_window``
-  requests (default: one batch width) inside the replica at a time — the
-  bound on what a crash can take down.
-* **Serving** — the replica process pumps its work queue into a local
-  admission queue and runs the continuous batcher exactly like a thread
-  worker; per-sample batch invariance makes its decisions identical to the
-  sequential oracle no matter how the dispatcher splits traffic.
-* **Completion** — results travel back over a *per-replica* response pipe
-  (single writer each: a replica killed mid-message can corrupt only its
-  own channel, never block a survivor's completions behind a dead lock
-  holder); a *collector* thread multiplexes the pipes, resolves the
-  parent-side futures, prices energy, feeds the SLA controller and records
-  everything into the server's single :class:`~repro.serve.Telemetry` (the
-  replica ships its occupancy gauges at drain, merged via
-  :meth:`Telemetry.merge_state`).
+  *forwarder* thread per replica competes for queued requests, copies each
+  frame **once** into the replica's shared-memory request slab
+  (:mod:`repro.runtime.rings`), and ships only a CRC/sequence-guarded
+  *ticket* per request over that replica's work queue — holding at most
+  ``inflight_window`` requests (default: one batch width) inside the
+  replica at a time, which bounds both what a crash can take down and how
+  many slab slots a replica can occupy.
+* **Serving** — the replica process validates each ticket against its slot
+  header, binds a zero-copy read-only view over the slab, pumps it into a
+  local admission queue and runs the continuous batcher exactly like a
+  thread worker; per-sample batch invariance makes its decisions identical
+  to the sequential oracle no matter how the dispatcher splits traffic.
+* **Completion** — finished rounds are written as fixed-width records into
+  the replica's completion ring; only the ``(start, count)`` cursor range
+  travels over its *per-replica* response pipe (single writer each: a
+  replica killed mid-message can corrupt only its own channel, never block
+  a survivor's completions behind a dead lock holder — and a torn record
+  fails CRC validation instead of resolving a future with garbage).  A
+  *collector* thread multiplexes the pipes, decodes the cursor ranges,
+  resolves the parent-side futures, prices energy, feeds the SLA
+  controller and records everything into the server's single
+  :class:`~repro.serve.Telemetry` (the replica ships its occupancy gauges
+  at drain, merged via :meth:`Telemetry.merge_state`).  Pickled inline
+  payloads remain as the per-message fallback and as the wholesale
+  ``transport="pipe"`` baseline.
 * **Failure** — a *monitor* thread owns each replica's exit.  A clean exit
   (drain) releases its arena reference; a crash fails exactly the crashed
   replica's in-flight requests with :class:`ReplicaCrashError`, returns any
@@ -36,8 +45,11 @@ Data flow, front to back:
   ever blocks on a future nobody will resolve.
 
 Weight reloads: after ``load_state_dict`` on the parent's model, call
-:meth:`ReplicaPool.refresh_weights`.  The arena copies the changed constants
-in place and bumps its version; every replica rebinds at its next round (see
+:meth:`ReplicaPool.refresh_weights`.  The arena writes the changed constants
+into its *inactive* generation and flips — a transactional hot-swap — and
+every replica rebinds to the complete new generation at its next round
+boundary, acking the version back so a later refresh never overwrites a
+generation a straggler still reads (see
 :meth:`~repro.runtime.ArenaAttachment.reattach` for the identity-flip that
 makes the folded caches, stem signature and stem memo converge).
 
@@ -65,6 +77,12 @@ from ..core.accounting import InferenceCostModel
 from ..core.policies import ExitPolicy
 from ..runtime import plan_for, runtime_enabled
 from ..runtime.arena import ArenaSpec, PlanArena, attach_arena
+from ..runtime.rings import (
+    PoolRings,
+    RingIntegrityError,
+    RingSpec,
+    attach_rings,
+)
 from ..snn.network import SpikingNetwork
 from .batcher import ContinuousBatcher, finalize_result, price_request
 from .controller import AdaptiveThresholdController
@@ -76,6 +94,7 @@ from .request import (
     Response,
     ServerClosedError,
     ThresholdEpoch,
+    clone_exception,
 )
 from .storm import DeadlineExceededError
 from .telemetry import Telemetry
@@ -112,6 +131,13 @@ class _ReplicaConfig:
 # travel as *batches* — one pickle + one pipe wakeup per dispatch round or
 # step round, not per request — which is what keeps the IPC cost per request
 # flat in the window size (the same argument as batched admission).
+# Under the ring transport (the default) the batch entries carry TICKETS —
+# (slot, seq, crc, shape, dtype) cursors into the shared-memory request
+# slab — instead of pickled frames, and completions come back as a cursor
+# range over the replica's completion ring (_MSG_DONE_RING); the pipes and
+# queues then move only control-plane bytes.  The inline-payload forms
+# remain as the per-message fallback (oversized frame, ring momentarily
+# full) and as the wholesale ``transport="pipe"`` baseline.
 # Threshold changes need no control message: every request carries its
 # ThresholdEpoch stamp, and the replica engine evaluates each slot under its
 # stamped knobs — the recorded threshold is the deciding one by construction
@@ -121,8 +147,12 @@ _MSG_DRAIN = "drain"
 # Result-pipe message kinds (replica -> parent).
 _MSG_READY = "ready"
 _MSG_DONE = "done"
+_MSG_DONE_RING = "donr"
 _MSG_ERROR = "error"
 _MSG_BYE = "bye"
+# Rebind acknowledgement: the replica observed an arena refresh and rebound
+# to the flipped generation; carries the arena version it now serves.
+_MSG_REBOUND = "rebound"
 
 
 # --------------------------------------------------------------------------- #
@@ -151,7 +181,8 @@ class _RelayResponse(Response):
 
 
 def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
-                  work_queue, result_conn) -> None:
+                  work_queue, result_conn,
+                  ring_spec: Optional[RingSpec] = None) -> None:
     """Entry point of one replica process (spawn target; must be top-level).
 
     The loop interleaves three duties: pump the work queue into the local
@@ -166,9 +197,16 @@ def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
     killed mid-message can corrupt only its own channel — a survivor's
     completions can never block behind a dead neighbour's lock (the failure
     mode a shared result queue would have).
+
+    With ``ring_spec`` set (the default transport) dispatched frames are
+    consumed as zero-copy read-only views over the shared request slab and
+    completions are written as fixed-width records into the completion
+    ring — the pipe then carries a cursor range per round instead of a
+    pickled result list.
     """
     index = config.index
     attachment = None
+    rings = None
     try:
         attachment = attach_arena(spec, skeleton)
         model = attachment.model
@@ -187,13 +225,16 @@ def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
         batcher = ContinuousBatcher(
             engine, local_queue, batch_width=config.batch_width, telemetry=telemetry
         )
+        if ring_spec is not None:
+            rings = attach_rings(ring_spec, index)
         outbox: List[Tuple] = []
         draining = False
         # Readiness handshake: interpreter up, arena attached, plan compiled.
         # The parent's start() blocks on this so a "started" server is one
         # whose replicas are actually serving (and whose benchmarked
-        # throughput excludes spawn/import cost).
-        result_conn.send((index, _MSG_READY))
+        # throughput excludes spawn/import cost).  The arena version seeds
+        # the parent's rebind ledger (refresh_weights waits on it).
+        result_conn.send((index, _MSG_READY, attachment.version))
         while True:
             # Pump the work queue: block only when fully idle, otherwise
             # drain whatever is ready and get back to stepping.
@@ -207,7 +248,22 @@ def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
                 while True:
                     kind = message[0]
                     if kind == _MSG_REQUEST:
-                        for request_id, inputs, label, epoch in message[1]:
+                        for request_id, ticket, inline, label, epoch in message[1]:
+                            if ticket is not None:
+                                try:
+                                    inputs = rings.request_view(ticket)
+                                except RingIntegrityError as error:
+                                    # Corrupted/stale slot: never serve the
+                                    # bytes.  Relayed like an admission
+                                    # failure; the parent accounts it as a
+                                    # rejection.
+                                    outbox.append((
+                                        request_id,
+                                        f"{type(error).__name__}: {error}",
+                                    ))
+                                    continue
+                            else:
+                                inputs = inline
                             local_queue.put(
                                 Request(
                                     request_id=request_id, inputs=inputs,
@@ -224,18 +280,26 @@ def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
                 pass
             # Weight-reload propagation: rebind at the round boundary so a
             # refreshed arena serves coherent constants from the next step.
+            # The ack tells the parent this replica no longer reads the
+            # retired generation, so the NEXT refresh may overwrite it.
             if attachment.stale():
                 attachment.reattach()
                 engine.invalidate_stem()
+                result_conn.send((index, _MSG_REBOUND, attachment.version))
             results = batcher.run_once()
             if results:
-                result_conn.send((index, _MSG_DONE, [
+                wire = [
                     (result.request_id, result.prediction, result.exit_timestep,
                      result.score, result.threshold, result.start_time,
                      result.finish_time, result.epoch, result.brownout,
                      result.horizon)
                     for result in results
-                ]))
+                ]
+                cursor = None if rings is None else rings.write_completions(wire)
+                if cursor is not None:
+                    result_conn.send((index, _MSG_DONE_RING, cursor))
+                else:
+                    result_conn.send((index, _MSG_DONE, wire))
             if outbox:
                 result_conn.send((index, _MSG_ERROR, list(outbox)))
                 outbox.clear()
@@ -245,9 +309,15 @@ def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
                 # recorded by the parent's collector.  The local queue
                 # depth is additionally blanked — it is window-bounded
                 # noise next to the parent's admission-queue backpressure
-                # gauge, which the collector samples parent-side.
+                # gauge, which the collector samples parent-side.  The
+                # rejection/deadline counters are blanked too: every relayed
+                # failure is recorded once by the PARENT (the _MSG_ERROR
+                # handler), so merging the replica-local copies at BYE would
+                # double-count and break request conservation.
                 state = telemetry.export_state(include_results=False)
                 state["queue_depths"] = []
+                state["rejected"] = 0
+                state["deadline_drops"] = {}
                 result_conn.send((index, _MSG_BYE, state))
                 break
     except BaseException:
@@ -256,6 +326,8 @@ def _replica_main(spec: ArenaSpec, skeleton: bytes, config: _ReplicaConfig,
     finally:
         if attachment is not None:
             attachment.close()
+        if rings is not None:
+            rings.close()
         result_conn.close()
 
 
@@ -289,9 +361,15 @@ class ReplicaPool:
         blas_threads: int = 1,
         trace=None,
         spans=None,
+        transport: str = "ring",
+        ring_slot_bytes: Optional[int] = None,
     ):
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
+        if transport not in ("ring", "pipe"):
+            raise ValueError(
+                f"transport must be 'ring' or 'pipe', got {transport!r}"
+            )
         if max_timesteps is None:
             max_timesteps = model.default_timesteps
         if max_timesteps < 1:
@@ -334,6 +412,30 @@ class ReplicaPool:
         model.reset_state()
         self.arena = PlanArena.export(model)
         self._skeleton = self.arena.skeleton()
+        # Ring transport: one shared segment for the whole fleet, sized at
+        # construction (the Allocator Law: every slot the steady state will
+        # ever use exists before the first request).  ``window`` request
+        # slots per replica exactly cover the in-flight bound the window
+        # semaphore enforces — a slot is freed strictly before its permit
+        # is released, so try_write can only miss when a frame exceeds
+        # slot_bytes (falls back to the inline pipe payload).
+        self.transport = transport
+        self.rings: Optional[PoolRings] = None
+        self._ring_writers = None
+        self._ring_readers = None
+        if transport == "ring":
+            kwargs = {}
+            if ring_slot_bytes is not None:
+                kwargs["slot_bytes"] = ring_slot_bytes
+            self.rings = PoolRings.create(
+                self.num_replicas, slots=self.window, **kwargs
+            )
+            self._ring_writers = [
+                self.rings.writer(i) for i in range(self.num_replicas)
+            ]
+            self._ring_readers = [
+                self.rings.reader(i) for i in range(self.num_replicas)
+            ]
 
         self._ctx = multiprocessing.get_context("spawn")
         # One result pipe per replica (single writer each): a shared queue
@@ -352,9 +454,14 @@ class ReplicaPool:
         self._monitor: Optional[threading.Thread] = None
 
         self._lock = named_lock("serve.replica.pool")
-        self._inflight: List[Dict[int, Tuple[Request, Response]]] = [
+        # request_id -> (request, response, ring slot or None); the slot is
+        # freed when the entry pops (completion, relayed error, or crash).
+        self._inflight: List[Dict[int, Tuple[Request, Response, Optional[int]]]] = [
             {} for _ in range(self.num_replicas)
         ]
+        # Arena version each replica last (re)bound, from READY/_MSG_REBOUND
+        # acks; refresh_weights waits on it before reusing a generation.
+        self._rebound: Dict[int, int] = {}
         self._overflow: Deque[Tuple[Request, Response]] = deque()
         self._window_sems = [
             threading.Semaphore(self.window) for _ in range(self.num_replicas)
@@ -417,7 +524,8 @@ class ReplicaPool:
                 process = self._ctx.Process(
                     target=_replica_main,
                     args=(self.arena.spec, self._skeleton, config,
-                          self._work_queues[index], self._result_writers[index]),
+                          self._work_queues[index], self._result_writers[index],
+                          None if self.rings is None else self.rings.spec),
                     name=f"repro-replica-{index}",
                     daemon=True,
                 )
@@ -521,6 +629,8 @@ class ReplicaPool:
                 return
         self._close_channels()
         self.arena.destroy()
+        if self.rings is not None:
+            self.rings.destroy()
         self._retired = True
 
     def _close_channels(self) -> None:
@@ -599,6 +709,8 @@ class ReplicaPool:
                 self.arena.release()
         self._close_channels()
         self.arena.destroy()
+        if self.rings is not None:
+            self.rings.destroy()
         self._retired = True
 
     @property
@@ -606,14 +718,35 @@ class ReplicaPool:
         with self._lock:
             return self._live
 
-    def refresh_weights(self) -> int:
+    def refresh_weights(self, rebind_timeout: float = 5.0) -> int:
         """Propagate an in-place weight reload to every replica.
 
         Call after ``load_state_dict`` on the served model; returns the
-        number of constant slots that changed.  Replicas rebind at their
-        next round boundary, so requests admitted after this call are served
-        under the new weights.
+        number of constant slots that changed.  The arena writes the
+        INACTIVE constant generation and flips, so replicas keep serving a
+        complete old generation until they rebind at their next round
+        boundary — requests admitted after this call are served under the
+        new weights, and no request ever runs over a half-copied segment.
+
+        Before writing, wait (bounded) until every live replica has acked
+        the arena's current version: a back-to-back refresh must not
+        scribble the generation a straggler still reads — that would
+        reintroduce the exact torn-read hazard the double buffer removes.
+        The timeout is a parachute against a wedged replica; replicas poll
+        staleness every round (<= ``poll_interval``), so in practice the
+        wait is one scheduling quantum.
         """
+        target = self.arena.version
+        deadline = time.monotonic() + max(0.0, rebind_timeout)
+        while True:
+            with self._lock:
+                lagging = [
+                    i for i in range(self.num_replicas)
+                    if not self._dead[i] and self._rebound.get(i, 0) < target
+                ]
+            if not lagging or time.monotonic() >= deadline:
+                break
+            time.sleep(0.005)
         return self.arena.refresh()
 
     # ------------------------------------------------------------------ #
@@ -667,14 +800,19 @@ class ReplicaPool:
                 now = self.clock()
                 for request, response in batch:
                     if request.deadline is not None and now > request.deadline:
-                        response.set_exception(DeadlineExceededError(
+                        error = DeadlineExceededError(
                             f"request {request.request_id} missed its "
                             f"deadline before dispatch"
-                        ))
+                        )
+                        response.set_exception(error)
                         self.telemetry.record_deadline_drop(request.priority)
                         if self.trace is not None:
                             self.trace.record_rejection(
                                 request, now, reason="deadline"
+                            )
+                        if self.spans is not None:
+                            self.spans.record_failure(
+                                request.request_id, now, error
                             )
                         sem.release()
                     else:
@@ -682,8 +820,25 @@ class ReplicaPool:
                 batch = kept
             if not batch:
                 continue
+            # Write each frame into the request slab BEFORE taking the pool
+            # lock (the copy is the expensive part; the slab is per-replica
+            # and this forwarder is its only writer).  A request that gets
+            # no ticket (oversized frame) ships inline instead.
+            writer = (
+                None if self._ring_writers is None else self._ring_writers[index]
+            )
+            tickets: Dict[int, Tuple] = {}
+            if writer is not None:
+                for request, _ in batch:
+                    ticket = writer.try_write(request.inputs)
+                    if ticket is not None:
+                        tickets[request.request_id] = ticket
             with self._lock:
                 if self._dead[index]:
+                    if writer is not None:
+                        # The round never ships; give its slots back.
+                        for ticket in tickets.values():
+                            writer.release(ticket[0])
                     if self.queue.closed:
                         # Crash during drain: the surviving forwarders have
                         # (or soon will have) sent their drain sentinels and
@@ -695,8 +850,13 @@ class ReplicaPool:
                             f"replica {index} crashed during drain before "
                             f"its last round was dispatched"
                         )
+                        now = self.clock()
                         for request, response in batch:
-                            response.set_exception(error)
+                            response.set_exception(clone_exception(error))
+                            if self.spans is not None:
+                                self.spans.record_failure(
+                                    request.request_id, now, error
+                                )
                         self.telemetry.record_shed(len(batch))
                     else:
                         # Lost the race with a crash mid-traffic: hand the
@@ -710,14 +870,22 @@ class ReplicaPool:
                             self._fail_stranded_locked()
                     return
                 for request, response in batch:
-                    self._inflight[index][request.request_id] = (request, response)
+                    ticket = tickets.get(request.request_id)
+                    self._inflight[index][request.request_id] = (
+                        request, response,
+                        None if ticket is None else ticket[0],
+                    )
             # Each request ships its ThresholdEpoch stamp: the replica engine
             # evaluates the slot under exactly these knobs, so no control
             # message (and no ordering argument about one) is needed — a
             # request can never run under knobs other than the ones stamped
-            # at its submission.
+            # at its submission.  Ticketed entries carry NO frame bytes —
+            # the ticket is the cursor into the slab written above.
             work.put((_MSG_REQUEST, [
-                (request.request_id, request.inputs, request.label,
+                (request.request_id,
+                 tickets.get(request.request_id),
+                 None if request.request_id in tickets else request.inputs,
+                 request.label,
                  None if request.epoch is None else request.epoch.as_tuple())
                 for request, _ in batch
             ]))
@@ -779,21 +947,45 @@ class ReplicaPool:
     def _handle_result(self, message: Tuple) -> None:
         index, kind = message[0], message[1]
         if kind == _MSG_READY:
+            with self._lock:
+                self._rebound[index] = int(message[2]) if len(message) > 2 else 0
             self._ready[index].set()
+        elif kind == _MSG_REBOUND:
+            with self._lock:
+                self._rebound[index] = int(message[2])
         elif kind == _MSG_BYE:
             self.telemetry.merge_state(message[2])
         elif kind == _MSG_ERROR:
             for request_id, text in message[2]:
                 entry = self._pop_inflight(index, request_id)
-                if entry is not None:
-                    entry[1].set_exception(AdmissionRejectedError(text))
+                if entry is None:
+                    continue
+                request, response = entry
+                error = AdmissionRejectedError(text)
+                # Account the relayed failure exactly like the thread-mode
+                # door (Server.submit's rejection path): without these
+                # records replica mode under-counts vs. thread mode and
+                # request conservation (submitted == completed + rejected +
+                # shed + deadline_drops) silently breaks.
+                now = self.clock()
+                self.telemetry.record_rejection()
+                if self.trace is not None:
+                    self.trace.record_rejection(request, now)
+                if self.spans is not None:
+                    self.spans.record_failure(request_id, now, error)
+                response.set_exception(error)
         else:
             # The backpressure gauge must sample the *shared* admission
             # queue (a replica's local queue is window-bounded and says
             # nothing about overload); one sample per completion round
             # mirrors the thread batcher's per-step sampling cadence.
             self.telemetry.record_queue_depth(self.queue.depth())
-            for completion in message[2]:
+            completions = (
+                self._ring_readers[index].read(*message[2])
+                if kind == _MSG_DONE_RING
+                else message[2]
+            )
+            for completion in completions:
                 self._resolve_completion(index, completion)
 
     def _pop_inflight(self, index: int, request_id: int):
@@ -801,8 +993,14 @@ class ReplicaPool:
             entry = self._inflight[index].pop(request_id, None)
         if entry is None:
             return None  # already failed by the crash monitor
+        request, response, slot = entry
+        # Free the ring slot BEFORE the window permit: the permit is what
+        # admits the next dispatch, so a new round can never race a
+        # still-occupied slab slot.
+        if slot is not None and self._ring_writers is not None:
+            self._ring_writers[index].release(slot)
         self._window_sems[index].release()
-        return entry
+        return request, response
 
     def _resolve_completion(self, index: int, completion: Tuple) -> None:
         (request_id, prediction, exit_timestep, score, threshold, start_t,
@@ -881,8 +1079,18 @@ class ReplicaPool:
                     f"replica {index} exited with code {process.exitcode} "
                     f"while {len(inflight)} request(s) were in flight"
                 )
-            for request, response in inflight:
-                response.set_exception(error)
+            now = self.clock()
+            for request, response, slot in inflight:
+                # The replica is gone, so its slab slots are safe to reuse
+                # (moot for a dead replica, but the free list must balance
+                # for the bookkeeping invariants).
+                if slot is not None and self._ring_writers is not None:
+                    self._ring_writers[index].release(slot)
+                # Per-future clone: the crashed round's waiters re-raise
+                # concurrently and must not share one traceback.
+                response.set_exception(clone_exception(error))
+                if self.spans is not None:
+                    self.spans.record_failure(request.request_id, now, error)
             self.telemetry.record_shed(len(inflight))
         # Unblock the forwarder so it can observe the dead flag and exit.
         for _ in range(self.window):
@@ -926,6 +1134,9 @@ class ReplicaPool:
         error = self._stranded_error()
         stranded = list(self._overflow)
         self._overflow.clear()
+        now = self.clock()
         for request, response in stranded:
-            response.set_exception(error)
+            response.set_exception(clone_exception(error))
+            if self.spans is not None:
+                self.spans.record_failure(request.request_id, now, error)
         self.telemetry.record_shed(len(stranded))

@@ -32,7 +32,30 @@ __all__ = [
     "ServerClosedError",
     "ThresholdEpoch",
     "EpochLedger",
+    "clone_exception",
 ]
+
+
+def clone_exception(error: BaseException) -> BaseException:
+    """A fresh exception instance equivalent to ``error``.
+
+    Failure paths that fan one error out to many futures must NOT set the
+    same instance on all of them: every ``Response.result()`` caller
+    re-raises its stored exception, and CPython's ``raise`` mutates the
+    instance's ``__traceback__`` — concurrent waiters would race on one
+    shared object (and a traceback chain would grow across unrelated
+    callers).  Cloning per future keeps each waiter's raise private.
+
+    Falls back to the original instance when the exception type has a
+    non-standard constructor — a shared instance is still better than
+    masking the real failure with a ``TypeError``.
+    """
+    try:
+        clone = type(error)(*error.args)
+    except Exception:
+        return error
+    clone.__cause__ = error.__cause__
+    return clone
 
 
 class QueueFullError(RuntimeError):
@@ -335,7 +358,9 @@ class AdmissionQueue:
             failed = 0
             while self._items:
                 _, response = self._items.popleft()
-                response.set_exception(error)
+                # Per-future clone: concurrent result() callers must not
+                # re-raise (and mutate the traceback of) one shared object.
+                response.set_exception(clone_exception(error))
                 failed += 1
             self._not_full.notify_all()
             return failed

@@ -86,6 +86,12 @@ class Server:
         Max requests resident in one replica at a time (default: one
         ``batch_width`` — the crash-loss bound).  Raising it overlaps
         dispatch with execution at the cost of a larger loss window.
+    replica_transport:
+        IPC payload path for replica mode.  ``"ring"`` (default) moves
+        frames and completions through preallocated shared-memory rings
+        (:mod:`repro.runtime.rings`) with only cursors on the pipes;
+        ``"pipe"`` restores the legacy pickled-payload transport (the
+        benchmark baseline).  Decisions are bitwise identical either way.
     extra_models:
         Additional model replicas; each gets its own worker thread and
         engine.  Replicas must not share parameters *state* — build them
@@ -136,6 +142,7 @@ class Server:
         trace=None,
         spans=None,
         storm=None,
+        replica_transport: str = "ring",
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -196,6 +203,7 @@ class Server:
                 inflight_window=replica_window,
                 trace=trace,
                 spans=spans,
+                transport=replica_transport,
             )
             self.max_timesteps = self.replicas.max_timesteps
             return

@@ -194,7 +194,6 @@ class StormGuard:
         self._last_eval: Optional[float] = None
         # (timestamp, state) transition log, bounded; tests and stats read it.
         self.transitions: List[Tuple[float, str]] = []
-        self._pre_storm_threshold: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -290,8 +289,9 @@ class StormGuard:
         del self.transitions[:-256]
         if level == 2 and StormState.CODES[previous] < 2:
             self._enter_storm_locked()
-        if level < 2 and StormState.CODES[previous] == 2:
-            self._leave_storm_locked()
+        # Leaving STORM restores nothing on purpose: the controller relaxes
+        # the threshold itself as pressure clears (it saw every storm
+        # completion), so there is no saved pre-storm knob to put back.
         record = getattr(self.telemetry, "record_storm_state", None)
         if record is not None:
             record(level)
@@ -320,13 +320,7 @@ class StormGuard:
             return
         live = getattr(self.policy, "threshold", None)
         if self.controller is not None and live is not None:
-            self._pre_storm_threshold = float(live)
             self.policy.threshold = threshold
-
-    def _leave_storm_locked(self) -> None:
-        # The controller relaxes the threshold itself as pressure clears (it
-        # saw every storm completion); nothing to restore.
-        self._pre_storm_threshold = None
 
     def effective(
         self, live_threshold: Optional[float]

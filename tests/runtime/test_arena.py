@@ -148,6 +148,52 @@ class TestRefresh:
         )
         attachment.close()
 
+    def test_refresh_flips_the_active_generation(self, arena_model):
+        arena, model = arena_model
+        attachment = attach_arena(arena.spec, arena.skeleton())
+        assert arena.spec.generation_stride > 0
+        assert arena.active_generation == 0
+        xs = _inputs(seed=13)
+
+        model.load_state_dict(_model(seed=101).state_dict())
+        assert arena.refresh() > 0
+        assert arena.active_generation == 1
+        attachment.reattach()
+        assert attachment.generation == 1
+        np.testing.assert_array_equal(
+            attachment.model.forward(xs, TIMESTEPS).cumulative_numpy(),
+            model.forward(xs, TIMESTEPS).cumulative_numpy(),
+        )
+
+        # A second reload flips back; the previously-active generation is
+        # resynced in full even though it missed the intermediate flip.
+        model.load_state_dict(_model(seed=103).state_dict())
+        assert arena.refresh() > 0
+        assert arena.active_generation == 0
+        attachment.reattach()
+        np.testing.assert_array_equal(
+            attachment.model.forward(xs, TIMESTEPS).cumulative_numpy(),
+            model.forward(xs, TIMESTEPS).cumulative_numpy(),
+        )
+        attachment.close()
+
+    def test_refresh_never_writes_the_generation_replicas_read(self, arena_model):
+        """The flip is transactional: a straggler still bound to the old
+        generation keeps serving the OLD weights bit-for-bit until it
+        rebinds — refresh never scribbles the generation replicas read."""
+        arena, model = arena_model
+        attachment = attach_arena(arena.spec, arena.skeleton())
+        xs = _inputs(seed=17)
+        before = attachment.model.forward(xs, TIMESTEPS).cumulative_numpy()
+        model.load_state_dict(_model(seed=107).state_dict())
+        assert arena.refresh() > 0
+        assert attachment.stale()
+        # No reattach: the old views must still serve the old generation.
+        np.testing.assert_array_equal(
+            attachment.model.forward(xs, TIMESTEPS).cumulative_numpy(), before
+        )
+        attachment.close()
+
     def test_refresh_without_reload_is_a_noop(self, arena_model):
         arena, model = arena_model
         version = arena.version

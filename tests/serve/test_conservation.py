@@ -1,0 +1,300 @@
+"""Request conservation and failure accounting across serving compositions.
+
+The invariant under test: every submitted request lands in **exactly one**
+terminal counter, so
+
+    submitted == completed + rejected + shed + deadline_drops
+
+holds on every composition — thread workers and process replicas alike —
+under a mixed success / shed-at-the-door / deadline-drop / crash workload.
+The client-side outcome tally must equal the telemetry counters (no silent
+under- or over-counting on either side), and every span a request ever
+opened must be terminal after drain.
+
+These tests pin three bugs fixed together with the ring-transport change:
+
+* relayed admission rejections in replica mode resolved the client future
+  but recorded nothing — replica mode under-counted ``rejected`` versus
+  thread mode and broke conservation;
+* failed requests (deadline drops, rejections, crash casualties) left their
+  spans dangling open — ``open_spans()`` never converged to empty;
+* one shared exception instance resolved many futures, racing concurrent
+  ``result()`` re-raises on ``__traceback__`` mutation — each future now
+  owns a distinct clone.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.policies import EntropyExitPolicy
+from repro.serve import (
+    AdmissionQueue,
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    InferenceEngine,
+    QueueFullError,
+    ReplicaCrashError,
+    Request,
+    Response,
+    Server,
+    SpanTracker,
+    TraceRecorder,
+    load_trace,
+)
+from repro.serve.request import clone_exception
+from repro.snn import spiking_vgg
+from repro.utils import seed_everything
+
+TIMESTEPS = 4
+NUM_CLASSES = 6
+IMAGE_SIZE = 10
+
+
+def _model(seed=47):
+    seed_everything(seed)
+    model = spiking_vgg(
+        "tiny", num_classes=NUM_CLASSES, input_size=IMAGE_SIZE,
+        default_timesteps=TIMESTEPS,
+    ).eval()
+    for parameter in model.classifier.parameters():
+        parameter.data = parameter.data * np.float32(25.0)
+    return model
+
+
+def _inputs(batch, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.random((batch, 3, IMAGE_SIZE, IMAGE_SIZE)).astype(np.float32)
+
+
+def _deadline_total(telemetry):
+    return sum(telemetry.deadline_drops_by_class.values())
+
+
+def _assert_conserved(submitted, telemetry):
+    total = (
+        telemetry.completed + telemetry.rejected + telemetry.shed
+        + _deadline_total(telemetry)
+    )
+    assert submitted == total, (
+        f"conservation broken: {submitted} submitted vs "
+        f"{telemetry.completed} completed + {telemetry.rejected} rejected + "
+        f"{telemetry.shed} shed + {_deadline_total(telemetry)} deadline drops"
+    )
+
+
+# --------------------------------------------------------------------- #
+# The conservation matrix
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "num_workers,num_replicas",
+    [(1, 0), (2, 0), (0, 1), (0, 2)],
+    ids=["1-worker", "2-workers", "1-replica", "2-replicas"],
+)
+def test_request_conservation_across_compositions(num_workers, num_replicas):
+    """Mixed success / queue-full / guaranteed-deadline workload: the
+    client-visible outcome of every future matches the telemetry counter it
+    incremented, the conservation sum is exact, and no span stays open."""
+    model = _model()
+    spans = SpanTracker()
+    kwargs = dict(num_replicas=num_replicas) if num_replicas else dict(
+        num_workers=num_workers
+    )
+    # threshold 0: nothing exits early, so the backlog builds and the tiny
+    # queue actually sheds — the workload genuinely mixes all three fates.
+    server = Server(
+        model, EntropyExitPolicy(0.0), max_timesteps=TIMESTEPS,
+        batch_width=2, queue_capacity=6, spans=spans, **kwargs,
+    ).start()
+    xs = _inputs(36)
+    outcomes = {"completed": 0, "rejected": 0, "deadline": 0}
+    futures = []
+    try:
+        for index in range(xs.shape[0]):
+            # Every fifth request carries an already-expired deadline: if it
+            # clears the door it MUST become a deadline drop, never a result.
+            deadline = -1.0 if index % 5 == 3 else None
+            try:
+                futures.append(
+                    server.submit(xs[index], block=False, deadline=deadline)
+                )
+            except QueueFullError:
+                outcomes["rejected"] += 1
+        for future in futures:
+            try:
+                future.result(timeout=60.0)
+                outcomes["completed"] += 1
+            except DeadlineExceededError:
+                outcomes["deadline"] += 1
+    finally:
+        server.shutdown(drain=True)
+
+    telemetry = server.telemetry
+    # The workload exercised all three fates, not just completions.
+    assert outcomes["completed"] > 0
+    assert outcomes["rejected"] > 0
+    assert outcomes["deadline"] > 0
+    # Client-side tallies equal the server-side counters exactly.
+    assert outcomes["completed"] == telemetry.completed
+    assert outcomes["rejected"] == telemetry.rejected
+    assert outcomes["deadline"] == _deadline_total(telemetry)
+    assert telemetry.shed == 0
+    _assert_conserved(xs.shape[0], telemetry)
+    # Span terminality: nothing a worker ever touched is left open.
+    assert spans.open_spans() == []
+
+
+@pytest.mark.slow
+def test_conservation_holds_through_replica_crash():
+    """SIGKILL mid-traffic: crash casualties land in ``shed`` (and nowhere
+    else), each carries its own exception instance, and the sum stays exact."""
+    model = _model()
+    spans = SpanTracker()
+    xs = _inputs(40, seed=9)
+    window = 3
+    server = Server(
+        model, EntropyExitPolicy(0.0), max_timesteps=TIMESTEPS,
+        batch_width=window, queue_capacity=len(xs), num_replicas=2,
+        spans=spans,
+    ).start()
+    victim = server.replicas.processes[0]
+    try:
+        futures = [server.submit(x) for x in xs]
+        deadline = time.monotonic() + 30.0
+        while server.telemetry.completed < 2:
+            if time.monotonic() > deadline:  # pragma: no cover
+                pytest.fail("no completions before fault injection")
+            time.sleep(0.005)
+        os.kill(victim.pid, signal.SIGKILL)
+        completed = 0
+        crash_errors = []
+        for future in futures:
+            try:
+                future.result(timeout=60.0)
+                completed += 1
+            except ReplicaCrashError as error:
+                crash_errors.append(error)
+    finally:
+        server.shutdown(drain=True)
+
+    telemetry = server.telemetry
+    assert completed == telemetry.completed
+    assert len(crash_errors) == telemetry.shed
+    assert len(crash_errors) <= window
+    assert _deadline_total(telemetry) == 0
+    _assert_conserved(len(xs), telemetry)
+    # Concurrent waiters re-raise concurrently: one shared instance would
+    # race on __traceback__; every future must own a distinct clone.
+    assert len({id(error) for error in crash_errors}) == len(crash_errors)
+    assert spans.open_spans() == []
+
+
+# --------------------------------------------------------------------- #
+# Relayed rejections are accounted (replica mode) — and thread mode agrees
+# --------------------------------------------------------------------- #
+def _rejection_accounting(tmp_path, **server_kwargs):
+    model = _model()
+    spans = SpanTracker()
+    recorder = TraceRecorder(
+        str(tmp_path / "wal.jsonl"),
+        meta={"threshold": 0.5, "max_timesteps": TIMESTEPS},
+    )
+    server = Server(
+        model, EntropyExitPolicy(0.5), max_timesteps=TIMESTEPS,
+        batch_width=2, spans=spans, trace=recorder, **server_kwargs,
+    ).start()
+    xs = _inputs(2)
+    try:
+        # One good request first: the engine pins the served sample shape,
+        # so the malformed one is deterministically rejected at admission.
+        server.submit(xs[0]).result(timeout=60.0)
+        malformed = np.zeros(
+            (3, IMAGE_SIZE + 2, IMAGE_SIZE + 2), dtype=np.float32
+        )
+        with pytest.raises(AdmissionRejectedError):
+            server.submit(malformed).result(timeout=60.0)
+    finally:
+        server.shutdown(drain=True)
+        recorder.close()
+    telemetry = server.telemetry
+    assert telemetry.completed == 1
+    assert telemetry.rejected == 1, (
+        "an engine rejection resolved the future without incrementing the "
+        "rejected counter"
+    )
+    _assert_conserved(2, telemetry)
+    assert spans.open_spans() == []
+    trace = load_trace(str(tmp_path / "wal.jsonl"))
+    assert len(trace.records) == 1
+    assert len(trace.rejections) == 1, "rejection never reached the trace WAL"
+
+
+def test_replica_relayed_rejection_is_recorded(tmp_path):
+    """The ``_MSG_ERROR`` relay path: a rejection that happened inside the
+    replica process must be recorded by the parent exactly like the
+    thread-mode door records its own."""
+    _rejection_accounting(tmp_path, num_replicas=1)
+
+
+def test_thread_mode_engine_rejection_is_recorded(tmp_path):
+    _rejection_accounting(tmp_path, num_workers=1)
+
+
+# --------------------------------------------------------------------- #
+# Per-future exception instances (unit pins)
+# --------------------------------------------------------------------- #
+def test_clone_exception_preserves_type_args_and_cause():
+    cause = ValueError("root")
+    error = ReplicaCrashError("replica 0 crashed")
+    error.__cause__ = cause
+    clone = clone_exception(error)
+    assert clone is not error
+    assert type(clone) is ReplicaCrashError
+    assert clone.args == error.args
+    assert clone.__cause__ is cause
+
+
+def test_drain_pending_gives_each_future_its_own_exception():
+    queue = AdmissionQueue(capacity=8)
+    responses = [Response() for _ in range(3)]
+    for index, response in enumerate(responses):
+        queue.put(Request(request_id=index, inputs=np.zeros(1)), response)
+    queue.close()
+    assert queue.drain_pending(RuntimeError("shutting down")) == 3
+    errors = []
+    for response in responses:
+        with pytest.raises(RuntimeError, match="shutting down"):
+            response.result(timeout=1.0)
+        try:
+            response.result(timeout=1.0)
+        except RuntimeError as error:
+            errors.append(error)
+    assert len({id(error) for error in errors}) == len(errors)
+
+
+def test_admit_batch_rejection_gives_each_future_its_own_exception():
+    model = _model()
+    engine = InferenceEngine(
+        model, EntropyExitPolicy(0.5), max_timesteps=TIMESTEPS
+    )
+    good = _inputs(1)[0]
+    bad = np.zeros((3, IMAGE_SIZE + 2, IMAGE_SIZE + 2), dtype=np.float32)
+    admissions = [
+        (Request(request_id=0, inputs=good), Response(), 0.0),
+        (Request(request_id=1, inputs=bad), Response(), 0.0),
+    ]
+    with pytest.raises(AdmissionRejectedError):
+        engine.admit_batch(admissions)
+    errors = []
+    for _, response, _ in admissions:
+        try:
+            response.result(timeout=1.0)
+        except AdmissionRejectedError as error:
+            errors.append(error)
+    assert len(errors) == 2
+    assert len({id(error) for error in errors}) == len(errors)

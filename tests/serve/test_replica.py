@@ -71,6 +71,10 @@ def _arena_segments():
     return set(glob.glob("/dev/shm/repro-arena-*"))
 
 
+def _ring_segments():
+    return set(glob.glob("/dev/shm/repro-rings-*"))
+
+
 def _oracle_decisions(model, xs, threshold=0.5):
     """Sequential single-engine reference (one request at a time)."""
     engine = InferenceEngine(
@@ -204,6 +208,81 @@ class TestReplicaServing:
             server.shutdown(drain=True)
         assert second.threshold == 0.999
         assert second.exit_timestep < TIMESTEPS
+
+    def test_ring_segment_lifecycle_and_pipe_transport_parity(self):
+        """The ring transport is a pure plumbing change: decisions are
+        bitwise-identical to the legacy pipe-pickle transport, a ring fleet
+        owns exactly one ``/dev/shm`` ring segment, and a drained server
+        (either transport) leaves none behind."""
+        model = _model()
+        xs = _inputs(16, seed=41)
+        reference = _oracle_decisions(model, xs)
+        before = _ring_segments()
+        for transport in ("pipe", "ring"):
+            server = _replica_server(
+                model, num_replicas=2, replica_transport=transport
+            ).start()
+            try:
+                during = _ring_segments() - before
+                if transport == "ring":
+                    assert server.replicas.rings is not None
+                    assert len(during) == 1, (
+                        f"expected one ring segment for the fleet, got {during}"
+                    )
+                else:
+                    assert server.replicas.rings is None
+                    assert during == set()
+                futures = [server.submit(x) for x in xs]
+                results = [future.result(timeout=60.0) for future in futures]
+            finally:
+                server.shutdown(drain=True)
+            decisions = {
+                r.request_id: (r.prediction, r.exit_timestep) for r in results
+            }
+            assert decisions == reference, f"transport={transport}"
+            assert _ring_segments() <= before, "ring segment leaked past drain"
+
+    def test_oversized_frames_fall_back_to_inline_pipe_payloads(self):
+        """Frames that exceed the slab's slot capacity ship inline over the
+        work queue (ticket=None) instead of through the ring — decisions and
+        conservation are unchanged, just slower.  Exercised by shrinking the
+        slots below any real frame rather than inflating the clips."""
+        from repro.serve import AdmissionQueue, Telemetry
+        from repro.serve.replica import ReplicaPool
+
+        model = _model()
+        xs = _inputs(8, seed=43)
+        reference = _oracle_decisions(model, xs)
+        queue = AdmissionQueue(capacity=64)
+        telemetry = Telemetry()
+        pool = ReplicaPool(
+            model, EntropyExitPolicy(0.5), num_replicas=1, queue=queue,
+            telemetry=telemetry, max_timesteps=TIMESTEPS, batch_width=3,
+            ring_slot_bytes=64,  # every (3,10,10) float32 frame is 1200 B
+        )
+        pool.start()
+        assert pool.wait_ready() == 1
+        responses = []
+        try:
+            for index in range(xs.shape[0]):
+                response = Response()
+                queue.put(
+                    Request(request_id=index, inputs=xs[index]), response
+                )
+                responses.append(response)
+            results = [r.result(timeout=60.0) for r in responses]
+        finally:
+            queue.close()
+            pool.drain()
+        assert pool.rings is not None  # the ring existed; it just never fit
+        decisions = {
+            r.request_id: (r.prediction, r.exit_timestep) for r in results
+        }
+        assert decisions == reference
+        assert telemetry.completed == len(responses)
+        assert _ring_segments() == set() or not any(
+            pool.rings.spec.name in path for path in _ring_segments()
+        ), "ring segment leaked past pool drain"
 
     def test_unlowerable_model_is_refused_up_front(self):
         from repro.nn.module import Module
